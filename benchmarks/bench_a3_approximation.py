@@ -1,0 +1,57 @@
+"""A3 (extension) — approximation on non-treelike instances (conclusion, [27]).
+
+On the hard bipartite RST family (treewidth grows linearly), exact evaluation
+through possible worlds blows up exponentially, while Karp-Luby sampling and
+the dissociation bounds stay cheap.  On the sizes where the exact value is
+still computable we check that the estimate lands close to it and inside the
+dissociation bracket.
+"""
+
+from fractions import Fraction
+
+from repro.data.tid import ProbabilisticInstance
+from repro.experiments import ScalingSeries, format_table
+from repro.generators.lines import rst_bipartite_instance
+from repro.probability.approximation import dissociation_bounds, karp_luby_probability
+from repro.probability.brute_force import brute_force_probability
+from repro.queries.library import unsafe_rst
+
+SIZES = (2, 3)
+SAMPLES = 3000
+
+
+def estimate(n: int):
+    tid = ProbabilisticInstance.uniform(rst_bipartite_instance(n), Fraction(1, 2))
+    return karp_luby_probability(unsafe_rst(), tid, samples=SAMPLES, seed=n)
+
+
+def test_a3_karp_luby_brackets_exact_probability(benchmark):
+    rows = []
+    errors = ScalingSeries("relative error")
+    for n in SIZES:
+        tid = ProbabilisticInstance.uniform(rst_bipartite_instance(n), Fraction(1, 2))
+        query = unsafe_rst()
+        exact = brute_force_probability(query, tid)
+        approx = karp_luby_probability(query, tid, samples=SAMPLES, seed=n)
+        bounds = dissociation_bounds(query, tid)
+        assert bounds.lower <= exact <= bounds.upper
+        relative_error = approx.relative_error(exact)
+        errors.add(n, relative_error)
+        rows.append(
+            (
+                n,
+                round(float(exact), 5),
+                round(approx.estimate, 5),
+                round(relative_error, 4),
+                round(float(bounds.lower), 5),
+                round(float(bounds.upper), 5),
+            )
+        )
+    benchmark(estimate, SIZES[-1])
+    print()
+    print(
+        format_table(
+            ["n", "exact", "karp-luby", "rel. error", "lower bound", "upper bound"], rows
+        )
+    )
+    assert max(errors.values) < 0.15, "Karp-Luby must land close to the exact probability"

@@ -1,0 +1,50 @@
+"""A4 (extension) — FBDDs versus OBDDs (conclusion: "FBDDs or d-DNNFs?").
+
+The paper leaves open whether the OBDD dichotomy (Theorem 8.1) extends to
+FBDDs.  This ablation compiles the q_p lineage on bounded-pathwidth instances
+both ways and checks that (i) the two agree with the lineage semantics and on
+probabilities, and (ii) the FBDD built by dynamic Shannon expansion stays
+within a constant factor of the decomposition-ordered OBDD on these easy
+instances.
+"""
+
+from fractions import Fraction
+
+from repro.data.tid import ProbabilisticInstance
+from repro.experiments import ScalingSeries, classify_growth, format_table
+from repro.booleans.fbdd import compile_circuit_to_fbdd
+from repro.generators.lines import directed_path_instance
+from repro.provenance.compile_obdd import compile_query_to_obdd
+from repro.provenance.lineage import lineage_of
+from repro.queries.library import qp
+
+LENGTHS = (4, 6, 8, 12)
+
+
+def compile_both(length: int):
+    instance = directed_path_instance(length)
+    compiled_obdd = compile_query_to_obdd(qp(), instance, use_path_decomposition=True)
+    circuit = lineage_of(qp(), instance).to_circuit()
+    fbdd = compile_circuit_to_fbdd(circuit)
+    return compiled_obdd, fbdd, instance
+
+
+def test_a4_fbdd_matches_obdd_and_stays_small(benchmark):
+    obdd_sizes = ScalingSeries("OBDD size")
+    fbdd_sizes = ScalingSeries("FBDD size")
+    rows = []
+    for length in LENGTHS:
+        compiled_obdd, fbdd, instance = compile_both(length)
+        assert fbdd.check_read_once()
+        tid = ProbabilisticInstance.uniform(instance, Fraction(1, 2))
+        valuation = tid.valuation()
+        assert fbdd.probability(valuation) == compiled_obdd.probability(valuation)
+        obdd_sizes.add(length, compiled_obdd.size)
+        fbdd_sizes.add(length, fbdd.size())
+        rows.append((length, compiled_obdd.size, fbdd.size()))
+    benchmark(compile_both, LENGTHS[-1])
+    print()
+    print(format_table(["path length", "OBDD size", "FBDD size"], rows))
+    print("OBDD growth:", classify_growth(obdd_sizes), "| FBDD growth:", classify_growth(fbdd_sizes))
+    assert obdd_sizes.loglog_slope() < 1.6, "OBDD size must stay near-linear on paths"
+    assert fbdd_sizes.is_subquadratic(), "FBDD size must stay subquadratic on paths"

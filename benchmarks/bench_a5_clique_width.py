@@ -1,0 +1,52 @@
+"""A5 (extension) — bounded clique-width without bounded treewidth (Section 5.1).
+
+The class of cliques witnesses why Theorem 5.2 needs subinstance closure:
+treewidth grows linearly but clique-width stays 2, and MSO-style counting
+(here: independent sets) over the k-expression runs in time linear in the
+expression, while the treewidth of the same graphs explodes.
+"""
+
+import time
+
+from repro.experiments import ScalingSeries, classify_growth, format_table
+from repro.structure.clique_width import (
+    clique_expression,
+    count_independent_sets,
+    maximum_independent_set,
+)
+from repro.structure.tree_decomposition import treewidth
+
+SIZES = (4, 8, 16, 32)
+
+
+def count_on_clique(n: int) -> int:
+    return count_independent_sets(clique_expression(n))
+
+
+def test_a5_clique_width_dp_tractable_on_cliques(benchmark):
+    time_series = ScalingSeries("clique-width DP time (s)")
+    width_series = ScalingSeries("treewidth")
+    rows = []
+    for n in SIZES:
+        expression = clique_expression(n)
+        assert expression.width == 2
+        start = time.perf_counter()
+        independent_sets = count_on_clique(n)
+        elapsed = time.perf_counter() - start
+        time_series.add(n, elapsed)
+        # The independent sets of K_n are the empty set and the singletons.
+        assert independent_sets == n + 1
+        assert maximum_independent_set(expression) == 1
+        graph_treewidth = treewidth(expression.to_graph())
+        width_series.add(n, graph_treewidth)
+        rows.append((n, 2, graph_treewidth, independent_sets, round(elapsed, 5)))
+    benchmark(count_on_clique, SIZES[-1])
+    print()
+    print(
+        format_table(
+            ["n", "clique-width", "treewidth", "independent sets", "DP seconds"], rows
+        )
+    )
+    print("treewidth growth:", classify_growth(width_series))
+    assert width_series.values[-1] == SIZES[-1] - 1, "treewidth of K_n is n - 1"
+    assert time_series.values[-1] < 1.0, "the clique-width DP must stay fast"

@@ -1,0 +1,67 @@
+"""A6 (extension) — semiring provenance beyond Boolean lineage (Section 3, [2]/[29]).
+
+The provenance circuits of [2] specialise to any commutative semiring.  This
+ablation evaluates the same RST lineage in the counting, tropical and Why
+semirings and through the N[X] provenance polynomial, checking the expected
+relationships (monomial count = counting value under all-1 annotations;
+tropical value = size of the cheapest witness) and that the evaluation cost
+grows linearly with the instance.
+"""
+
+import time
+
+from repro.experiments import ScalingSeries, classify_growth, format_table
+from repro.generators.lines import rst_chain_instance
+from repro.provenance.lineage import lineage_of
+from repro.queries.library import unsafe_rst
+from repro.semirings import (
+    COUNTING,
+    TROPICAL,
+    WHY,
+    evaluate_lineage_in_semiring,
+    query_provenance_polynomial,
+)
+
+SIZES = (5, 10, 20, 40)
+
+
+def polynomial_for(n: int):
+    return query_provenance_polynomial(unsafe_rst(), rst_chain_instance(n))
+
+
+def test_a6_semiring_provenance_scales_linearly(benchmark):
+    time_series = ScalingSeries("N[X] provenance time (s)")
+    monomial_series = ScalingSeries("monomials")
+    rows = []
+    for n in SIZES:
+        instance = rst_chain_instance(n)
+        lineage = lineage_of(unsafe_rst(), instance)
+        start = time.perf_counter()
+        polynomial = query_provenance_polynomial(unsafe_rst(), instance)
+        elapsed = time.perf_counter() - start
+        time_series.add(n, elapsed)
+        monomial_series.add(n, polynomial.monomial_count)
+        derivations = evaluate_lineage_in_semiring(
+            lineage, COUNTING, {f: 1 for f in instance.facts}
+        )
+        cheapest = evaluate_lineage_in_semiring(
+            lineage, TROPICAL, {f: 1.0 for f in instance.facts}
+        )
+        witnesses = evaluate_lineage_in_semiring(
+            lineage, WHY, {f: frozenset({frozenset({f})}) for f in instance.facts}
+        )
+        # On the chain: one derivation per position, each witness has 3 facts.
+        assert polynomial.monomial_count == n
+        assert derivations == n
+        assert cheapest == 3.0
+        assert len(witnesses) == n
+        rows.append((n, polynomial.monomial_count, derivations, cheapest, round(elapsed, 5)))
+    benchmark(polynomial_for, SIZES[-1])
+    print()
+    print(
+        format_table(
+            ["n", "monomials", "counting", "tropical (min cost)", "seconds"], rows
+        )
+    )
+    print("monomial growth:", classify_growth(monomial_series))
+    assert monomial_series.loglog_slope() < 1.3, "provenance stays linear on the chain family"

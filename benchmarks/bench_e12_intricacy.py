@@ -1,0 +1,57 @@
+"""E12 — Theorem 8.7 (meta-dichotomy) and Proposition 8.8.
+
+We classify a suite of connected UCQ≠ queries as intricate / non-intricate and
+verify the two sides of the meta-dichotomy empirically:
+
+* the intricate q_p blows up on the grid family (cf. E11);
+* non-intricate queries (the unsafe RST query, connected CQ≠ queries) have
+  constant-width OBDDs on an unbounded-treewidth counterexample family
+  (S-grids for RST, grids built from the witness line in general).
+"""
+
+from repro.data.signature import Signature
+from repro.experiments import ScalingSeries, format_table
+from repro.generators import s_grid_instance
+from repro.provenance import compile_query_to_obdd
+from repro.queries import (
+    is_intricate,
+    parse_cq,
+    qp,
+    threshold_two_query,
+    two_incident_same_direction,
+    unsafe_rst,
+)
+
+RST_SIGNATURE = Signature([("R", 1), ("S", 2), ("T", 1)])
+
+CLASSIFICATION_CASES = [
+    ("q_p (Theorem 8.1)", qp(), None, True),
+    ("unsafe RST query", unsafe_rst(), RST_SIGNATURE, False),
+    ("E(x,y), E(y,z)", two_incident_same_direction(), None, False),
+    ("E(x,y), E(y,z), x != z", parse_cq("E(x, y), E(y, z), x != z"), None, False),
+    ("threshold-2 (unary only)", threshold_two_query(), None, False),
+]
+
+
+def classify_all() -> list[tuple[str, bool]]:
+    return [
+        (name, is_intricate(query, signature))
+        for name, query, signature, _ in CLASSIFICATION_CASES
+    ]
+
+
+def test_e12_intricacy_classification(benchmark):
+    results = benchmark(classify_all)
+    print()
+    print(format_table(["query", "intricate?"], results))
+    for (name, _, _, expected), (_, actual) in zip(CLASSIFICATION_CASES, results):
+        assert actual == expected, f"classification of {name} changed"
+
+
+def test_e12_non_intricate_rst_constant_on_s_grids():
+    series = ScalingSeries("RST OBDD width on S-grids")
+    for size in (2, 3, 4, 5):
+        series.add(size, compile_query_to_obdd(unsafe_rst(), s_grid_instance(size, size)).width)
+    print()
+    print(format_table(["grid side", "OBDD width"], series.rows()))
+    assert max(series.values) == 1, "the unsafe RST query is trivial on S-grids (Section 8.2)"

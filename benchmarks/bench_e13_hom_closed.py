@@ -1,0 +1,52 @@
+"""E13 — Proposition 8.9: homomorphism-closed queries are easy on complete
+bipartite directed graphs.
+
+On the unbounded-treewidth, treewidth-constructible family of complete
+bipartite directed graphs, every UCQ (homomorphism-closed) has constant-width
+OBDDs: all minimal matches have a single fact.  We measure the widths of a few
+UCQs on growing K_{n,n} instances and contrast with the UCQ≠ q_p, which is not
+homomorphism-closed and keeps growing.
+"""
+
+from repro.experiments import ScalingSeries, format_table
+from repro.generators import complete_bipartite_instance
+from repro.provenance import compile_query_to_obdd
+from repro.provenance.lineage import lineage_of
+from repro.queries import parse_cq, parse_ucq, qp
+
+SIZES = (2, 3, 4)
+
+UCQS = [
+    ("E(x,y)", parse_cq("E(x, y)")),
+    ("E(x,y), E(y,z)", parse_cq("E(x, y), E(y, z)")),
+    ("E(x,y), E(x,z) | E(x,x)", parse_ucq("E(x, y), E(x, z) | E(x, x)")),
+]
+
+
+def width_on_bipartite(size: int) -> int:
+    return compile_query_to_obdd(UCQS[1][1], complete_bipartite_instance(size, size)).width
+
+
+def test_e13_hom_closed_constant_width(benchmark):
+    rows = []
+    for name, query in UCQS:
+        widths = [
+            compile_query_to_obdd(query, complete_bipartite_instance(n, n)).width for n in SIZES
+        ]
+        rows.append((name, *widths))
+        assert max(widths) <= 2, f"{name} should have constant-width OBDDs on K_nn"
+        # All minimal matches have a single fact (the proof of Proposition 8.9).
+        matches = lineage_of(query, complete_bipartite_instance(3, 3)).clauses
+        assert all(len(match) == 1 for match in matches)
+    benchmark(width_on_bipartite, SIZES[-1])
+    print()
+    print(format_table(["query"] + [f"width on K_{n},{n}" for n in SIZES], rows))
+
+
+def test_e13_qp_still_grows_on_bipartite():
+    series = ScalingSeries("q_p width on K_nn")
+    for n in SIZES:
+        series.add(n, compile_query_to_obdd(qp(), complete_bipartite_instance(n, n)).width)
+    print()
+    print(format_table(["n", "q_p width"], series.rows()))
+    assert series.values[-1] > series.values[0], "q_p is not homomorphism-closed and keeps growing"

@@ -1,0 +1,49 @@
+"""E14 — Proposition 8.10: the disconnected CQ≠ q_d escapes the meta-dichotomy.
+
+q_d asks for two binary facts with disjoint domains.  Its OBDD width grows
+(roughly linearly with the treewidth) on the grid family, but stays bounded on
+a matching-free counterexample family (a family of disjoint stars, where no
+two facts ever have disjoint domains within a star, keeping the lineage simple)
+— so q_d satisfies neither side of the connected meta-dichotomy.
+"""
+
+from repro.data.instance import Fact, Instance
+from repro.data.signature import Signature
+from repro.experiments import ScalingSeries, format_table
+from repro.generators import grid_instance
+from repro.provenance import compile_query_to_obdd
+from repro.queries import qd
+
+SIZES = (2, 3, 4)
+
+
+def star_pair_instance(leaves: int) -> Instance:
+    """Two disjoint stars: unbounded degree but very simple q_d lineage."""
+    facts = [Fact("E", ("c1", f"l{i}")) for i in range(leaves)]
+    facts += [Fact("E", ("c2", f"m{i}")) for i in range(leaves)]
+    return Instance(facts, Signature([("E", 2)]))
+
+
+def width_on_grid(size: int) -> int:
+    return compile_query_to_obdd(qd(), grid_instance(size, size)).width
+
+
+def test_e14_qd_width_grows_on_grids(benchmark):
+    grid_series = ScalingSeries("q_d width on n x n grids")
+    for size in SIZES:
+        grid_series.add(size, width_on_grid(size))
+    benchmark(width_on_grid, SIZES[-1])
+    print()
+    print(format_table(["grid side", "q_d OBDD width"], grid_series.rows()))
+    assert grid_series.values[-1] > grid_series.values[0]
+
+
+def test_e14_qd_width_moderate_on_star_family():
+    star_series = ScalingSeries("q_d width on disjoint stars")
+    for leaves in (3, 6, 9, 12):
+        star_series.add(leaves, compile_query_to_obdd(qd(), star_pair_instance(leaves)).width)
+    print()
+    print(format_table(["leaves per star", "q_d OBDD width"], star_series.rows()))
+    assert star_series.is_roughly_constant(tolerance=2.5), (
+        "on the star family the q_d lineage stays simple even though degrees grow"
+    )

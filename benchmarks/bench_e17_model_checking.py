@@ -1,0 +1,69 @@
+"""E17 — Table 1 landscape: MSO model checking is linear on bounded treewidth.
+
+Model checking of automaton-defined MSO properties (matching violation,
+threshold, parity) on bounded-treewidth instances of growing size is a single
+bottom-up pass; we chart its near-linear cost, and contrast the cost of the
+*provenance pipeline* on the bounded-treewidth family with the same pipeline
+on the grid family, where the per-node state sets and the compiled OBDDs blow
+up with the width (the Table 1 / Theorem 5.2 contrast).
+"""
+
+import time
+
+from repro.experiments import ScalingSeries, classify_growth, format_table
+from repro.generators import directed_path_instance, grid_instance
+from repro.provenance import (
+    incident_pair_automaton,
+    model_check,
+    parity_automaton,
+    provenance,
+    threshold_automaton,
+    tree_encoding,
+)
+
+SIZES = (16, 32, 64, 128)
+
+
+def model_check_all(n: int) -> bool:
+    instance = directed_path_instance(n)
+    encoding = tree_encoding(instance)
+    results = [
+        model_check(incident_pair_automaton(), encoding),
+        model_check(threshold_automaton(3), encoding),
+        model_check(parity_automaton("E"), encoding),
+    ]
+    return all(isinstance(result, bool) for result in results)
+
+
+def test_e17_model_checking_linear(benchmark):
+    series = ScalingSeries("model-checking time on paths (s)")
+    for n in SIZES:
+        start = time.perf_counter()
+        model_check_all(n)
+        series.add(n, time.perf_counter() - start)
+    benchmark(model_check_all, SIZES[-1])
+    print()
+    print(format_table(["path length", "seconds"], [(int(n), round(v, 5)) for n, v in series.rows()]))
+    print("growth:", classify_growth(series))
+    assert series.loglog_slope() < 2.0
+
+
+def test_e17_state_blowup_on_grids():
+    bounded = ScalingSeries("max states per node on 2 x n ladders")
+    unbounded = ScalingSeries("max states per node on n x n grids")
+    for n in (2, 3, 4):
+        ladder = tree_encoding(grid_instance(2, n + 2))
+        grid = tree_encoding(grid_instance(n, n))
+        bounded.add(n, provenance(incident_pair_automaton(), ladder).max_states_per_node)
+        unbounded.add(n, provenance(incident_pair_automaton(), grid).max_states_per_node)
+    print()
+    print(
+        format_table(
+            ["n", "ladder max states", "grid max states"],
+            [
+                (int(n), int(b), int(u))
+                for (n, b), (_, u) in zip(bounded.rows(), unbounded.rows())
+            ],
+        )
+    )
+    assert unbounded.values[-1] > bounded.values[-1]

@@ -1,0 +1,56 @@
+"""E19 (extension) — probabilistic XML as a treelike use case (introduction, [11]).
+
+Tree-pattern probability on PrXML{ind} documents through the lineage/OBDD
+pipeline: documents are trees (treewidth 1), so the pipeline scales gently
+with the document size, and on small documents it agrees exactly with
+possible-world enumeration, whose cost doubles with every uncertain edge.
+"""
+
+import time
+
+from repro.data.gaifman import instance_treewidth
+from repro.data.pxml import (
+    pattern,
+    pattern_probability,
+    pattern_probability_brute_force,
+    random_pxml_document,
+)
+from repro.experiments import ScalingSeries, classify_growth, format_table
+
+DEPTHS = (1, 2, 3, 4)
+QUERY = pattern("a", (pattern("b"), "descendant"))
+
+
+def lineage_probability(depth: int):
+    document = random_pxml_document(depth=depth, fanout=2, seed=depth)
+    return pattern_probability(document, QUERY)
+
+
+def test_e19_pxml_pattern_probability(benchmark):
+    agreement_checked = False
+    time_series = ScalingSeries("lineage route time (s)")
+    size_series = ScalingSeries("document size")
+    for depth in DEPTHS:
+        document = random_pxml_document(depth=depth, fanout=2, seed=depth)
+        assert instance_treewidth(document.to_instance()) <= 1
+        start = time.perf_counter()
+        value = pattern_probability(document, QUERY)
+        time_series.add(depth, time.perf_counter() - start)
+        size_series.add(depth, len(document))
+        assert 0 <= value <= 1
+        if depth <= 2:
+            assert value == pattern_probability_brute_force(document, QUERY)
+            agreement_checked = True
+    assert agreement_checked
+    benchmark(lineage_probability, DEPTHS[-1])
+    print()
+    print(
+        format_table(
+            ["depth", "document nodes", "seconds"],
+            [
+                (int(d), int(s), round(t, 5))
+                for (d, s), (_, t) in zip(size_series.rows(), time_series.rows())
+            ],
+        )
+    )
+    print("lineage-route growth:", classify_growth(time_series))

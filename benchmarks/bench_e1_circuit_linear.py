@@ -1,0 +1,29 @@
+"""E1 — Table 2, "bounded-tw / MSO / circuit / O(n)" (Theorem 6.3, [2] Thm 4.2).
+
+We build the lineage circuit of an MSO property (the matching-violation
+automaton, i.e. q_p) on treewidth-1 instances of growing size and check that
+the circuit size grows linearly with the instance.
+"""
+
+from repro.experiments import ScalingSeries, classify_growth, format_table
+from repro.generators import directed_path_instance
+from repro.provenance import incident_pair_automaton, provenance_circuit, tree_encoding
+
+SIZES = (10, 20, 40, 80)
+
+
+def build_circuit(n: int):
+    instance = directed_path_instance(n)
+    encoding = tree_encoding(instance)
+    return provenance_circuit(incident_pair_automaton(), encoding)
+
+
+def test_e1_circuit_size_is_linear(benchmark):
+    series = ScalingSeries("lineage circuit size on paths")
+    for n in SIZES:
+        series.add(n, build_circuit(n).size)
+    benchmark(build_circuit, SIZES[-1])
+    print()
+    print(format_table(["|I| (facts)", "circuit size"], series.rows()))
+    print("growth:", classify_growth(series))
+    assert series.loglog_slope() < 1.3, "circuit size should grow linearly on bounded-treewidth instances"

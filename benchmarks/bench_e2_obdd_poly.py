@@ -1,0 +1,33 @@
+"""E2 — Table 2, "bounded-tw / MSO / OBDD / O(poly(n))" (Theorem 6.5).
+
+OBDD size for the lineage of q_p on a bounded-treewidth family (ladders:
+2 x n grids, treewidth 2) of growing size: the size should stay polynomial
+(low log-log slope), in contrast with the unbounded-treewidth blow-up of E11.
+"""
+
+from repro.experiments import ScalingSeries, classify_growth, format_table
+from repro.generators import grid_instance
+from repro.provenance import compile_query_to_obdd
+from repro.queries import qp
+
+LENGTHS = (3, 5, 7, 9)
+
+
+def compile_on_ladder(length: int):
+    return compile_query_to_obdd(qp(), grid_instance(2, length))
+
+
+def test_e2_obdd_size_polynomial_on_bounded_treewidth(benchmark):
+    series = ScalingSeries("OBDD size on 2 x n ladders")
+    width_series = ScalingSeries("OBDD width on 2 x n ladders")
+    for length in LENGTHS:
+        compiled = compile_on_ladder(length)
+        series.add(length, compiled.size)
+        width_series.add(length, compiled.width)
+    benchmark(compile_on_ladder, LENGTHS[-1])
+    print()
+    print(format_table(["ladder length", "OBDD size"], series.rows()))
+    print(format_table(["ladder length", "OBDD width"], width_series.rows()))
+    print("size growth:", classify_growth(series))
+    assert series.loglog_slope() < 2.0, "OBDD size should stay polynomial (near-linear) here"
+    assert width_series.is_roughly_constant(tolerance=3.0), "width stays bounded on bounded treewidth"

@@ -1,0 +1,26 @@
+"""E3 — Table 2, "bounded-pw / MSO / OBDD of constant width" (Theorem 6.7).
+
+OBDD width for q_p on bounded-pathwidth instances (directed paths) of growing
+size, under the path-decomposition variable order: the width must not grow.
+"""
+
+from repro.experiments import ScalingSeries, format_table
+from repro.generators import directed_path_instance
+from repro.provenance import compile_query_to_obdd
+from repro.queries import qp
+
+SIZES = (5, 10, 20, 40)
+
+
+def compile_on_path(n: int):
+    return compile_query_to_obdd(qp(), directed_path_instance(n), use_path_decomposition=True)
+
+
+def test_e3_obdd_width_constant_on_bounded_pathwidth(benchmark):
+    series = ScalingSeries("OBDD width on directed paths")
+    for n in SIZES:
+        series.add(n, compile_on_path(n).width)
+    benchmark(compile_on_path, SIZES[-1])
+    print()
+    print(format_table(["path length", "OBDD width"], series.rows()))
+    assert max(series.values) == min(series.values), "OBDD width must be constant on bounded pathwidth"

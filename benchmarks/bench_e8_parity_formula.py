@@ -1,0 +1,51 @@
+"""E8 — Table 2 lower bounds, Proposition 7.3: MSO lineage needs Ω(n²) formulas.
+
+The MSO query of Proposition 7.3 computes (on worlds with all edges present)
+the parity of the kept L-facts on the treewidth-1 labelled-line family.  Its
+formula representations require Ω(n²) leaves; the recursive XOR formula meets
+that bound, while circuits (and the automaton-built d-DNNF) stay linear.
+"""
+
+from repro.booleans.formula import parity_circuit, parity_formula
+from repro.experiments import ScalingSeries, format_table
+from repro.generators import labelled_line_instance
+from repro.provenance import parity_automaton, provenance_dnnf, tree_encoding
+
+SIZES = (8, 16, 32, 64)
+
+
+def parity_formula_size(n: int) -> int:
+    return parity_formula([f"x{i}" for i in range(n)]).leaf_size
+
+
+def test_e8_parity_formula_quadratic_circuit_linear(benchmark):
+    formula_series = ScalingSeries("parity formula leaves")
+    circuit_series = ScalingSeries("parity circuit gates")
+    dnnf_series = ScalingSeries("parity d-DNNF size (automaton construction)")
+    normalized = ScalingSeries("leaves / n^2")
+    for n in SIZES:
+        leaves = parity_formula_size(n)
+        formula_series.add(n, leaves)
+        normalized.add(n, leaves / n**2)
+        circuit_series.add(n, parity_circuit([f"x{i}" for i in range(n)]).size)
+        encoding = tree_encoding(labelled_line_instance(n))
+        dnnf_series.add(n, provenance_dnnf(parity_automaton("L"), encoding).size)
+    benchmark(parity_formula_size, SIZES[-1])
+    print()
+    print(
+        format_table(
+            ["n", "formula leaves", "leaves / n^2", "circuit gates", "d-DNNF size"],
+            [
+                (int(n), int(leaves), round(ratio, 3), int(gates), int(dnnf))
+                for (n, leaves), (_, ratio), (_, gates), (_, dnnf) in zip(
+                    formula_series.rows(),
+                    normalized.rows(),
+                    circuit_series.rows(),
+                    dnnf_series.rows(),
+                )
+            ],
+        )
+    )
+    assert 1.7 <= formula_series.loglog_slope() <= 2.3, "formula size is quadratic"
+    assert circuit_series.loglog_slope() < 1.3, "circuit size is linear"
+    assert dnnf_series.loglog_slope() < 1.3, "d-DNNF size is linear (Theorem 6.11)"

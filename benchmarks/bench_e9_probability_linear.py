@@ -1,0 +1,45 @@
+"""E9 — Theorem 4.2 upper bound: ra-linear probability evaluation on treelike instances.
+
+We time the automaton-based probability evaluation of the matching-violation
+property on treewidth-1 instances of growing size and check that the measured
+cost grows roughly linearly (low log-log slope); brute force on the smallest
+size cross-checks correctness.
+"""
+
+import time
+from fractions import Fraction
+
+from repro.data.tid import ProbabilisticInstance
+from repro.experiments import ScalingSeries, classify_growth, format_table
+from repro.generators import directed_path_instance
+from repro.probability import brute_force_probability
+from repro.provenance import incident_pair_automaton, tree_encoding
+from repro.provenance.automata import automaton_probability
+from repro.queries import qp
+
+SIZES = (8, 16, 32, 64)
+
+
+def evaluate(n: int) -> Fraction:
+    instance = directed_path_instance(n)
+    tid = ProbabilisticInstance.uniform(instance, Fraction(1, 3))
+    encoding = tree_encoding(instance)
+    return automaton_probability(incident_pair_automaton(), encoding, tid)
+
+
+def test_e9_probability_evaluation_linear_time(benchmark):
+    # Correctness on a small instance against brute force and the UCQ q_p.
+    small = directed_path_instance(5)
+    tid_small = ProbabilisticInstance.uniform(small, Fraction(1, 3))
+    assert evaluate(5) == brute_force_probability(qp(), tid_small)
+
+    series = ScalingSeries("probability evaluation time (s)")
+    for n in SIZES:
+        start = time.perf_counter()
+        evaluate(n)
+        series.add(n, time.perf_counter() - start)
+    benchmark(evaluate, SIZES[-1])
+    print()
+    print(format_table(["|I|", "seconds"], [(int(n), round(v, 5)) for n, v in series.rows()]))
+    print("growth:", classify_growth(series))
+    assert series.loglog_slope() < 2.0, "evaluation should scale near-linearly on treelike instances"

@@ -1,0 +1,8 @@
+"""Benchmark bootstrap: make ``src/`` importable even without installation."""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

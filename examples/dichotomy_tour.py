@@ -1,0 +1,79 @@
+"""A tour of the paper's two dichotomies (Theorems 4.2, 8.1 and 8.7).
+
+This example walks through the limits side of the paper:
+
+1. treewidth-constructible families — bounded (paths, trees) vs unbounded
+   (grids) — and how the same query behaves on both;
+2. the OBDD-size dichotomy for the intricate UCQ≠ q_p;
+3. the meta-dichotomy: classifying queries as intricate or not, and showing
+   that non-intricate queries have easy unbounded-treewidth families.
+
+Run with::
+
+    python examples/dichotomy_tour.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.data import Signature, instance_treewidth
+from repro.generators import directed_path_instance, grid_instance, s_grid_instance
+from repro.provenance import compile_query_to_obdd
+from repro.queries import (
+    find_intricacy_counterexample,
+    is_intricate,
+    parse_cq,
+    qp,
+    two_incident_same_direction,
+    unsafe_rst,
+)
+
+RST_SIGNATURE = Signature([("R", 1), ("S", 2), ("T", 1)])
+
+
+def main() -> None:
+    print("=== 1. Two instance families ===")
+    for name, family in (
+        ("directed paths", [directed_path_instance(n) for n in (4, 8, 16)]),
+        ("n x n grids", [grid_instance(n, n) for n in (2, 3, 4)]),
+    ):
+        widths = [instance_treewidth(instance) for instance in family]
+        print(f"{name:>15}: treewidths {widths}")
+
+    print()
+    print("=== 2. The OBDD dichotomy for q_p (Theorem 8.1) ===")
+    print(f"q_p = {qp()}")
+    for n in (4, 8, 16):
+        width = compile_query_to_obdd(qp(), directed_path_instance(n), use_path_decomposition=True).width
+        print(f"  path of {n:>2} facts (pathwidth 1): OBDD width {width}")
+    for n in (2, 3, 4, 5):
+        width = compile_query_to_obdd(qp(), grid_instance(n, n)).width
+        print(f"  {n}x{n} grid (treewidth {n}):      OBDD width {width}")
+
+    print()
+    print("=== 3. The meta-dichotomy (Theorem 8.7) ===")
+    cases = [
+        ("q_p", qp(), None),
+        ("unsafe RST query", unsafe_rst(), RST_SIGNATURE),
+        ("E(x,y), E(y,z)", two_incident_same_direction(), None),
+        ("E(x,y), E(y,z), x != z", parse_cq("E(x, y), E(y, z), x != z"), None),
+    ]
+    for name, query, signature in cases:
+        intricate = is_intricate(query, signature)
+        print(f"  {name:28} intricate: {intricate}")
+        if not intricate:
+            witness = find_intricacy_counterexample(query, 0, signature or query.signature())
+            if witness is not None:
+                print(f"      witness line instance: {witness.line}")
+
+    print()
+    print("=== 4. Non-intricate queries are easy on some unbounded-treewidth family ===")
+    for n in (2, 3, 4):
+        width = compile_query_to_obdd(unsafe_rst(), s_grid_instance(n, n)).width
+        print(f"  RST query on the {n}x{n} S-grid (treewidth {instance_treewidth(s_grid_instance(n, n))}): OBDD width {width}")
+
+
+if __name__ == "__main__":
+    main()

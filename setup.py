@@ -1,0 +1,9 @@
+"""Setuptools shim so that ``pip install -e .`` works without the wheel package.
+
+All project metadata lives in ``pyproject.toml``; this file only exists to let
+pip fall back to the legacy editable-install path in offline environments.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,149 @@
+"""repro — Tractable Lineages on Treelike Instances.
+
+A faithful Python implementation of the constructions of Amarilli, Bourhis and
+Senellart, *Tractable Lineages on Treelike Instances: Limits and Extensions*
+(PODS 2016): relational instances and tuple-independent databases, tree/path
+decompositions and tree-depth, lineage representations (circuits, formulas,
+OBDDs, d-DNNFs), provenance constructions on tree encodings via deterministic
+tree automata, exact probability evaluation, the intricacy meta-dichotomy, and
+the unfolding technique for inversion-free (safe) queries.
+
+Quickstart::
+
+    from repro import (
+        ProbabilisticInstance, parse_cq, probability, rst_chain_instance,
+    )
+
+    instance = rst_chain_instance(4)
+    query = parse_cq("R(x), S(x, y), T(y)")
+    tid = ProbabilisticInstance.uniform(instance, 0.5)
+    print(probability(query, tid))
+"""
+
+from repro.booleans import FBDD, OBDD, BooleanCircuit, DNNF, Formula
+from repro.data import (
+    Fact,
+    Instance,
+    PXMLDocument,
+    ProbabilisticInstance,
+    Signature,
+    fact,
+    gaifman_graph,
+    graph_instance,
+    instance_pathwidth,
+    instance_tree_depth,
+    instance_treewidth,
+    pattern,
+    pattern_probability,
+    random_pxml_document,
+)
+from repro.data.io import load_instance, load_tid, save_instance
+from repro.generators import (
+    grid_instance,
+    labelled_line_instance,
+    probabilistic_xml_instance,
+    rst_chain_instance,
+    unary_instance,
+)
+from repro.probability import (
+    dissociation_bounds,
+    karp_luby_probability,
+    monte_carlo_probability,
+    probability,
+    safe_plan_probability,
+)
+from repro.provenance import (
+    compile_query_to_dnnf,
+    compile_query_to_obdd,
+    lineage_of,
+    provenance_dnnf,
+    tree_encoding,
+    ucq_lineage_dnnf,
+)
+from repro.queries import (
+    ConjunctiveQuery,
+    ConjunctiveRPQ,
+    UnionOfConjunctiveQueries,
+    c2rpq_lineage,
+    is_intricate,
+    is_inversion_free,
+    parse_cq,
+    parse_regex,
+    parse_ucq,
+    qp,
+    rpq_pairs,
+    two_incident_paths_query,
+)
+from repro.semirings import query_provenance_polynomial
+from repro.structure import (
+    clique_expression,
+    pathwidth,
+    tree_decomposition,
+    tree_depth,
+    treewidth,
+)
+from repro.unfold import unfold_instance, verify_unfolding
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BooleanCircuit",
+    "ConjunctiveQuery",
+    "ConjunctiveRPQ",
+    "DNNF",
+    "FBDD",
+    "Fact",
+    "Formula",
+    "Instance",
+    "OBDD",
+    "PXMLDocument",
+    "ProbabilisticInstance",
+    "Signature",
+    "UnionOfConjunctiveQueries",
+    "__version__",
+    "c2rpq_lineage",
+    "clique_expression",
+    "compile_query_to_dnnf",
+    "compile_query_to_obdd",
+    "dissociation_bounds",
+    "fact",
+    "gaifman_graph",
+    "graph_instance",
+    "grid_instance",
+    "instance_pathwidth",
+    "instance_tree_depth",
+    "instance_treewidth",
+    "is_intricate",
+    "is_inversion_free",
+    "karp_luby_probability",
+    "labelled_line_instance",
+    "lineage_of",
+    "load_instance",
+    "load_tid",
+    "monte_carlo_probability",
+    "parse_cq",
+    "parse_regex",
+    "parse_ucq",
+    "pathwidth",
+    "pattern",
+    "pattern_probability",
+    "probabilistic_xml_instance",
+    "probability",
+    "provenance_dnnf",
+    "qp",
+    "query_provenance_polynomial",
+    "random_pxml_document",
+    "rpq_pairs",
+    "rst_chain_instance",
+    "safe_plan_probability",
+    "save_instance",
+    "tree_decomposition",
+    "tree_depth",
+    "tree_encoding",
+    "treewidth",
+    "two_incident_paths_query",
+    "ucq_lineage_dnnf",
+    "unary_instance",
+    "unfold_instance",
+    "verify_unfolding",
+]

@@ -1,0 +1,45 @@
+"""Lineage representations: circuits, formulas, OBDDs, FBDDs, d-DNNFs."""
+
+from repro.booleans.circuit import BooleanCircuit, Gate, GateKind, circuit_from_function
+from repro.booleans.dnnf import DNNF, DNNFNode, dnnf_from_obdd
+from repro.booleans.fbdd import (
+    FBDD,
+    compile_circuit_to_fbdd,
+    fbdd_from_clauses,
+    fbdd_from_obdd,
+)
+from repro.booleans.formula import (
+    Formula,
+    circuit_to_formula,
+    minimal_formula_size,
+    parity_circuit,
+    parity_formula,
+    threshold_2_circuit,
+    threshold_2_formula,
+)
+from repro.booleans.obdd import FALSE_NODE, OBDD, TRUE_NODE, minimal_obdd_width
+
+__all__ = [
+    "BooleanCircuit",
+    "DNNF",
+    "DNNFNode",
+    "FALSE_NODE",
+    "FBDD",
+    "Formula",
+    "Gate",
+    "GateKind",
+    "OBDD",
+    "TRUE_NODE",
+    "circuit_from_function",
+    "circuit_to_formula",
+    "compile_circuit_to_fbdd",
+    "dnnf_from_obdd",
+    "fbdd_from_clauses",
+    "fbdd_from_obdd",
+    "minimal_formula_size",
+    "minimal_obdd_width",
+    "parity_circuit",
+    "parity_formula",
+    "threshold_2_circuit",
+    "threshold_2_formula",
+]

@@ -1,0 +1,307 @@
+"""Deterministic decomposable negation normal forms (d-DNNFs), Definition 6.10.
+
+A d-DNNF is a Boolean circuit where negation is applied only to inputs, the
+inputs of every AND gate depend on disjoint variables (decomposability), and
+the inputs of every OR gate are mutually exclusive (determinism).  Probability
+evaluation and (weighted) model counting are linear in a d-DNNF.
+
+We provide:
+
+* a :class:`DNNF` circuit class with structural checks for decomposability and
+  (semantic, exhaustive) determinism checks for testing;
+* linear-time probability evaluation and model counting assuming *smoothness
+  is not required*: probabilities are computed compositionally, and model
+  counts account for unmentioned variables explicitly;
+* conversion from OBDDs (an OBDD is an FBDD, which converts node-by-node);
+* conversion to a plain :class:`BooleanCircuit`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.booleans.circuit import BooleanCircuit
+from repro.errors import LineageError
+
+
+@dataclass(frozen=True)
+class DNNFNode:
+    """A node of a d-DNNF: 'lit' (payload = (variable, polarity)), 'const',
+    'and', or 'or'."""
+
+    kind: str
+    children: tuple[int, ...]
+    payload: object = None
+
+
+class DNNF:
+    """A d-DNNF circuit with an output node.
+
+    Nodes are created through ``literal`` / ``constant`` / ``conjunction`` /
+    ``disjunction`` and are checked for decomposability at construction time
+    (each node caches the set of variables it depends on).  Determinism of OR
+    gates is the caller's responsibility (it is a semantic property); the
+    constructions in :mod:`repro.provenance` guarantee it, and
+    :meth:`check_determinism` verifies it exhaustively for testing.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: list[DNNFNode] = []
+        self._variables: list[frozenset] = []  # per node: variables it depends on
+        self.output: int | None = None
+
+    # -- construction -----------------------------------------------------------
+
+    def _add(self, node: DNNFNode, variables: frozenset) -> int:
+        self._nodes.append(node)
+        self._variables.append(variables)
+        return len(self._nodes) - 1
+
+    def literal(self, variable: Hashable, positive: bool = True) -> int:
+        return self._add(DNNFNode("lit", (), (variable, bool(positive))), frozenset({variable}))
+
+    def constant(self, value: bool) -> int:
+        return self._add(DNNFNode("const", (), bool(value)), frozenset())
+
+    def conjunction(self, children: Sequence[int]) -> int:
+        children = tuple(children)
+        if not children:
+            return self.constant(True)
+        if len(children) == 1:
+            return children[0]
+        union: set = set()
+        for child in children:
+            child_vars = self._variables[child]
+            if union & child_vars:
+                raise LineageError(
+                    "AND children share variables; the node would not be decomposable"
+                )
+            union |= child_vars
+        return self._add(DNNFNode("and", children), frozenset(union))
+
+    def disjunction(self, children: Sequence[int]) -> int:
+        children = tuple(children)
+        if not children:
+            return self.constant(False)
+        if len(children) == 1:
+            return children[0]
+        union: set = set()
+        for child in children:
+            union |= self._variables[child]
+        return self._add(DNNFNode("or", children), frozenset(union))
+
+    def set_output(self, node: int) -> None:
+        if not 0 <= node < len(self._nodes):
+            raise LineageError(f"node id {node} out of range")
+        self.output = node
+
+    # -- accessors ---------------------------------------------------------------
+
+    def node(self, node_id: int) -> DNNFNode:
+        return self._nodes[node_id]
+
+    def variables_of(self, node_id: int) -> frozenset:
+        return self._variables[node_id]
+
+    @property
+    def size(self) -> int:
+        """Total number of nodes."""
+        return len(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def edge_count(self) -> int:
+        return sum(len(node.children) for node in self._nodes)
+
+    def variables(self) -> frozenset:
+        if self.output is None:
+            raise LineageError("d-DNNF has no output")
+        return self._variables[self.output]
+
+    def reachable(self) -> list[int]:
+        if self.output is None:
+            raise LineageError("d-DNNF has no output")
+        seen: set[int] = set()
+        stack = [self.output]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._nodes[current].children)
+        return sorted(seen)
+
+    def __repr__(self) -> str:
+        return f"DNNF({len(self)} nodes)"
+
+    # -- semantics ----------------------------------------------------------------
+
+    def evaluate(self, valuation: Mapping[Hashable, bool], node: int | None = None) -> bool:
+        root = self.output if node is None else node
+        if root is None:
+            raise LineageError("d-DNNF has no output")
+        cache: dict[int, bool] = {}
+
+        def walk(current: int) -> bool:
+            if current in cache:
+                return cache[current]
+            data = self._nodes[current]
+            if data.kind == "lit":
+                variable, positive = data.payload
+                value = bool(valuation[variable])
+                result = value if positive else not value
+            elif data.kind == "const":
+                result = bool(data.payload)
+            elif data.kind == "and":
+                result = all(walk(child) for child in data.children)
+            else:
+                result = any(walk(child) for child in data.children)
+            cache[current] = result
+            return result
+
+        return walk(root)
+
+    def probability(self, probabilities: Mapping[Hashable, Fraction | float]) -> Fraction:
+        """Exact probability under independent variables (linear time).
+
+        Correctness relies on decomposability (checked structurally) and
+        determinism of OR nodes (guaranteed by our constructions).
+        """
+        if self.output is None:
+            raise LineageError("d-DNNF has no output")
+        probs = {v: p if isinstance(p, Fraction) else Fraction(p) for v, p in probabilities.items()}
+        missing = self.variables() - set(probs)
+        if missing:
+            raise LineageError(f"missing probabilities for {sorted(map(repr, missing))[:3]}")
+        cache: dict[int, Fraction] = {}
+
+        def walk(current: int) -> Fraction:
+            if current in cache:
+                return cache[current]
+            data = self._nodes[current]
+            if data.kind == "lit":
+                variable, positive = data.payload
+                result = probs[variable] if positive else 1 - probs[variable]
+            elif data.kind == "const":
+                result = Fraction(1) if data.payload else Fraction(0)
+            elif data.kind == "and":
+                result = Fraction(1)
+                for child in data.children:
+                    result *= walk(child)
+            else:
+                result = Fraction(0)
+                for child in data.children:
+                    result += walk(child)
+            cache[current] = result
+            return result
+
+        result = walk(self.output)
+        if not 0 <= result <= 1:
+            raise LineageError(
+                "probability outside [0, 1]; the circuit is not deterministic/decomposable"
+            )
+        return result
+
+    def model_count(self, all_variables: Iterable[Hashable] | None = None) -> int:
+        """Number of satisfying assignments over ``all_variables``.
+
+        Defaults to the variables mentioned by the circuit.  Unmentioned
+        variables double the count.
+        """
+        variables = set(all_variables) if all_variables is not None else set(self.variables())
+        extra = variables - set(self.variables())
+        probability = self.probability({v: Fraction(1, 2) for v in self.variables()})
+        count = probability * (1 << len(self.variables()))
+        if count.denominator != 1:
+            raise LineageError("non-integer model count; determinism is violated")
+        return int(count) << len(extra)
+
+    # -- verification ---------------------------------------------------------------
+
+    def check_decomposability(self) -> bool:
+        """Re-verify decomposability of every reachable AND node."""
+        for node_id in self.reachable():
+            data = self._nodes[node_id]
+            if data.kind != "and":
+                continue
+            union: set = set()
+            for child in data.children:
+                child_vars = self._variables[child]
+                if union & child_vars:
+                    return False
+                union |= child_vars
+        return True
+
+    def check_determinism(self, max_variables: int = 16) -> bool:
+        """Exhaustively verify that OR children are mutually exclusive (testing only)."""
+        names = sorted(self.variables(), key=repr)
+        if len(names) > max_variables:
+            raise LineageError("too many variables for exhaustive determinism check")
+        for mask in range(1 << len(names)):
+            valuation = {name: bool(mask >> i & 1) for i, name in enumerate(names)}
+            for node_id in self.reachable():
+                data = self._nodes[node_id]
+                if data.kind != "or":
+                    continue
+                true_children = [c for c in data.children if self.evaluate(valuation, c)]
+                if len(true_children) > 1:
+                    return False
+        return True
+
+    # -- conversions -----------------------------------------------------------------
+
+    def to_circuit(self) -> BooleanCircuit:
+        circuit = BooleanCircuit()
+        mapping: dict[int, int] = {}
+        for node_id in range(len(self._nodes)):
+            data = self._nodes[node_id]
+            if data.kind == "lit":
+                variable, positive = data.payload
+                gate = circuit.variable(variable)
+                mapping[node_id] = gate if positive else circuit.negation(gate)
+            elif data.kind == "const":
+                mapping[node_id] = circuit.constant(bool(data.payload))
+            elif data.kind == "and":
+                mapping[node_id] = circuit.conjunction([mapping[c] for c in data.children])
+            else:
+                mapping[node_id] = circuit.disjunction([mapping[c] for c in data.children])
+        if self.output is not None:
+            circuit.set_output(mapping[self.output])
+        return circuit
+
+
+def dnnf_from_obdd(obdd, root: int) -> DNNF:
+    """Convert an OBDD into a d-DNNF of proportional size.
+
+    Each decision node on variable x with children (low, high) becomes
+    ``(x AND high') OR (NOT x AND low')``: the OR is deterministic because the
+    two disjuncts disagree on x, and the ANDs are decomposable because x does
+    not occur below itself in an ordered BDD.
+    """
+    from repro.booleans.obdd import FALSE_NODE, TRUE_NODE
+
+    dnnf = DNNF()
+    cache: dict[int, int] = {}
+
+    def convert(node: int) -> int:
+        if node == FALSE_NODE:
+            return dnnf.constant(False)
+        if node == TRUE_NODE:
+            return dnnf.constant(True)
+        if node in cache:
+            return cache[node]
+        level, low, high = obdd._nodes[node]
+        variable = obdd.variable_order[level]
+        low_node = convert(low)
+        high_node = convert(high)
+        positive = dnnf.conjunction([dnnf.literal(variable, True), high_node]) if high != FALSE_NODE else dnnf.constant(False)
+        negative = dnnf.conjunction([dnnf.literal(variable, False), low_node]) if low != FALSE_NODE else dnnf.constant(False)
+        result = dnnf.disjunction([positive, negative])
+        cache[node] = result
+        return result
+
+    dnnf.set_output(convert(root))
+    return dnnf

@@ -1,0 +1,362 @@
+"""Ordered Binary Decision Diagrams (Definition 6.4).
+
+Reduced OBDDs with hash-consing over a fixed variable order, supporting the
+classical ``apply`` combination, restriction, probability evaluation, model
+counting, size and *width* measurements (the width measure of Definition 6.4:
+the maximum number of nodes at any level, a level being indexed by a prefix of
+the variable order).
+
+The OBDD manager owns the node table; OBDD nodes are integers.  Terminal
+nodes are 0 (false) and 1 (true).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Hashable, Iterable, Mapping, Sequence
+
+from repro.errors import CompilationError, LineageError
+
+FALSE_NODE = 0
+TRUE_NODE = 1
+
+
+class OBDD:
+    """A reduced OBDD manager over a fixed variable order.
+
+    Parameters
+    ----------
+    variable_order:
+        The total order Pi on variables; all functions managed by this OBDD
+        use (a subset of) these variables, tested in this order.
+    """
+
+    def __init__(self, variable_order: Sequence[Hashable]) -> None:
+        order = list(variable_order)
+        if len(set(order)) != len(order):
+            raise LineageError("variable order contains duplicates")
+        self._order: list[Hashable] = order
+        self._level: dict[Hashable, int] = {v: i for i, v in enumerate(order)}
+        # node id -> (level, low child, high child); ids 0/1 are terminals.
+        self._nodes: list[tuple[int, int, int]] = [(-1, -1, -1), (-1, -1, -1)]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._apply_cache: dict[tuple, int] = {}
+        self.root: int = FALSE_NODE
+
+    # -- construction ----------------------------------------------------------
+
+    @property
+    def variable_order(self) -> tuple[Hashable, ...]:
+        return tuple(self._order)
+
+    def level_of(self, variable: Hashable) -> int:
+        try:
+            return self._level[variable]
+        except KeyError:
+            raise LineageError(f"variable {variable!r} not in the OBDD order") from None
+
+    def make_node(self, level: int, low: int, high: int) -> int:
+        """The (hash-consed) node testing the variable at ``level``."""
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            self._nodes.append(key)
+            node = len(self._nodes) - 1
+            self._unique[key] = node
+        return node
+
+    def terminal(self, value: bool) -> int:
+        return TRUE_NODE if value else FALSE_NODE
+
+    def literal(self, variable: Hashable, positive: bool = True) -> int:
+        level = self.level_of(variable)
+        if positive:
+            return self.make_node(level, FALSE_NODE, TRUE_NODE)
+        return self.make_node(level, TRUE_NODE, FALSE_NODE)
+
+    # -- boolean operations ------------------------------------------------------
+
+    def apply_not(self, node: int) -> int:
+        cached = self._apply_cache.get(("not", node))
+        if cached is not None:
+            return cached
+        if node == FALSE_NODE:
+            result = TRUE_NODE
+        elif node == TRUE_NODE:
+            result = FALSE_NODE
+        else:
+            level, low, high = self._nodes[node]
+            result = self.make_node(level, self.apply_not(low), self.apply_not(high))
+        self._apply_cache[("not", node)] = result
+        return result
+
+    def apply_and(self, left: int, right: int) -> int:
+        return self._apply_binary("and", left, right)
+
+    def apply_or(self, left: int, right: int) -> int:
+        return self._apply_binary("or", left, right)
+
+    def _apply_binary(self, op: str, left: int, right: int) -> int:
+        if op == "and":
+            if left == FALSE_NODE or right == FALSE_NODE:
+                return FALSE_NODE
+            if left == TRUE_NODE:
+                return right
+            if right == TRUE_NODE:
+                return left
+        else:
+            if left == TRUE_NODE or right == TRUE_NODE:
+                return TRUE_NODE
+            if left == FALSE_NODE:
+                return right
+            if right == FALSE_NODE:
+                return left
+        if left == right:
+            return left
+        key = (op, left, right) if left <= right else (op, right, left)
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        left_level = self._nodes[left][0] if left > TRUE_NODE else len(self._order)
+        right_level = self._nodes[right][0] if right > TRUE_NODE else len(self._order)
+        level = min(left_level, right_level)
+        if left_level == level:
+            left_low, left_high = self._nodes[left][1], self._nodes[left][2]
+        else:
+            left_low = left_high = left
+        if right_level == level:
+            right_low, right_high = self._nodes[right][1], self._nodes[right][2]
+        else:
+            right_low = right_high = right
+        result = self.make_node(
+            level,
+            self._apply_binary(op, left_low, right_low),
+            self._apply_binary(op, left_high, right_high),
+        )
+        self._apply_cache[key] = result
+        return result
+
+    def conjunction(self, nodes: Iterable[int]) -> int:
+        result = TRUE_NODE
+        for node in nodes:
+            result = self.apply_and(result, node)
+        return result
+
+    def disjunction(self, nodes: Iterable[int]) -> int:
+        result = FALSE_NODE
+        for node in nodes:
+            result = self.apply_or(result, node)
+        return result
+
+    def restrict(self, node: int, variable: Hashable, value: bool) -> int:
+        """The cofactor of ``node`` with ``variable`` fixed to ``value``."""
+        target = self.level_of(variable)
+        cache: dict[int, int] = {}
+
+        def walk(current: int) -> int:
+            if current <= TRUE_NODE:
+                return current
+            if current in cache:
+                return cache[current]
+            level, low, high = self._nodes[current]
+            if level == target:
+                result = high if value else low
+            elif level > target:
+                result = current
+            else:
+                result = self.make_node(level, walk(low), walk(high))
+            cache[current] = result
+            return result
+
+        return walk(node)
+
+    # -- semantics ---------------------------------------------------------------
+
+    def evaluate(self, node: int, valuation: Mapping[Hashable, bool]) -> bool:
+        current = node
+        while current > TRUE_NODE:
+            level, low, high = self._nodes[current]
+            variable = self._order[level]
+            current = high if valuation.get(variable, False) else low
+        return current == TRUE_NODE
+
+    def probability(self, node: int, probabilities: Mapping[Hashable, Fraction | float]) -> Fraction:
+        """Exact probability that the function is true under independent variables."""
+        probs = {v: Fraction(p) if not isinstance(p, Fraction) else p for v, p in probabilities.items()}
+        cache: dict[int, Fraction] = {FALSE_NODE: Fraction(0), TRUE_NODE: Fraction(1)}
+
+        def walk(current: int) -> Fraction:
+            if current in cache:
+                return cache[current]
+            level, low, high = self._nodes[current]
+            variable = self._order[level]
+            if variable not in probs:
+                raise LineageError(f"missing probability for variable {variable!r}")
+            p = probs[variable]
+            result = p * walk(high) + (1 - p) * walk(low)
+            cache[current] = result
+            return result
+
+        return walk(node)
+
+    def model_count(self, node: int) -> int:
+        """Number of satisfying assignments over the *full* variable order."""
+        n = len(self._order)
+        cache: dict[int, int] = {}
+
+        def walk(current: int, level: int) -> int:
+            if current == FALSE_NODE:
+                return 0
+            if current == TRUE_NODE:
+                return 1 << (n - level)
+            node_level = self._nodes[current][0]
+            key = current
+            if key in cache:
+                return cache[key] << (node_level - level)
+            _, low, high = self._nodes[current]
+            count = walk(low, node_level + 1) + walk(high, node_level + 1)
+            cache[key] = count
+            return count << (node_level - level)
+
+        return walk(node, 0)
+
+    # -- measurements --------------------------------------------------------------
+
+    def reachable_nodes(self, node: int) -> set[int]:
+        seen: set[int] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current in seen or current <= TRUE_NODE:
+                continue
+            seen.add(current)
+            _, low, high = self._nodes[current]
+            stack.extend((low, high))
+        return seen
+
+    def size(self, node: int) -> int:
+        """Number of decision nodes reachable from ``node`` (terminals excluded)."""
+        return len(self.reachable_nodes(node))
+
+    def width(self, node: int) -> int:
+        """The width of the OBDD rooted at ``node`` (Definition 6.4).
+
+        The level of a node is the index of its variable in the order; the
+        width is the maximum, over levels, of the number of *distinct
+        subfunctions* reachable after fixing the variables of a strict prefix
+        of the order.  For a reduced OBDD this equals, for each prefix length
+        L, the number of distinct nodes (or terminals) reached by following
+        all valuations of the first L variables — equivalently the number of
+        reduced nodes whose variable level is >= L that have an incoming edge
+        from a node of level < L (plus the root when its level >= L).  We
+        compute it by a sweep over the levels.
+        """
+        if node <= TRUE_NODE:
+            return 1
+        reachable = self.reachable_nodes(node)
+        # edges[(source_level, target)] — for each decision node, where its children land
+        cut_counts: dict[int, set[int]] = {}
+        n = len(self._order)
+
+        def landing(target: int) -> int:
+            return self._nodes[target][0] if target > TRUE_NODE else n
+
+        # The function "live" at cut L (between variable L-1 and L) is given by
+        # the set of nodes that are landing points of edges crossing the cut,
+        # plus the root if its level >= L... A node "target" is live at cut L if
+        # some edge (source -> target) has source_level < L <= landing(target),
+        # or target is the root and L <= landing(root).
+        incoming: list[tuple[int, int]] = []  # (source_level, target)
+        for current in reachable:
+            level, low, high = self._nodes[current]
+            incoming.append((level, low))
+            incoming.append((level, high))
+        width = 1
+        root_landing = landing(node)
+        for cut in range(1, n + 1):
+            live: set[int] = set()
+            if cut <= root_landing:
+                live.add(node)
+            for source_level, target in incoming:
+                if source_level < cut <= landing(target):
+                    live.add(target)
+            width = max(width, len(live))
+        return width
+
+    def node_table(self, node: int) -> list[tuple[int, Hashable, int, int]]:
+        """A readable dump of the reachable nodes: (id, variable, low, high)."""
+        return [
+            (current, self._order[self._nodes[current][0]], self._nodes[current][1], self._nodes[current][2])
+            for current in sorted(self.reachable_nodes(node))
+        ]
+
+    def __repr__(self) -> str:
+        return f"OBDD(order of {len(self._order)} variables, {len(self._nodes) - 2} nodes allocated)"
+
+    # -- building from other representations -----------------------------------------
+
+    def build_from_circuit(self, circuit) -> int:
+        """Compile a :class:`BooleanCircuit` bottom-up with ``apply``.
+
+        Every circuit variable must appear in this OBDD's order.  Returns the
+        root node of the compiled function.
+        """
+        from repro.booleans.circuit import GateKind
+
+        if circuit.output is None:
+            raise CompilationError("circuit has no output gate")
+        missing = set(circuit.variables()) - set(self._order)
+        if missing:
+            raise CompilationError(f"circuit variables missing from OBDD order: {sorted(map(repr, missing))[:3]}")
+        values: dict[int, int] = {}
+        for gate_id in circuit.reachable_gates():
+            gate = circuit.gate(gate_id)
+            if gate.kind is GateKind.VAR:
+                values[gate_id] = self.literal(gate.payload)
+            elif gate.kind is GateKind.CONST:
+                values[gate_id] = self.terminal(bool(gate.payload))
+            elif gate.kind is GateKind.NOT:
+                values[gate_id] = self.apply_not(values[gate.inputs[0]])
+            elif gate.kind is GateKind.AND:
+                values[gate_id] = self.conjunction(values[i] for i in gate.inputs)
+            else:
+                values[gate_id] = self.disjunction(values[i] for i in gate.inputs)
+        self.root = values[circuit.output]
+        return self.root
+
+    def build_from_clauses(self, clauses: Iterable[Iterable[Hashable]]) -> int:
+        """Compile a monotone DNF given as an iterable of variable sets."""
+        terms = []
+        for clause in clauses:
+            terms.append(self.conjunction(self.literal(v) for v in clause))
+        self.root = self.disjunction(terms)
+        return self.root
+
+
+def minimal_obdd_width(
+    variables: Sequence[Hashable],
+    build: Callable[[OBDD], int],
+    orders: Iterable[Sequence[Hashable]] | None = None,
+) -> int:
+    """The minimum OBDD width of a function over a set of candidate orders.
+
+    ``build`` receives a fresh OBDD manager and must return the root node of
+    the function in that manager.  By default all permutations of the
+    variables are tried (factorial; tiny variable counts only).
+    """
+    import itertools
+
+    if orders is None:
+        orders = itertools.permutations(list(variables))
+    best: int | None = None
+    for order in orders:
+        manager = OBDD(list(order))
+        root = build(manager)
+        width = manager.width(root)
+        if best is None or width < best:
+            best = width
+    if best is None:
+        raise CompilationError("no candidate variable orders supplied")
+    return best

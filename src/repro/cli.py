@@ -1,0 +1,206 @@
+"""Command-line interface for the library.
+
+Four subcommands cover the everyday workflow on files produced by
+:mod:`repro.data.io` (JSON or CSV instances, optionally with probabilities):
+
+``info``
+    Structural report: size, domain, signature, treewidth, pathwidth,
+    tree-depth.
+``lineage``
+    Compile the lineage of a UCQ≠ (given in the textual syntax of
+    :func:`repro.queries.parser.parse_ucq`) and report circuit / OBDD /
+    d-DNNF sizes, optionally emitting Graphviz DOT.
+``probability``
+    Exact (or approximate) probability evaluation of a UCQ≠ on a TID file.
+``convert``
+    Convert between the JSON and CSV instance formats.
+
+Run ``python -m repro.cli --help`` (or the ``repro`` console script) for
+details; every subcommand prints to stdout and returns a conventional exit
+code, so the CLI is scriptable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from fractions import Fraction
+from pathlib import Path
+from typing import Sequence
+
+from repro.data.gaifman import instance_pathwidth, instance_tree_depth, instance_treewidth
+from repro.data.io import (
+    circuit_to_dot,
+    dnnf_to_dot,
+    instance_to_csv,
+    instance_to_dict,
+    load_instance_csv,
+    load_tid,
+    obdd_to_dot,
+    save_instance,
+    save_instance_csv,
+    tid_to_dict,
+)
+from repro.data.tid import ProbabilisticInstance
+from repro.errors import ReproError
+
+
+def _load(path: str) -> ProbabilisticInstance:
+    """Load a JSON or CSV file as a TID instance (probabilities default to 1)."""
+    location = Path(path)
+    if not location.exists():
+        raise ReproError(f"no such file: {path}")
+    if location.suffix.lower() == ".csv":
+        return load_instance_csv(location)
+    return load_tid(location)
+
+
+def _add_instance_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("instance", help="path to a JSON or CSV instance file")
+
+
+def _command_info(arguments: argparse.Namespace) -> int:
+    tid = _load(arguments.instance)
+    instance = tid.instance
+    print(f"facts: {len(instance)}")
+    print(f"domain size: {instance.domain_size}")
+    relations = ", ".join(
+        f"{relation.name}/{relation.arity}" for relation in instance.signature
+    )
+    print(f"signature: {relations}")
+    print(f"treewidth (upper bound): {instance_treewidth(instance)}")
+    print(f"pathwidth (upper bound): {instance_pathwidth(instance)}")
+    print(f"tree-depth: {instance_tree_depth(instance)}")
+    uncertain = sum(1 for f in instance.facts if tid.probability_of(f) != 1)
+    print(f"uncertain facts: {uncertain}")
+    return 0
+
+
+def _command_lineage(arguments: argparse.Namespace) -> int:
+    from repro.provenance.compile_obdd import compile_query_to_obdd
+    from repro.provenance.lineage import lineage_of
+    from repro.queries.parser import parse_ucq
+
+    tid = _load(arguments.instance)
+    query = parse_ucq(arguments.query)
+    lineage = lineage_of(query, tid.instance)
+    circuit = lineage.to_circuit()
+    compiled = compile_query_to_obdd(query, tid.instance)
+    dnnf = compiled.to_dnnf()
+    print(f"query: {query}")
+    print(f"minimal matches (DNF clauses): {lineage.clause_count}")
+    print(f"circuit gates: {circuit.size}")
+    print(f"OBDD size: {compiled.size}  width: {compiled.width}")
+    print(f"d-DNNF nodes: {dnnf.size}")
+    if arguments.dot == "circuit":
+        print(circuit_to_dot(circuit))
+    elif arguments.dot == "obdd":
+        print(obdd_to_dot(compiled.manager, compiled.root))
+    elif arguments.dot == "dnnf":
+        print(dnnf_to_dot(dnnf))
+    return 0
+
+
+def _command_probability(arguments: argparse.Namespace) -> int:
+    from repro.probability.approximation import approximate_probability
+    from repro.probability.evaluation import probability
+    from repro.queries.parser import parse_ucq
+
+    tid = _load(arguments.instance)
+    query = parse_ucq(arguments.query)
+    if arguments.approximate:
+        result = approximate_probability(
+            query, tid, epsilon=arguments.epsilon, delta=arguments.delta
+        )
+        print(f"estimate: {result.estimate:.6f} ({result.method}, {result.samples} samples)")
+        return 0
+    value = probability(query, tid, method=arguments.method)
+    print(f"probability: {value} (= {float(value):.6f})")
+    return 0
+
+
+def _command_convert(arguments: argparse.Namespace) -> int:
+    tid = _load(arguments.instance)
+    target = Path(arguments.output)
+    if target.suffix.lower() == ".csv":
+        save_instance_csv(tid, target)
+    elif target.suffix.lower() == ".json":
+        save_instance(tid, target)
+    else:
+        raise ReproError(f"unknown output format for {target.name!r} (use .json or .csv)")
+    print(f"wrote {target}")
+    return 0
+
+
+def _command_show(arguments: argparse.Namespace) -> int:
+    tid = _load(arguments.instance)
+    if arguments.format == "json":
+        print(json.dumps(tid_to_dict(tid), indent=2, sort_keys=True))
+    else:
+        print(instance_to_csv(tid.instance, tid.valuation()), end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tractable lineages on treelike instances: CLI front-end",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    info = subparsers.add_parser("info", help="structural report on an instance file")
+    _add_instance_argument(info)
+    info.set_defaults(handler=_command_info)
+
+    lineage = subparsers.add_parser("lineage", help="compile and measure query lineage")
+    _add_instance_argument(lineage)
+    lineage.add_argument("--query", required=True, help="UCQ≠ in textual syntax")
+    lineage.add_argument(
+        "--dot",
+        choices=["circuit", "obdd", "dnnf"],
+        default=None,
+        help="also print a Graphviz DOT rendering of the chosen representation",
+    )
+    lineage.set_defaults(handler=_command_lineage)
+
+    prob = subparsers.add_parser("probability", help="probability of a UCQ≠ on a TID file")
+    _add_instance_argument(prob)
+    prob.add_argument("--query", required=True, help="UCQ≠ in textual syntax")
+    prob.add_argument(
+        "--method",
+        default="auto",
+        choices=["auto", "obdd", "dnnf", "automaton", "brute_force", "safe_plan", "read_once"],
+    )
+    prob.add_argument("--approximate", action="store_true", help="use Karp-Luby sampling")
+    prob.add_argument("--epsilon", type=float, default=0.05)
+    prob.add_argument("--delta", type=float, default=0.05)
+    prob.set_defaults(handler=_command_probability)
+
+    convert = subparsers.add_parser("convert", help="convert between JSON and CSV formats")
+    _add_instance_argument(convert)
+    convert.add_argument("--output", required=True, help="target file (.json or .csv)")
+    convert.set_defaults(handler=_command_convert)
+
+    show = subparsers.add_parser("show", help="print an instance file to stdout")
+    _add_instance_argument(show)
+    show.add_argument("--format", choices=["json", "csv"], default="json")
+    show.set_defaults(handler=_command_show)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point: parse arguments, dispatch, report errors on stderr."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        return arguments.handler(arguments)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised through main() in tests
+    sys.exit(main())

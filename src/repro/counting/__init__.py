@@ -1,0 +1,36 @@
+"""Counting problems used in the paper's reductions and match-counting results."""
+
+from repro.counting.hamiltonian import count_hamiltonian_cycles, has_hamiltonian_cycle
+from repro.counting.match_counting import (
+    count_assignments_brute_force,
+    count_dominating_sets_brute_force,
+    count_independent_sets,
+    count_independent_sets_brute_force,
+    count_independent_sets_treewidth_dp,
+    is_independent_set,
+)
+from repro.counting.matchings import (
+    count_matchings,
+    count_matchings_brute_force,
+    count_matchings_of_instance,
+    count_matchings_treewidth_dp,
+    count_matchings_via_lineage,
+    is_matching,
+)
+
+__all__ = [
+    "count_assignments_brute_force",
+    "count_dominating_sets_brute_force",
+    "count_hamiltonian_cycles",
+    "count_independent_sets",
+    "count_independent_sets_brute_force",
+    "count_independent_sets_treewidth_dp",
+    "count_matchings",
+    "count_matchings_brute_force",
+    "count_matchings_of_instance",
+    "count_matchings_treewidth_dp",
+    "count_matchings_via_lineage",
+    "has_hamiltonian_cycle",
+    "is_independent_set",
+    "is_matching",
+]

@@ -1,0 +1,139 @@
+"""Counting matchings of a graph (the hard problem behind Theorem 4.2).
+
+A matching is a set of edges with no two incident edges.  Counting matchings
+is #P-hard already on planar 3-regular graphs [52]; the hardness proof of
+Theorem 4.2 reduces it to probability evaluation of the query q_h.  We provide
+three independent implementations and the reduction itself:
+
+* brute force over edge subsets (exponential; the testing oracle);
+* dynamic programming over a tree decomposition of the graph (exponential in
+  the treewidth only — the standard treelike-counting algorithm, which is also
+  the Section 5.3 upper bound machinery specialized to matchings);
+* via the probabilistic pipeline: matchings of G are exactly the possible
+  worlds on which the "no two incident kept edges" property holds, so their
+  number is the property's model count (footnote 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.data.instance import Instance
+from repro.generators.grids import graph_to_instance
+from repro.structure.graph import Graph, Vertex
+from repro.structure.tree_decomposition import TreeDecomposition, tree_decomposition
+
+
+def is_matching(graph: Graph, edges: Iterable[tuple[Vertex, Vertex]]) -> bool:
+    """Check that the given edge set is a matching of the graph."""
+    used: set[Vertex] = set()
+    for u, v in edges:
+        if not graph.has_edge(u, v):
+            return False
+        if u in used or v in used:
+            return False
+        used.add(u)
+        used.add(v)
+    return True
+
+
+def count_matchings_brute_force(graph: Graph) -> int:
+    """Count matchings by enumerating all edge subsets (small graphs only)."""
+    edges = graph.edges()
+    if len(edges) > 22:
+        raise ValueError("too many edges for brute-force matching counting")
+    count = 0
+    for mask in range(1 << len(edges)):
+        chosen = [edges[i] for i in range(len(edges)) if mask >> i & 1]
+        if is_matching(graph, chosen):
+            count += 1
+    return count
+
+
+def count_matchings_treewidth_dp(graph: Graph, decomposition: TreeDecomposition | None = None) -> int:
+    """Count matchings by dynamic programming over a tree decomposition.
+
+    State at a bag: the subset of bag vertices already saturated (matched) by
+    edges introduced below.  Each edge is counted at its topmost covering bag.
+    Complexity ``O(|T| * 4^{width})`` — linear in the graph for fixed width.
+    """
+    if len(graph) == 0:
+        return 1
+    if decomposition is None:
+        decomposition = tree_decomposition(graph)
+    order = decomposition.topological_order()
+    position = {node: index for index, node in enumerate(order)}
+    edges_at: dict[int, list[tuple[Vertex, Vertex]]] = {node: [] for node in decomposition.nodes()}
+    for u, v in graph.edges():
+        covering = [node for node in order if u in decomposition.bags[node] and v in decomposition.bags[node]]
+        topmost = min(covering, key=lambda node: position[node])
+        edges_at[topmost].append((u, v))
+
+    def solve(node: int) -> dict[frozenset, int]:
+        bag = decomposition.bags[node]
+        # Combine children: vertices shared with a child keep their saturation
+        # status; children cannot both saturate a shared vertex.
+        states: dict[frozenset, int] = {frozenset(): 1}
+        for child in decomposition.children.get(node, []):
+            child_states = solve(child)
+            child_bag = decomposition.bags[child]
+            merged: dict[frozenset, int] = {}
+            for saturated, count in states.items():
+                for child_saturated, child_count in child_states.items():
+                    # Saturated vertices leaving the child's bag are dropped;
+                    # the ones still in this bag must not clash.
+                    projected = frozenset(child_saturated & bag)
+                    if projected & saturated:
+                        continue
+                    key = saturated | projected
+                    merged[key] = merged.get(key, 0) + count * child_count
+            states = merged
+        # Introduce the edges attached to this bag, in all compatible ways.
+        for u, v in edges_at[node]:
+            updated: dict[frozenset, int] = {}
+            for saturated, count in states.items():
+                updated[saturated] = updated.get(saturated, 0) + count  # edge not taken
+                if u not in saturated and v not in saturated:
+                    key = saturated | {u, v}
+                    updated[key] = updated.get(key, 0) + count  # edge taken
+            states = updated
+        return states
+
+    root_states = solve(decomposition.root)
+    return sum(root_states.values())
+
+
+def count_matchings_via_lineage(graph: Graph) -> int:
+    """Count matchings through the probabilistic pipeline (the Theorem 4.2 reduction).
+
+    The matchings of G are the possible worlds of the edge-instance of G on
+    which no two incident edges are kept, i.e. the models of the
+    ``matching_world_automaton`` property; their number is obtained from the
+    probability of the property under the all-1/2 valuation.
+    """
+    from repro.probability.model_counting import property_model_count
+    from repro.provenance.mso_properties import matching_world_automaton
+
+    instance = graph_to_instance(graph)
+    return property_model_count(matching_world_automaton(), instance)
+
+
+def count_matchings(graph: Graph, method: str = "treewidth") -> int:
+    """Count the matchings of a graph with the selected method."""
+    if method == "brute_force":
+        return count_matchings_brute_force(graph)
+    if method == "treewidth":
+        return count_matchings_treewidth_dp(graph)
+    if method == "lineage":
+        return count_matchings_via_lineage(graph)
+    raise ValueError(f"unknown matching counting method {method!r}")
+
+
+def count_matchings_of_instance(instance: Instance, relation: str | None = None) -> int:
+    """Count the matchings of the Gaifman graph of an instance restricted to binary facts."""
+    graph = Graph()
+    for f in instance:
+        if f.arity == 2 and (relation is None or f.relation == relation):
+            u, v = f.arguments
+            graph.add_edge(u, v)
+    return count_matchings_treewidth_dp(graph)

@@ -1,0 +1,71 @@
+"""Relational data substrate: signatures, instances, Gaifman graphs, TIDs."""
+
+from repro.data.gaifman import (
+    gaifman_graph,
+    incidence_graph,
+    instance_pathwidth,
+    instance_tree_depth,
+    instance_treewidth,
+)
+from repro.data.homomorphism import (
+    are_isomorphic,
+    find_homomorphism,
+    has_homomorphism,
+    homomorphisms,
+    is_homomorphism,
+    is_isomorphism,
+)
+from repro.data.instance import Fact, Instance, fact, graph_instance
+from repro.data.pxml import (
+    DeterministicDocument,
+    PXMLDocument,
+    PXMLNode,
+    TreePattern,
+    ind,
+    mux,
+    ordinary,
+    pattern,
+    pattern_lineage,
+    pattern_matches,
+    pattern_probability,
+    pattern_probability_brute_force,
+    random_pxml_document,
+)
+from repro.data.signature import GRAPH_SIGNATURE, Relation, Signature
+from repro.data.tid import ProbabilisticInstance, as_probability
+
+__all__ = [
+    "DeterministicDocument",
+    "Fact",
+    "GRAPH_SIGNATURE",
+    "Instance",
+    "PXMLDocument",
+    "PXMLNode",
+    "ProbabilisticInstance",
+    "Relation",
+    "Signature",
+    "TreePattern",
+    "are_isomorphic",
+    "as_probability",
+    "fact",
+    "find_homomorphism",
+    "gaifman_graph",
+    "graph_instance",
+    "has_homomorphism",
+    "homomorphisms",
+    "incidence_graph",
+    "ind",
+    "instance_pathwidth",
+    "instance_tree_depth",
+    "instance_treewidth",
+    "mux",
+    "ordinary",
+    "pattern",
+    "pattern_lineage",
+    "pattern_matches",
+    "pattern_probability",
+    "pattern_probability_brute_force",
+    "random_pxml_document",
+    "is_homomorphism",
+    "is_isomorphism",
+]

@@ -1,0 +1,99 @@
+"""Homomorphisms and isomorphisms between relational instances (Section 2).
+
+A homomorphism from instance ``I`` to instance ``I'`` is a function on domains
+that maps every fact of ``I`` to a fact of ``I'``.  These are used for the
+semantics of homomorphism-closed queries (Proposition 8.9) and to validate
+unfoldings (Section 9).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from repro.data.instance import Fact, Instance
+
+
+def is_homomorphism(mapping: Mapping[Any, Any], source: Instance, target: Instance) -> bool:
+    """Check that ``mapping`` is a homomorphism from ``source`` to ``target``."""
+    target_facts = set(target.facts)
+    for f in source:
+        if any(a not in mapping for a in f.arguments):
+            return False
+        image = Fact(f.relation, tuple(mapping[a] for a in f.arguments))
+        if image not in target_facts:
+            return False
+    return True
+
+
+def find_homomorphism(source: Instance, target: Instance) -> dict[Any, Any] | None:
+    """Find one homomorphism from ``source`` to ``target``, or ``None``.
+
+    Uses backtracking over the source facts with forward pruning; exponential
+    in the worst case but fine for the small query-sized sources we use.
+    """
+    for hom in homomorphisms(source, target):
+        return hom
+    return None
+
+
+def homomorphisms(source: Instance, target: Instance) -> Iterator[dict[Any, Any]]:
+    """Enumerate all homomorphisms from ``source`` to ``target``."""
+    facts = sorted(source.facts, key=lambda f: (-f.arity, f.relation))
+    target_by_relation = {
+        rel: target.facts_of(rel) for rel in {f.relation for f in facts}
+    }
+
+    def extend(index: int, mapping: dict[Any, Any]) -> Iterator[dict[Any, Any]]:
+        if index == len(facts):
+            # Isolated elements cannot exist under active-domain semantics,
+            # so every source element is mapped at this point.
+            yield dict(mapping)
+            return
+        f = facts[index]
+        for candidate in target_by_relation.get(f.relation, ()):
+            extension: dict[Any, Any] = {}
+            ok = True
+            for a, b in zip(f.arguments, candidate.arguments):
+                expected = mapping.get(a, extension.get(a))
+                if expected is None:
+                    extension[a] = b
+                elif expected != b:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            mapping.update(extension)
+            yield from extend(index + 1, mapping)
+            for key in extension:
+                del mapping[key]
+
+    yield from extend(0, {})
+
+
+def has_homomorphism(source: Instance, target: Instance) -> bool:
+    """True iff there is a homomorphism from ``source`` to ``target``."""
+    return find_homomorphism(source, target) is not None
+
+
+def is_isomorphism(mapping: Mapping[Any, Any], source: Instance, target: Instance) -> bool:
+    """Check that ``mapping`` is an isomorphism between the two instances."""
+    if len(set(mapping.values())) != len(mapping):
+        return False
+    if set(mapping.keys()) != set(source.domain):
+        return False
+    if set(mapping.values()) != set(target.domain):
+        return False
+    if not is_homomorphism(mapping, source, target):
+        return False
+    inverse = {v: k for k, v in mapping.items()}
+    return is_homomorphism(inverse, target, source)
+
+
+def are_isomorphic(source: Instance, target: Instance) -> bool:
+    """True iff the two instances are isomorphic (brute-force; small instances)."""
+    if len(source) != len(target) or source.domain_size != target.domain_size:
+        return False
+    for hom in homomorphisms(source, target):
+        if is_isomorphism(hom, source, target):
+            return True
+    return False

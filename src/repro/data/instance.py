@@ -1,0 +1,256 @@
+"""Relational instances: finite sets of ground facts (Section 2 of the paper).
+
+Instances follow the active-domain semantics: the domain of an instance is the
+set of elements that occur in its facts.  A *subinstance* is any subset of the
+facts.  Instances over arity-2 signatures can be viewed as (labeled) graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.data.signature import Relation, Signature
+from repro.errors import InstanceError, SignatureError
+
+
+@dataclass(frozen=True, order=True)
+class Fact:
+    """A ground fact ``R(a_1, ..., a_k)``.
+
+    Domain elements can be any hashable, orderable values (we use strings and
+    integers throughout the library).
+    """
+
+    relation: str
+    arguments: tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.arguments, tuple):
+            object.__setattr__(self, "arguments", tuple(self.arguments))
+
+    @property
+    def arity(self) -> int:
+        return len(self.arguments)
+
+    def elements(self) -> tuple[Any, ...]:
+        """The distinct elements occurring in this fact, in order of appearance."""
+        seen: dict[Any, None] = {}
+        for arg in self.arguments:
+            seen.setdefault(arg, None)
+        return tuple(seen)
+
+    def rename(self, mapping: Mapping[Any, Any]) -> "Fact":
+        """The fact obtained by applying ``mapping`` to every argument."""
+        return Fact(self.relation, tuple(mapping.get(a, a) for a in self.arguments))
+
+    def __str__(self) -> str:
+        args = ", ".join(str(a) for a in self.arguments)
+        return f"{self.relation}({args})"
+
+
+def fact(relation: str, *arguments: Any) -> Fact:
+    """Convenience constructor: ``fact("R", "a", "b") == Fact("R", ("a", "b"))``."""
+    return Fact(relation, tuple(arguments))
+
+
+class Instance:
+    """A finite set of facts over a signature.
+
+    The signature may be given explicitly; otherwise it is inferred from the
+    facts (each relation gets the arity of its first fact).  Facts are stored
+    in a deterministic (sorted) order so that iteration, variable orders, and
+    generated lineages are reproducible.
+    """
+
+    __slots__ = ("_facts", "_signature", "_domain", "_by_relation")
+
+    def __init__(
+        self,
+        facts: Iterable[Fact] = (),
+        signature: Signature | None = None,
+    ) -> None:
+        fact_set = set(facts)
+        for f in fact_set:
+            if not isinstance(f, Fact):
+                raise InstanceError(f"expected Fact, got {type(f).__name__}")
+        if signature is None:
+            arities: dict[str, int] = {}
+            for f in fact_set:
+                prev = arities.setdefault(f.relation, f.arity)
+                if prev != f.arity:
+                    raise SignatureError(
+                        f"relation {f.relation!r} used with arities {prev} and {f.arity}"
+                    )
+            signature = Signature(sorted(arities.items()))
+        else:
+            for f in fact_set:
+                if f.relation not in signature:
+                    raise SignatureError(
+                        f"fact {f} uses relation not in signature {signature!r}"
+                    )
+                if signature.arity(f.relation) != f.arity:
+                    raise SignatureError(
+                        f"fact {f} has arity {f.arity}, signature says "
+                        f"{signature.arity(f.relation)}"
+                    )
+        self._signature = signature
+        self._facts: tuple[Fact, ...] = tuple(
+            sorted(fact_set, key=lambda f: (f.relation, _sort_key(f.arguments)))
+        )
+        domain: dict[Any, None] = {}
+        by_relation: dict[str, list[Fact]] = {}
+        for f in self._facts:
+            for a in f.arguments:
+                domain.setdefault(a, None)
+            by_relation.setdefault(f.relation, []).append(f)
+        self._domain = tuple(sorted(domain, key=_element_key))
+        self._by_relation = {rel: tuple(fs) for rel, fs in by_relation.items()}
+
+    # -- basic protocol -----------------------------------------------------
+
+    def __len__(self) -> int:
+        """The size |I| of the instance, i.e. its number of facts."""
+        return len(self._facts)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._facts)
+
+    def __contains__(self, f: object) -> bool:
+        return f in set(self._facts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        return self._facts == other._facts and self._signature == other._signature
+
+    def __hash__(self) -> int:
+        return hash((self._facts, self._signature))
+
+    def __repr__(self) -> str:
+        return f"Instance({len(self)} facts, domain size {len(self._domain)})"
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(f) for f in self._facts) + "}"
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def signature(self) -> Signature:
+        return self._signature
+
+    @property
+    def facts(self) -> tuple[Fact, ...]:
+        return self._facts
+
+    @property
+    def domain(self) -> tuple[Any, ...]:
+        """The active domain: all elements occurring in facts, sorted."""
+        return self._domain
+
+    @property
+    def domain_size(self) -> int:
+        return len(self._domain)
+
+    def facts_of(self, relation: str) -> tuple[Fact, ...]:
+        """All facts of the given relation (empty tuple if none)."""
+        return self._by_relation.get(relation, ())
+
+    def facts_containing(self, element: Any) -> tuple[Fact, ...]:
+        """All facts in which ``element`` occurs."""
+        return tuple(f for f in self._facts if element in f.arguments)
+
+    # -- construction -------------------------------------------------------
+
+    def with_facts(self, facts: Iterable[Fact]) -> "Instance":
+        """A new instance with the given facts added."""
+        return Instance(list(self._facts) + list(facts), self._signature)
+
+    def subinstance(self, facts: Iterable[Fact]) -> "Instance":
+        """The subinstance consisting of the given subset of facts.
+
+        Raises :class:`InstanceError` if a fact is not part of this instance.
+        """
+        chosen = list(facts)
+        own = set(self._facts)
+        for f in chosen:
+            if f not in own:
+                raise InstanceError(f"{f} is not a fact of this instance")
+        return Instance(chosen, self._signature)
+
+    def restrict_domain(self, elements: Iterable[Any]) -> "Instance":
+        """The subinstance of facts whose arguments all lie in ``elements``."""
+        allowed = set(elements)
+        return Instance(
+            [f for f in self._facts if all(a in allowed for a in f.arguments)],
+            self._signature,
+        )
+
+    def rename(self, mapping: Mapping[Any, Any] | Callable[[Any], Any]) -> "Instance":
+        """The instance obtained by renaming domain elements.
+
+        ``mapping`` may be a dict (missing elements are kept) or a callable.
+        """
+        if callable(mapping) and not isinstance(mapping, Mapping):
+            mapper: Callable[[Any], Any] = mapping
+            table = {a: mapper(a) for a in self._domain}
+        else:
+            table = {a: mapping.get(a, a) for a in self._domain}
+        return Instance([f.rename(table) for f in self._facts], self._signature)
+
+    def union(self, other: "Instance") -> "Instance":
+        """The union of two instances over a merged signature."""
+        merged = self._signature.extend(other.signature)
+        return Instance(list(self._facts) + list(other.facts), merged)
+
+    def disjoint_union(self, other: "Instance", tags: tuple[str, str] = ("l", "r")) -> "Instance":
+        """The disjoint union: domains are made disjoint by tagging elements."""
+        left = self.rename(lambda a: (tags[0], a))
+        right = other.rename(lambda a: (tags[1], a))
+        return left.union(right)
+
+    # -- subsets ------------------------------------------------------------
+
+    def all_subinstances(self) -> Iterator["Instance"]:
+        """All 2^|I| subinstances.  Only usable on small instances."""
+        n = len(self._facts)
+        if n > 25:
+            raise InstanceError(
+                f"refusing to enumerate 2^{n} subinstances; instance too large"
+            )
+        for mask in range(1 << n):
+            chosen = [self._facts[i] for i in range(n) if mask >> i & 1]
+            yield Instance(chosen, self._signature)
+
+    def is_subinstance_of(self, other: "Instance") -> bool:
+        return set(self._facts) <= set(other.facts)
+
+
+def _sort_key(arguments: Sequence[Any]) -> tuple:
+    return tuple(_element_key(a) for a in arguments)
+
+
+def _element_key(element: Any) -> tuple[str, str]:
+    """A total order on heterogeneous domain elements (by type name, then repr)."""
+    return (type(element).__name__, repr(element))
+
+
+def graph_instance(
+    edges: Iterable[tuple[Any, Any]],
+    relation: str = "E",
+    symmetric: bool = True,
+) -> Instance:
+    """Build a graph instance from an edge list.
+
+    Following the paper's convention, graphs are undirected and simple: by
+    default each edge ``(u, v)`` produces both ``E(u, v)`` and ``E(v, u)`` and
+    self-loops are rejected.  Set ``symmetric=False`` to store directed edges.
+    """
+    facts: list[Fact] = []
+    for u, v in edges:
+        if u == v:
+            raise InstanceError(f"self-loop on {u!r} not allowed in a graph instance")
+        facts.append(Fact(relation, (u, v)))
+        if symmetric:
+            facts.append(Fact(relation, (v, u)))
+    return Instance(facts, Signature([(relation, 2)]))

@@ -1,0 +1,232 @@
+"""Serialization of instances, TID valuations and lineage objects.
+
+Relational instances and their probability valuations round-trip through JSON
+and CSV; circuits, OBDDs, d-DNNFs and tree decompositions export to Graphviz
+DOT for inspection.  Probabilities are serialized as ``"numerator/denominator"``
+strings so that the exact :class:`fractions.Fraction` semantics of the library
+survives the round trip (the paper's footnote 1: all numbers are rationals).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from fractions import Fraction
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.data.instance import Fact, Instance
+from repro.data.signature import Signature
+from repro.data.tid import ProbabilisticInstance, as_probability
+from repro.errors import InstanceError
+
+
+# -- JSON -----------------------------------------------------------------------------------
+
+
+def instance_to_dict(instance: Instance) -> dict[str, Any]:
+    """A JSON-serializable description of an instance (signature + facts)."""
+    return {
+        "signature": {relation.name: relation.arity for relation in instance.signature},
+        "facts": [
+            {"relation": f.relation, "arguments": list(f.arguments)} for f in instance.facts
+        ],
+    }
+
+
+def instance_from_dict(data: Mapping[str, Any]) -> Instance:
+    """The inverse of :func:`instance_to_dict`."""
+    try:
+        signature = Signature(sorted(data["signature"].items()))
+        facts = [Fact(entry["relation"], tuple(entry["arguments"])) for entry in data["facts"]]
+    except (KeyError, TypeError, AttributeError) as error:
+        raise InstanceError(f"malformed instance description: {error}") from error
+    return Instance(facts, signature)
+
+
+def tid_to_dict(probabilistic_instance: ProbabilisticInstance) -> dict[str, Any]:
+    """A JSON-serializable description of a TID instance."""
+    description = instance_to_dict(probabilistic_instance.instance)
+    description["probabilities"] = [
+        {
+            "relation": f.relation,
+            "arguments": list(f.arguments),
+            "probability": str(probabilistic_instance.probability_of(f)),
+        }
+        for f in probabilistic_instance.instance.facts
+    ]
+    return description
+
+
+def tid_from_dict(data: Mapping[str, Any]) -> ProbabilisticInstance:
+    """The inverse of :func:`tid_to_dict`."""
+    instance = instance_from_dict(data)
+    valuation: dict[Fact, Fraction] = {}
+    for entry in data.get("probabilities", []):
+        f = Fact(entry["relation"], tuple(entry["arguments"]))
+        valuation[f] = as_probability(Fraction(entry["probability"]))
+    return ProbabilisticInstance(instance, valuation)
+
+
+def save_instance(instance: Instance | ProbabilisticInstance, path: str | Path) -> None:
+    """Write an instance (or TID instance) to a JSON file."""
+    if isinstance(instance, ProbabilisticInstance):
+        payload = tid_to_dict(instance)
+    else:
+        payload = instance_to_dict(instance)
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_instance(path: str | Path) -> Instance:
+    """Read an instance from a JSON file (ignores probabilities if present)."""
+    return instance_from_dict(json.loads(Path(path).read_text()))
+
+
+def load_tid(path: str | Path) -> ProbabilisticInstance:
+    """Read a TID instance from a JSON file (missing probabilities default to 1)."""
+    return tid_from_dict(json.loads(Path(path).read_text()))
+
+
+# -- CSV ------------------------------------------------------------------------------------------
+
+
+def instance_to_csv(instance: Instance, probabilities: Mapping[Fact, Fraction] | None = None) -> str:
+    """One row per fact: relation, arguments..., and optionally a probability column."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    max_arity = instance.signature.max_arity if len(instance) else 0
+    header = ["relation"] + [f"arg{i + 1}" for i in range(max_arity)]
+    if probabilities is not None:
+        header.append("probability")
+    writer.writerow(header)
+    for f in instance.facts:
+        row = [f.relation] + [str(a) for a in f.arguments]
+        row += [""] * (max_arity - f.arity)
+        if probabilities is not None:
+            row.append(str(probabilities.get(f, Fraction(1))))
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def instance_from_csv(text: str) -> tuple[Instance, dict[Fact, Fraction]]:
+    """Parse the CSV format of :func:`instance_to_csv`.
+
+    Returns the instance together with the probability column (empty when the
+    CSV has no such column).
+    """
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration as error:
+        raise InstanceError("empty CSV input") from error
+    has_probability = bool(header) and header[-1] == "probability"
+    facts: list[Fact] = []
+    probabilities: dict[Fact, Fraction] = {}
+    for row in reader:
+        if not row or not row[0]:
+            continue
+        values = row[1:-1] if has_probability else row[1:]
+        arguments = tuple(value for value in values if value != "")
+        f = Fact(row[0], arguments)
+        facts.append(f)
+        if has_probability and row[-1]:
+            probabilities[f] = as_probability(Fraction(row[-1]))
+    return Instance(facts), probabilities
+
+
+def save_instance_csv(
+    instance: Instance | ProbabilisticInstance, path: str | Path
+) -> None:
+    """Write an instance (or TID instance) to a CSV file."""
+    if isinstance(instance, ProbabilisticInstance):
+        text = instance_to_csv(instance.instance, instance.valuation())
+    else:
+        text = instance_to_csv(instance)
+    Path(path).write_text(text)
+
+
+def load_instance_csv(path: str | Path) -> ProbabilisticInstance:
+    """Read a CSV file as a TID instance (probabilities default to 1)."""
+    instance, probabilities = instance_from_csv(Path(path).read_text())
+    return ProbabilisticInstance(instance, probabilities)
+
+
+# -- DOT exports -----------------------------------------------------------------------------------
+
+
+def _dot_escape(value: Any) -> str:
+    return str(value).replace('"', '\\"')
+
+
+def circuit_to_dot(circuit) -> str:
+    """Graphviz DOT for a Boolean circuit (gates as nodes, wires as edges)."""
+    from repro.booleans.circuit import GateKind
+
+    lines = ["digraph circuit {", "  rankdir=BT;"]
+    for gate_id, gate in circuit.gates():
+        if gate.kind is GateKind.VAR:
+            label = _dot_escape(gate.payload)
+            shape = "box"
+        elif gate.kind is GateKind.CONST:
+            label = "1" if gate.payload else "0"
+            shape = "plaintext"
+        else:
+            label = {GateKind.NOT: "¬", GateKind.AND: "∧", GateKind.OR: "∨"}[gate.kind]
+            shape = "circle"
+        suffix = ", penwidth=2" if gate_id == circuit.output else ""
+        lines.append(f'  g{gate_id} [label="{label}", shape={shape}{suffix}];')
+        for source in gate.inputs:
+            lines.append(f"  g{source} -> g{gate_id};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def obdd_to_dot(obdd, root: int) -> str:
+    """Graphviz DOT for the OBDD rooted at ``root`` (dashed low edges, solid high edges)."""
+    lines = ["digraph obdd {", '  t0 [label="0", shape=box];', '  t1 [label="1", shape=box];']
+
+    def name(node: int) -> str:
+        return f"t{node}" if node <= 1 else f"n{node}"
+
+    for node, variable, low, high in obdd.node_table(root):
+        lines.append(f'  n{node} [label="{_dot_escape(variable)}"];')
+        lines.append(f"  n{node} -> {name(low)} [style=dashed];")
+        lines.append(f"  n{node} -> {name(high)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def dnnf_to_dot(dnnf) -> str:
+    """Graphviz DOT for a d-DNNF circuit."""
+    lines = ["digraph dnnf {", "  rankdir=BT;"]
+    for node_id in dnnf.reachable():
+        node = dnnf.node(node_id)
+        if node.kind == "lit":
+            variable, positive = node.payload
+            label = _dot_escape(variable) if positive else f"¬{_dot_escape(variable)}"
+            shape = "box"
+        elif node.kind == "const":
+            label = "1" if node.payload else "0"
+            shape = "plaintext"
+        else:
+            label = "∧" if node.kind == "and" else "∨"
+            shape = "circle"
+        lines.append(f'  n{node_id} [label="{label}", shape={shape}];')
+        for child in node.children:
+            lines.append(f"  n{child} -> n{node_id};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def tree_decomposition_to_dot(decomposition) -> str:
+    """Graphviz DOT for a tree decomposition (bags as box nodes)."""
+    lines = ["graph tree_decomposition {"]
+    for node in decomposition.nodes():
+        bag = ", ".join(sorted(map(str, decomposition.bag(node))))
+        lines.append(f'  b{node} [label="{_dot_escape(bag)}", shape=box];')
+    for node in decomposition.nodes():
+        for child in decomposition.children.get(node, ()):
+            lines.append(f"  b{node} -- b{child};")
+    lines.append("}")
+    return "\n".join(lines)

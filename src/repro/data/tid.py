@@ -1,0 +1,164 @@
+"""Tuple-independent probabilistic databases (TID), Definition 3.1.
+
+A :class:`ProbabilisticInstance` pairs a relational instance with a
+*probability valuation* mapping each fact to a probability in [0, 1].  The
+semantics is the product distribution over subinstances where each fact is
+kept independently with its probability.
+
+Probabilities are stored as :class:`fractions.Fraction` so that all
+computations in the library are exact, matching the paper's "ra-linear"
+cost model (rational arithmetic of polynomial size).  Floats are accepted and
+converted exactly.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.data.instance import Fact, Instance
+from repro.errors import ProbabilityError
+
+ProbabilityLike = Fraction | float | int | str | tuple[int, int]
+
+
+def as_probability(value: ProbabilityLike) -> Fraction:
+    """Convert a user-supplied probability to an exact Fraction in [0, 1]."""
+    if isinstance(value, tuple):
+        prob = Fraction(value[0], value[1])
+    elif isinstance(value, Fraction):
+        prob = value
+    elif isinstance(value, (int, str)):
+        prob = Fraction(value)
+    elif isinstance(value, float):
+        prob = Fraction(value).limit_denominator(10**12)
+    else:
+        raise ProbabilityError(f"cannot interpret {value!r} as a probability")
+    if not 0 <= prob <= 1:
+        raise ProbabilityError(f"probability {prob} outside [0, 1]")
+    return prob
+
+
+class ProbabilisticInstance:
+    """An instance together with a probability valuation on its facts.
+
+    Parameters
+    ----------
+    instance:
+        The underlying relational instance.
+    valuation:
+        Mapping from facts to probabilities.  Facts not mentioned get the
+        ``default`` probability (1 by default, i.e. certain facts).
+    default:
+        Probability assigned to unmentioned facts.
+    """
+
+    __slots__ = ("_instance", "_valuation")
+
+    def __init__(
+        self,
+        instance: Instance,
+        valuation: Mapping[Fact, ProbabilityLike] | None = None,
+        default: ProbabilityLike = 1,
+    ) -> None:
+        valuation = valuation or {}
+        unknown = set(valuation) - set(instance.facts)
+        if unknown:
+            raise ProbabilityError(
+                f"valuation mentions facts not in the instance: {sorted(map(str, unknown))[:3]}"
+            )
+        default_prob = as_probability(default)
+        self._instance = instance
+        self._valuation: dict[Fact, Fraction] = {
+            f: as_probability(valuation.get(f, default_prob)) for f in instance
+        }
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def uniform(cls, instance: Instance, probability: ProbabilityLike = Fraction(1, 2)) -> "ProbabilisticInstance":
+        """All facts get the same probability (1/2 by default).
+
+        With probability 1/2 on every fact, query probability times ``2^|I|``
+        is exactly the model count of the query lineage (footnote 3 of the
+        paper), which is how the reductions of Sections 4 and 5 operate.
+        """
+        return cls(instance, {}, default=probability)
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Iterable[tuple[Fact, ProbabilityLike]], signature=None
+    ) -> "ProbabilisticInstance":
+        """Build both the instance and the valuation from (fact, probability) pairs."""
+        pair_list = list(pairs)
+        instance = Instance([f for f, _ in pair_list], signature)
+        return cls(instance, dict(pair_list))
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def instance(self) -> Instance:
+        return self._instance
+
+    @property
+    def signature(self):
+        return self._instance.signature
+
+    def probability_of(self, f: Fact) -> Fraction:
+        try:
+            return self._valuation[f]
+        except KeyError:
+            raise ProbabilityError(f"{f} is not a fact of this instance") from None
+
+    def valuation(self) -> dict[Fact, Fraction]:
+        """A copy of the full fact-to-probability mapping."""
+        return dict(self._valuation)
+
+    def __len__(self) -> int:
+        return len(self._instance)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._instance)
+
+    def __repr__(self) -> str:
+        return f"ProbabilisticInstance({len(self)} facts)"
+
+    # -- semantics ------------------------------------------------------------
+
+    def world_probability(self, world: Instance | Iterable[Fact]) -> Fraction:
+        """The probability pi(I') of a possible world ``I' ⊆ I`` (Definition 3.1)."""
+        if isinstance(world, Instance):
+            chosen = set(world.facts)
+        else:
+            chosen = set(world)
+        unknown = chosen - set(self._instance.facts)
+        if unknown:
+            raise ProbabilityError("world contains facts not in the instance")
+        probability = Fraction(1)
+        for f in self._instance:
+            p = self._valuation[f]
+            probability *= p if f in chosen else 1 - p
+        return probability
+
+    def possible_worlds(self) -> Iterator[tuple[Instance, Fraction]]:
+        """Enumerate all possible worlds with their probabilities (small instances)."""
+        for world in self._instance.all_subinstances():
+            yield world, self.world_probability(world)
+
+    def certain_facts(self) -> tuple[Fact, ...]:
+        """Facts with probability exactly 1."""
+        return tuple(f for f in self._instance if self._valuation[f] == 1)
+
+    def impossible_facts(self) -> tuple[Fact, ...]:
+        """Facts with probability exactly 0."""
+        return tuple(f for f in self._instance if self._valuation[f] == 0)
+
+    def condition(self, kept: Iterable[Fact], removed: Iterable[Fact] = ()) -> "ProbabilisticInstance":
+        """A new probabilistic instance where ``kept`` facts get probability 1
+        and ``removed`` facts get probability 0 (used in reductions)."""
+        new_valuation = dict(self._valuation)
+        for f in kept:
+            new_valuation[Fact(f.relation, f.arguments)] = Fraction(1)
+        for f in removed:
+            new_valuation[Fact(f.relation, f.arguments)] = Fraction(0)
+        return ProbabilisticInstance(self._instance, new_valuation)

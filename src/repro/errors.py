@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro library.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch library failures without catching unrelated Python errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class SignatureError(ReproError):
+    """A relation or fact is inconsistent with its signature (arity, name)."""
+
+
+class InstanceError(ReproError):
+    """An operation on a relational instance received invalid input."""
+
+
+class DecompositionError(ReproError):
+    """A tree/path decomposition is invalid or could not be constructed."""
+
+
+class QueryError(ReproError):
+    """A query is malformed or unsupported by the requested operation."""
+
+
+class LineageError(ReproError):
+    """A lineage representation (circuit, OBDD, d-DNNF, formula) is invalid."""
+
+
+class CompilationError(ReproError):
+    """Knowledge compilation between lineage representations failed."""
+
+
+class ProbabilityError(ReproError):
+    """Probability evaluation received an invalid valuation or representation."""
+
+
+class UnfoldingError(ReproError):
+    """The unfolding construction of Section 9 received an unsupported query."""

@@ -1,0 +1,19 @@
+"""Experiment harness shared by the benchmark suite."""
+
+from repro.experiments.harness import (
+    ScalingSeries,
+    classify_growth,
+    format_table,
+    run_series,
+)
+from repro.experiments.scaling import ExperimentReport, sweep, timed
+
+__all__ = [
+    "ExperimentReport",
+    "ScalingSeries",
+    "classify_growth",
+    "format_table",
+    "run_series",
+    "sweep",
+    "timed",
+]

@@ -1,0 +1,119 @@
+"""Shared experiment harness: scaling series, growth-rate fits, table printing.
+
+Each benchmark in ``benchmarks/`` measures a series of observations indexed by
+an instance-size parameter and summarizes it as a :class:`ScalingSeries`; the
+harness provides simple growth-rate diagnostics (log-log slope, successive
+ratios) used to report whether a quantity looks constant, linear, polynomial
+of higher degree, or super-polynomial — which is exactly the "shape" of the
+paper's Tables 1 and 2 that the reproduction targets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+
+@dataclass
+class ScalingSeries:
+    """A sequence of (size, value) observations for a measured quantity."""
+
+    name: str
+    sizes: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def add(self, size: float, value: float) -> None:
+        self.sizes.append(float(size))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.sizes)
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def loglog_slope(self) -> float:
+        """Least-squares slope of log(value) against log(size).
+
+        Roughly the polynomial degree of the growth: ~0 for constant, ~1 for
+        linear, ~2 for quadratic; much larger slopes (or slopes growing with
+        the size) indicate super-polynomial growth.
+        """
+        points = [
+            (math.log(s), math.log(v))
+            for s, v in zip(self.sizes, self.values)
+            if s > 0 and v > 0
+        ]
+        if len(points) < 2:
+            return 0.0
+        mean_x = sum(x for x, _ in points) / len(points)
+        mean_y = sum(y for _, y in points) / len(points)
+        numerator = sum((x - mean_x) * (y - mean_y) for x, y in points)
+        denominator = sum((x - mean_x) ** 2 for x, _ in points)
+        if denominator == 0:
+            return 0.0
+        return numerator / denominator
+
+    def is_roughly_constant(self, tolerance: float = 1.5) -> bool:
+        """True when max/min of the values is below the tolerance ratio."""
+        positive = [v for v in self.values if v > 0]
+        if not positive:
+            return True
+        return max(positive) / min(positive) <= tolerance
+
+    def is_subquadratic(self) -> bool:
+        return self.loglog_slope() < 2.0
+
+    def growth_ratios(self) -> list[float]:
+        """Successive value ratios (useful to spot exponential growth)."""
+        return [
+            self.values[i + 1] / self.values[i]
+            for i in range(len(self.values) - 1)
+            if self.values[i] > 0
+        ]
+
+    def rows(self) -> list[tuple[float, float]]:
+        return list(zip(self.sizes, self.values))
+
+
+def run_series(
+    name: str, sizes: Iterable[int], measure: Callable[[int], float]
+) -> ScalingSeries:
+    """Measure ``measure(size)`` for each size and collect the series."""
+    series = ScalingSeries(name)
+    for size in sizes:
+        series.add(size, measure(size))
+    return series
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A plain-text table (the benchmark harness prints these, mirroring the
+    paper's tables)."""
+    columns = len(headers)
+    widths = [len(str(h)) for h in headers]
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        for index in range(columns):
+            widths[index] = max(widths[index], len(row[index]) if index < len(row) else 0)
+    lines = [
+        "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(columns)),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def classify_growth(series: ScalingSeries) -> str:
+    """A coarse label for the growth behaviour of a series."""
+    if series.is_roughly_constant():
+        return "constant"
+    slope = series.loglog_slope()
+    if slope < 1.3:
+        return "linear"
+    if slope < 2.5:
+        return "polynomial (low degree)"
+    ratios = series.growth_ratios()
+    if ratios and ratios[-1] > 2 and all(later >= earlier for earlier, later in zip(ratios, ratios[1:])):
+        return "super-polynomial"
+    return "polynomial (high degree) or worse"

@@ -1,0 +1,73 @@
+"""Instance and graph generators for the paper's experiment families."""
+
+from repro.generators.graphs import (
+    cubic_planar_graph,
+    labelled_partial_ktree_instance,
+    one_three_regular_graph,
+    prism_graph,
+    random_partial_ktree_instance,
+    subdivided_instance,
+    wall_instance,
+)
+from repro.generators.grids import (
+    clique_instance,
+    complete_bipartite_instance,
+    graph_to_instance,
+    grid_graph_instance,
+    grid_instance,
+    grid_of_lines,
+    s_grid_instance,
+)
+from repro.generators.lines import (
+    directed_path_instance,
+    labelled_line_instance,
+    random_line_instance,
+    rst_bipartite_instance,
+    rst_chain_instance,
+    unary_instance,
+)
+from repro.generators.random_instances import (
+    random_binary_instance,
+    random_instance,
+    random_probabilities,
+    random_ranked_instance,
+    random_rst_instance,
+)
+from repro.generators.trees import (
+    balanced_binary_tree_instance,
+    caterpillar_instance,
+    probabilistic_xml_instance,
+    random_tree_instance,
+)
+
+__all__ = [
+    "balanced_binary_tree_instance",
+    "caterpillar_instance",
+    "clique_instance",
+    "complete_bipartite_instance",
+    "cubic_planar_graph",
+    "directed_path_instance",
+    "graph_to_instance",
+    "grid_graph_instance",
+    "grid_instance",
+    "grid_of_lines",
+    "labelled_line_instance",
+    "labelled_partial_ktree_instance",
+    "one_three_regular_graph",
+    "prism_graph",
+    "probabilistic_xml_instance",
+    "random_binary_instance",
+    "random_instance",
+    "random_line_instance",
+    "random_partial_ktree_instance",
+    "random_probabilities",
+    "random_ranked_instance",
+    "random_rst_instance",
+    "random_tree_instance",
+    "rst_bipartite_instance",
+    "rst_chain_instance",
+    "s_grid_instance",
+    "subdivided_instance",
+    "unary_instance",
+    "wall_instance",
+]

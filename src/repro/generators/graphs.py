@@ -1,0 +1,123 @@
+"""Graph generators for the hardness constructions.
+
+* planar 3-regular (cubic) graphs — the hard inputs for counting matchings
+  (Theorem 4.2 reduces from counting matchings of planar 3-regular graphs);
+* {1, 3}-regular planar graphs (Section 5.1);
+* walls and subdivisions — degree-3 unbounded-treewidth families;
+* random partial k-trees — bounded-treewidth instances of a prescribed width.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.instance import Instance
+from repro.data.signature import Signature
+from repro.generators.grids import graph_to_instance
+from repro.structure.graph import Graph, cycle_graph
+from repro.structure.minors import subdivide, wall_graph
+
+
+def prism_graph(n: int) -> Graph:
+    """The prism (circular ladder) CL_n: planar and 3-regular, 2n vertices (n >= 3)."""
+    if n < 3:
+        raise ValueError("prism graphs need n >= 3")
+    graph = Graph()
+    for i in range(n):
+        graph.add_edge(("outer", i), ("outer", (i + 1) % n))
+        graph.add_edge(("inner", i), ("inner", (i + 1) % n))
+        graph.add_edge(("outer", i), ("inner", i))
+    return graph
+
+
+def cubic_planar_graph(index: int) -> Graph:
+    """A small family of planar 3-regular graphs indexed by size.
+
+    ``index = 0`` gives K_4, ``index = 1`` the triangular prism, and larger
+    indices give growing prisms — all planar and cubic, suitable inputs to the
+    matching-counting reduction of Theorem 4.2.
+    """
+    if index == 0:
+        graph = Graph()
+        for i in range(4):
+            for j in range(i + 1, 4):
+                graph.add_edge(("k", i), ("k", j))
+        return graph
+    return prism_graph(index + 2)
+
+
+def one_three_regular_graph(n: int) -> Graph:
+    """A planar {1, 3}-regular graph: a cycle with a pendant vertex on every node.
+
+    Cycle vertices have degree 3, pendants have degree 1 (Section 5.1 uses
+    {1, 3}-regular planar graphs for the alternating-coloring reduction).
+    """
+    graph = cycle_graph(n)
+    for i in range(n):
+        graph.add_edge(i, ("pendant", i))
+    return graph
+
+
+def wall_instance(rows: int, cols: int, relation: str = "E") -> Instance:
+    """A wall graph as a relational instance: degree-3, planar, treewidth Theta(min)."""
+    return graph_to_instance(wall_graph(rows, cols), relation)
+
+
+def subdivided_instance(graph: Graph, times: int, relation: str = "E") -> Instance:
+    """A subdivision of ``graph`` as an instance (used to test subdivision-invariance)."""
+    return graph_to_instance(subdivide(graph, times), relation)
+
+
+def random_partial_ktree_instance(
+    n: int, width: int, seed: int = 0, relation: str = "E", edge_probability: float = 0.7
+) -> Instance:
+    """A random partial k-tree instance: treewidth <= ``width`` by construction.
+
+    We grow a k-tree (every new vertex is attached to a random existing
+    k-clique) and keep each edge independently with ``edge_probability``; the
+    result is a connected-ish instance of treewidth at most ``width`` used as
+    the generic "treelike instance" in scaling experiments.
+    """
+    if n <= width:
+        raise ValueError("need more vertices than the width")
+    generator = random.Random(seed)
+    cliques: list[tuple[int, ...]] = [tuple(range(width + 1))]
+    edges: set[tuple[int, int]] = set()
+    for i in range(width + 1):
+        for j in range(i + 1, width + 1):
+            edges.add((i, j))
+    for vertex in range(width + 1, n):
+        base = list(generator.choice(cliques))
+        for other in base:
+            edges.add((min(vertex, other), max(vertex, other)))
+        for drop_index in range(len(base)):
+            new_clique = tuple(sorted(base[:drop_index] + base[drop_index + 1 :] + [vertex]))
+            cliques.append(new_clique)
+    kept = [edge for edge in sorted(edges) if generator.random() < edge_probability]
+    graph = Graph()
+    for i in range(n):
+        graph.add_vertex(i)
+    for u, v in kept:
+        graph.add_edge(u, v)
+    return graph_to_instance(graph, relation)
+
+
+def labelled_partial_ktree_instance(
+    n: int, width: int, seed: int = 0, label_probability: float = 0.5
+) -> Instance:
+    """A partial k-tree with unary labels R and T on random elements and S edges.
+
+    Provides bounded-treewidth inputs on the RST signature for the safe-query
+    and probability-evaluation experiments.
+    """
+    generator = random.Random(seed)
+    base = random_partial_ktree_instance(n, width, seed=seed, relation="S")
+    facts = list(base.facts)
+    from repro.data.instance import Fact
+
+    for element in base.domain:
+        if generator.random() < label_probability:
+            facts.append(Fact("R", (element,)))
+        if generator.random() < label_probability:
+            facts.append(Fact("T", (element,)))
+    return Instance(facts, Signature([("R", 1), ("S", 2), ("T", 1)]))

@@ -1,0 +1,95 @@
+"""Line- and path-shaped instance generators.
+
+These are the treewidth-1 / pathwidth-1 families used throughout the paper:
+the labelled lines of Proposition 7.3 (parity), the line instances of
+Section 8.2 (intricacy), probabilistic-XML-like chains, and simple relational
+paths for the quickstart examples.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.data.instance import Fact, Instance
+from repro.data.signature import Signature
+
+
+def directed_path_instance(length: int, relation: str = "E") -> Instance:
+    """A directed path a1 -> a2 -> ... with ``length`` binary facts."""
+    facts = [Fact(relation, (f"a{i + 1}", f"a{i + 2}")) for i in range(length)]
+    return Instance(facts, Signature([(relation, 2)]))
+
+
+def labelled_line_instance(
+    n: int,
+    labelled: Sequence[bool] | None = None,
+    edge_relation: str = "E",
+    label_relation: str = "L",
+) -> Instance:
+    """The family of Proposition 7.3: a directed path with unary labels.
+
+    Domain a1..an; facts ``E(ai, ai+1)`` for i < n and ``L(ai)`` for the
+    selected positions (all of them by default).  Treewidth 1.
+    """
+    if labelled is None:
+        labelled = [True] * n
+    facts = [Fact(edge_relation, (f"a{i + 1}", f"a{i + 2}")) for i in range(n - 1)]
+    facts.extend(Fact(label_relation, (f"a{i + 1}",)) for i in range(n) if labelled[i])
+    return Instance(facts, Signature([(edge_relation, 2), (label_relation, 1)]))
+
+
+def unary_instance(n: int, relation: str = "R") -> Instance:
+    """The treewidth-0 family of Propositions 7.1/7.2: n unary facts."""
+    return Instance(
+        [Fact(relation, (f"a{i + 1}",)) for i in range(n)], Signature([(relation, 1)])
+    )
+
+
+def random_line_instance(
+    length: int, signature: Signature, seed: int = 0
+) -> Instance:
+    """A random line instance (Definition 8.4) over the signature's binary relations."""
+    generator = random.Random(seed)
+    binary = [relation.name for relation in signature.binary_relations()]
+    if not binary:
+        raise ValueError("signature has no binary relation")
+    facts = []
+    for i in range(length):
+        relation = generator.choice(binary)
+        forward = generator.random() < 0.5
+        left, right = f"a{i + 1}", f"a{i + 2}"
+        facts.append(Fact(relation, (left, right) if forward else (right, left)))
+    return Instance(facts, signature)
+
+
+def rst_chain_instance(n: int) -> Instance:
+    """A chain instance for the RST query: R(a_i), S(a_i, b_i), T(b_i) for i < n.
+
+    Pathwidth 1; the lineage of the RST query on it is a disjoint OR of ANDs,
+    which is why the query is easy here despite being unsafe in general.
+    """
+    facts = []
+    for i in range(n):
+        facts.append(Fact("R", (f"a{i}",)))
+        facts.append(Fact("S", (f"a{i}", f"b{i}")))
+        facts.append(Fact("T", (f"b{i}",)))
+    return Instance(facts, Signature([("R", 1), ("S", 2), ("T", 1)]))
+
+
+def rst_bipartite_instance(n: int) -> Instance:
+    """The hard bipartite instance family for the RST query.
+
+    R(a_i) and T(b_j) for all i, j < n, plus all S(a_i, b_j) edges: the
+    lineage is the bipartite "exists an R-S-T path" function whose probability
+    computation is #P-hard as the instance family grows (treewidth grows
+    linearly).
+    """
+    facts = []
+    for i in range(n):
+        facts.append(Fact("R", (f"a{i}",)))
+        facts.append(Fact("T", (f"b{i}",)))
+    for i in range(n):
+        for j in range(n):
+            facts.append(Fact("S", (f"a{i}", f"b{j}")))
+    return Instance(facts, Signature([("R", 1), ("S", 2), ("T", 1)]))

@@ -1,0 +1,84 @@
+"""Random small instances for property-based testing.
+
+These generators produce arbitrary small relational instances and TID
+valuations used by the hypothesis test-suites to cross-check lineage
+constructions against brute force.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro.data.instance import Fact, Instance
+from repro.data.signature import Signature
+from repro.data.tid import ProbabilisticInstance
+
+
+def random_instance(
+    signature: Signature,
+    domain_size: int,
+    fact_count: int,
+    seed: int = 0,
+) -> Instance:
+    """A random instance: ``fact_count`` facts drawn uniformly (without replacement)."""
+    generator = random.Random(seed)
+    domain = [f"e{i}" for i in range(domain_size)]
+    chosen: set[Fact] = set()
+    relations = list(signature)
+    attempts = 0
+    while len(chosen) < fact_count and attempts < fact_count * 20:
+        attempts += 1
+        relation = generator.choice(relations)
+        arguments = tuple(generator.choice(domain) for _ in range(relation.arity))
+        chosen.add(Fact(relation.name, arguments))
+    return Instance(chosen, signature)
+
+
+def random_ranked_instance(
+    signature: Signature,
+    domain_size: int,
+    fact_count: int,
+    seed: int = 0,
+) -> Instance:
+    """A random *ranked* instance: fact arguments are strictly increasing.
+
+    Ranked instances (Section 9) admit a total domain order making every fact
+    ascending; we enforce it directly by sorting and deduplicating the
+    arguments of each generated fact, which is what the unfolding construction
+    of Theorem 9.7 expects as input.
+    """
+    generator = random.Random(seed)
+    domain = [f"e{i:03d}" for i in range(domain_size)]
+    chosen: set[Fact] = set()
+    relations = list(signature)
+    attempts = 0
+    while len(chosen) < fact_count and attempts < fact_count * 40:
+        attempts += 1
+        relation = generator.choice(relations)
+        arguments = generator.sample(domain, min(relation.arity, domain_size))
+        if len(arguments) < relation.arity:
+            continue
+        chosen.add(Fact(relation.name, tuple(sorted(arguments))))
+    return Instance(chosen, signature)
+
+
+def random_probabilities(instance: Instance, seed: int = 0) -> ProbabilisticInstance:
+    """Random rational probabilities (denominator 8) on each fact."""
+    generator = random.Random(seed)
+    valuation = {
+        f: Fraction(generator.randint(0, 8), 8) for f in instance
+    }
+    return ProbabilisticInstance(instance, valuation)
+
+
+def random_binary_instance(domain_size: int, fact_count: int, seed: int = 0) -> Instance:
+    """A random instance over the graph signature (single binary relation E)."""
+    return random_instance(Signature([("E", 2)]), domain_size, fact_count, seed)
+
+
+def random_rst_instance(domain_size: int, fact_count: int, seed: int = 0) -> Instance:
+    """A random instance over the R/S/T signature of the unsafe query."""
+    return random_instance(
+        Signature([("R", 1), ("S", 2), ("T", 1)]), domain_size, fact_count, seed
+    )

@@ -1,0 +1,82 @@
+"""Tree-shaped instance generators (treewidth-1 families).
+
+These model the probabilistic-XML use case mentioned in the introduction
+(probabilistic trees without data values) and provide the bounded-treewidth
+side of every dichotomy experiment.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.instance import Fact, Instance
+from repro.data.signature import Signature
+
+
+def balanced_binary_tree_instance(depth: int, relation: str = "child") -> Instance:
+    """A complete binary tree of the given depth, edges oriented parent -> child."""
+    facts: list[Fact] = []
+
+    def build(node: str, remaining: int) -> None:
+        if remaining == 0:
+            return
+        left, right = node + "0", node + "1"
+        facts.append(Fact(relation, (node, left)))
+        facts.append(Fact(relation, (node, right)))
+        build(left, remaining - 1)
+        build(right, remaining - 1)
+
+    build("r", depth)
+    return Instance(facts, Signature([(relation, 2)]))
+
+
+def random_tree_instance(n: int, seed: int = 0, relation: str = "child") -> Instance:
+    """A random tree on n nodes (each node's parent is uniform among earlier nodes)."""
+    generator = random.Random(seed)
+    facts = []
+    for i in range(1, n):
+        parent = generator.randrange(i)
+        facts.append(Fact(relation, (f"t{parent}", f"t{i}")))
+    if not facts:
+        raise ValueError("a tree instance needs at least two nodes")
+    return Instance(facts, Signature([(relation, 2)]))
+
+
+def caterpillar_instance(spine: int, legs: int, relation: str = "child") -> Instance:
+    """A caterpillar tree: a spine path with ``legs`` leaves per spine node.
+
+    Pathwidth 1; useful as a bounded-pathwidth but not line-shaped family.
+    """
+    facts = []
+    for i in range(spine - 1):
+        facts.append(Fact(relation, (f"s{i}", f"s{i + 1}")))
+    for i in range(spine):
+        for j in range(legs):
+            facts.append(Fact(relation, (f"s{i}", f"leaf{i}_{j}")))
+    return Instance(facts, Signature([(relation, 2)]))
+
+
+def probabilistic_xml_instance(depth: int, fanout: int = 2) -> Instance:
+    """A labelled-tree instance shaped like a probabilistic XML document.
+
+    Signature: ``child(parent, node)``, ``section(node)``, ``paragraph(node)``:
+    internal nodes are sections, leaves are paragraphs.  Edges are the
+    uncertain facts in the probabilistic-XML reading (each child subtree
+    present independently).
+    """
+    facts: list[Fact] = []
+
+    def build(node: str, remaining: int) -> None:
+        if remaining == 0:
+            facts.append(Fact("paragraph", (node,)))
+            return
+        facts.append(Fact("section", (node,)))
+        for i in range(fanout):
+            child = f"{node}_{i}"
+            facts.append(Fact("child", (node, child)))
+            build(child, remaining - 1)
+
+    build("root", depth)
+    return Instance(
+        facts, Signature([("child", 2), ("section", 1), ("paragraph", 1)])
+    )

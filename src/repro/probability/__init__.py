@@ -1,0 +1,40 @@
+"""Exact and approximate probability evaluation on tuple-independent databases."""
+
+from repro.probability.approximation import (
+    ApproximationResult,
+    DissociationBounds,
+    approximate_probability,
+    dissociation_bounds,
+    estimate_property_probability,
+    hoeffding_sample_size,
+    karp_luby_probability,
+    monte_carlo_probability,
+)
+from repro.probability.brute_force import (
+    brute_force_model_count,
+    brute_force_probability,
+    brute_force_property_probability,
+)
+from repro.probability.evaluation import probability
+from repro.probability.model_counting import model_count_via_probability, property_model_count
+from repro.probability.safe_plans import UnsafeQueryError, is_liftable, safe_plan_probability
+
+__all__ = [
+    "ApproximationResult",
+    "DissociationBounds",
+    "UnsafeQueryError",
+    "approximate_probability",
+    "brute_force_model_count",
+    "brute_force_probability",
+    "brute_force_property_probability",
+    "dissociation_bounds",
+    "estimate_property_probability",
+    "hoeffding_sample_size",
+    "is_liftable",
+    "karp_luby_probability",
+    "model_count_via_probability",
+    "monte_carlo_probability",
+    "probability",
+    "property_model_count",
+    "safe_plan_probability",
+]

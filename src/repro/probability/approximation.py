@@ -1,0 +1,254 @@
+"""Approximate probability evaluation on tuple-independent databases.
+
+Exact probability evaluation is #P-hard in general (Theorem 4.2 gives a
+single FO query that is hard on every efficiently constructible
+unbounded-treewidth family).  The paper's conclusion points at two practical
+escape hatches on instances that are *not* treelike: randomized approximation
+and the *dissociation* technique of Gatterbauer and Suciu [27].  This module
+implements both, for the monotone-DNF lineages produced by
+:func:`repro.provenance.lineage.lineage_of` (and by the C2RPQ≠ machinery):
+
+* :func:`monte_carlo_probability` — the naive unbiased estimator (sample
+  possible worlds, average the indicator);
+* :func:`karp_luby_probability` — the Karp-Luby importance-sampling FPRAS for
+  DNF probability, whose relative error does not degrade when the true
+  probability is tiny;
+* :func:`dissociation_bounds` — oblivious upper and lower bounds obtained by
+  treating each clause independently (the "independent-or" upper bound and
+  the max-clause lower bound), which are exact precisely when the lineage is
+  a read-once independent OR — the situation bounded-pathwidth unfoldings of
+  Section 9 produce.
+
+All estimators accept a ``random.Random`` seed for reproducibility and report
+their estimates as floats (the exact engines elsewhere in the library return
+:class:`fractions.Fraction`).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Iterable, Mapping
+
+from repro.data.instance import Fact, Instance
+from repro.data.tid import ProbabilisticInstance
+from repro.errors import ProbabilityError
+from repro.provenance.lineage import MonotoneDNFLineage, lineage_of
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq
+
+
+@dataclass(frozen=True)
+class ApproximationResult:
+    """An estimate together with the sampling effort that produced it."""
+
+    estimate: float
+    samples: int
+    method: str
+
+    def absolute_error(self, exact: Fraction | float) -> float:
+        return abs(self.estimate - float(exact))
+
+    def relative_error(self, exact: Fraction | float) -> float:
+        exact_value = float(exact)
+        if exact_value == 0:
+            return math.inf if self.estimate else 0.0
+        return abs(self.estimate - exact_value) / exact_value
+
+
+def _lineage_for(
+    query_or_lineage,
+    probabilistic_instance: ProbabilisticInstance,
+) -> MonotoneDNFLineage:
+    if isinstance(query_or_lineage, MonotoneDNFLineage):
+        return query_or_lineage
+    if isinstance(query_or_lineage, (ConjunctiveQuery, UnionOfConjunctiveQueries)):
+        return lineage_of(as_ucq(query_or_lineage), probabilistic_instance.instance)
+    raise ProbabilityError(
+        "expected a CQ/UCQ or a MonotoneDNFLineage, got "
+        f"{type(query_or_lineage).__name__}"
+    )
+
+
+def _sample_world(
+    facts: Iterable[Fact],
+    valuation: Mapping[Fact, Fraction],
+    generator: random.Random,
+) -> set[Fact]:
+    return {f for f in facts if generator.random() < float(valuation[f])}
+
+
+def monte_carlo_probability(
+    query_or_lineage,
+    probabilistic_instance: ProbabilisticInstance,
+    samples: int = 1000,
+    seed: int = 0,
+) -> ApproximationResult:
+    """The naive Monte-Carlo estimator: sample worlds, average the indicator.
+
+    Unbiased, with additive error O(1/sqrt(samples)); the relative error blows
+    up when the true probability is small, which is what
+    :func:`karp_luby_probability` fixes.
+    """
+    if samples <= 0:
+        raise ProbabilityError("the sample count must be positive")
+    lineage = _lineage_for(query_or_lineage, probabilistic_instance)
+    valuation = probabilistic_instance.valuation()
+    generator = random.Random(seed)
+    facts = list(probabilistic_instance.instance.facts)
+    hits = 0
+    for _ in range(samples):
+        world = _sample_world(facts, valuation, generator)
+        if lineage.evaluate(world):
+            hits += 1
+    return ApproximationResult(hits / samples, samples, "monte_carlo")
+
+
+def karp_luby_probability(
+    query_or_lineage,
+    probabilistic_instance: ProbabilisticInstance,
+    samples: int = 1000,
+    seed: int = 0,
+) -> ApproximationResult:
+    """The Karp-Luby estimator for the probability of a monotone DNF lineage.
+
+    Sampling scheme: pick a clause with probability proportional to its
+    marginal probability, sample the remaining facts conditioned on the
+    clause being present, and count the sample only when the picked clause is
+    the *first* satisfied clause (canonical-witness trick).  The estimate is
+    the union-bound mass scaled by the fraction of counted samples — an
+    unbiased estimator of the true probability whose relative error is
+    bounded independently of how small the probability is (the estimator is a
+    fully polynomial randomized approximation scheme).
+    """
+    if samples <= 0:
+        raise ProbabilityError("the sample count must be positive")
+    lineage = _lineage_for(query_or_lineage, probabilistic_instance)
+    clauses = list(lineage.clauses)
+    if not clauses:
+        return ApproximationResult(0.0, samples, "karp_luby")
+    valuation = probabilistic_instance.valuation()
+    clause_probability = []
+    for clause in clauses:
+        weight = 1.0
+        for f in clause:
+            weight *= float(valuation[f])
+        clause_probability.append(weight)
+    union_bound = sum(clause_probability)
+    if union_bound == 0:
+        return ApproximationResult(0.0, samples, "karp_luby")
+    generator = random.Random(seed)
+    facts = list(probabilistic_instance.instance.facts)
+    counted = 0
+    for _ in range(samples):
+        picked_index = generator.choices(range(len(clauses)), weights=clause_probability)[0]
+        picked = clauses[picked_index]
+        world = {f for f in facts if f in picked or generator.random() < float(valuation[f])}
+        # Count the sample iff the picked clause is the first satisfied one.
+        first_satisfied = None
+        for index, clause in enumerate(clauses):
+            if clause <= world:
+                first_satisfied = index
+                break
+        if first_satisfied == picked_index:
+            counted += 1
+    return ApproximationResult(union_bound * counted / samples, samples, "karp_luby")
+
+
+@dataclass(frozen=True)
+class DissociationBounds:
+    """Oblivious lower and upper bounds on a monotone DNF probability."""
+
+    lower: Fraction
+    upper: Fraction
+
+    def contains(self, value: Fraction | float) -> bool:
+        return float(self.lower) <= float(value) <= float(self.upper) + 1e-12
+
+    @property
+    def gap(self) -> Fraction:
+        return self.upper - self.lower
+
+
+def dissociation_bounds(
+    query_or_lineage,
+    probabilistic_instance: ProbabilisticInstance,
+) -> DissociationBounds:
+    """Oblivious bounds obtained by dissociating the clauses of the lineage.
+
+    The *upper* bound treats the clauses as independent events ("independent
+    or" / dissociation of the shared facts into fresh copies): it always
+    dominates the true probability of a monotone DNF with positively
+    correlated clauses.  The *lower* bound is the probability of the most
+    probable single clause.  Both are exact when the lineage is a single
+    clause, and the upper bound is exact whenever the clauses touch pairwise
+    disjoint fact sets (a read-once independent OR) — which is what the
+    bounded-pathwidth rewritings of Section 9 guarantee for inversion-free
+    queries.
+    """
+    lineage = _lineage_for(query_or_lineage, probabilistic_instance)
+    valuation = probabilistic_instance.valuation()
+    best_single = Fraction(0)
+    complement_product = Fraction(1)
+    for clause in lineage.clauses:
+        clause_probability = Fraction(1)
+        for f in clause:
+            clause_probability *= valuation[f]
+        best_single = max(best_single, clause_probability)
+        complement_product *= 1 - clause_probability
+    return DissociationBounds(lower=best_single, upper=1 - complement_product)
+
+
+def hoeffding_sample_size(epsilon: float, delta: float) -> int:
+    """Samples needed for additive error <= epsilon with probability >= 1 - delta."""
+    if not 0 < epsilon < 1 or not 0 < delta < 1:
+        raise ProbabilityError("epsilon and delta must lie strictly between 0 and 1")
+    return math.ceil(math.log(2.0 / delta) / (2.0 * epsilon * epsilon))
+
+
+def approximate_probability(
+    query_or_lineage,
+    probabilistic_instance: ProbabilisticInstance,
+    epsilon: float = 0.05,
+    delta: float = 0.05,
+    method: str = "karp_luby",
+    seed: int = 0,
+) -> ApproximationResult:
+    """An (epsilon, delta) additive approximation with the requested estimator.
+
+    The sample size is chosen by the Hoeffding bound on the underlying
+    indicator variables; for ``karp_luby`` this is conservative (its indicator
+    is scaled by the union bound) but keeps the interface uniform.
+    """
+    samples = hoeffding_sample_size(epsilon, delta)
+    if method == "monte_carlo":
+        return monte_carlo_probability(query_or_lineage, probabilistic_instance, samples, seed)
+    if method == "karp_luby":
+        return karp_luby_probability(query_or_lineage, probabilistic_instance, samples, seed)
+    raise ProbabilityError(f"unknown approximation method {method!r}")
+
+
+def estimate_property_probability(
+    property_check: Callable[[Instance], bool],
+    probabilistic_instance: ProbabilisticInstance,
+    samples: int = 1000,
+    seed: int = 0,
+) -> ApproximationResult:
+    """Monte-Carlo estimation for an arbitrary (possibly non-monotone) property.
+
+    The MSO queries of Sections 4 and 5 are not monotone in general, so they
+    have no DNF lineage; this estimator only needs a membership oracle.
+    """
+    if samples <= 0:
+        raise ProbabilityError("the sample count must be positive")
+    valuation = probabilistic_instance.valuation()
+    generator = random.Random(seed)
+    facts = list(probabilistic_instance.instance.facts)
+    hits = 0
+    for _ in range(samples):
+        world_facts = _sample_world(facts, valuation, generator)
+        if property_check(probabilistic_instance.instance.subinstance(world_facts)):
+            hits += 1
+    return ApproximationResult(hits / samples, samples, "monte_carlo_property")

@@ -1,0 +1,50 @@
+"""Brute-force probability evaluation (the testing oracle).
+
+Enumerates all possible worlds of a TID instance and sums the probabilities
+of the worlds satisfying the query.  Exponential in the number of facts;
+used to validate every other evaluation strategy on small instances.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable
+
+from repro.data.instance import Instance
+from repro.data.tid import ProbabilisticInstance
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.matching import satisfies
+from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq
+
+
+def brute_force_probability(
+    query: UnionOfConjunctiveQueries | ConjunctiveQuery,
+    probabilistic_instance: ProbabilisticInstance,
+) -> Fraction:
+    """Exact probability of a UCQ≠ by possible-world enumeration."""
+    query = as_ucq(query)
+    return brute_force_property_probability(
+        lambda world: satisfies(world, query), probabilistic_instance
+    )
+
+
+def brute_force_property_probability(
+    property_check: Callable[[Instance], bool],
+    probabilistic_instance: ProbabilisticInstance,
+) -> Fraction:
+    """Exact probability of an arbitrary instance property by enumeration."""
+    total = Fraction(0)
+    for world, probability in probabilistic_instance.possible_worlds():
+        if probability == 0:
+            continue
+        if property_check(world):
+            total += probability
+    return total
+
+
+def brute_force_model_count(
+    query: UnionOfConjunctiveQueries | ConjunctiveQuery, instance: Instance
+) -> int:
+    """Number of subinstances satisfying the query (exponential enumeration)."""
+    query = as_ucq(query)
+    return sum(1 for world in instance.all_subinstances() if satisfies(world, query))

@@ -1,0 +1,93 @@
+"""Top-level probability evaluation for UCQ≠ queries on TID instances.
+
+This is the user-facing entry point implementing the upper bound of
+Theorem 4.2: on treelike instances, probability evaluation runs in one pass
+over a tree encoding (the ``automaton`` method) or through a compiled lineage
+(``obdd`` / ``dnnf``); ``brute_force`` is the exponential oracle and
+``safe_plan`` the query-based lifted-inference route of Section 9.
+
+All methods return exact :class:`fractions.Fraction` values and agree with
+each other — the test suite checks this systematically.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Literal
+
+from repro.data.tid import ProbabilisticInstance
+from repro.errors import ProbabilityError
+from repro.provenance.compile_obdd import compile_query_to_obdd
+from repro.provenance.lineage import lineage_of
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq
+
+Method = Literal["auto", "obdd", "dnnf", "automaton", "brute_force", "safe_plan", "read_once"]
+
+
+def probability(
+    query: UnionOfConjunctiveQueries | ConjunctiveQuery,
+    probabilistic_instance: ProbabilisticInstance,
+    method: Method = "auto",
+) -> Fraction:
+    """The probability that the TID instance satisfies the UCQ≠ (Definition 3.1)."""
+    query = as_ucq(query)
+    if method == "auto":
+        return _auto_probability(query, probabilistic_instance)
+    if method == "brute_force":
+        from repro.probability.brute_force import brute_force_probability
+
+        return brute_force_probability(query, probabilistic_instance)
+    if method == "safe_plan":
+        from repro.probability.safe_plans import safe_plan_probability
+
+        return safe_plan_probability(query, probabilistic_instance)
+    if method == "obdd":
+        compiled = compile_query_to_obdd(query, probabilistic_instance.instance)
+        return compiled.probability(probabilistic_instance.valuation())
+    if method == "dnnf":
+        compiled = compile_query_to_obdd(query, probabilistic_instance.instance)
+        dnnf = compiled.to_dnnf()
+        valuation = {
+            fact: probabilistic_instance.probability_of(fact) for fact in dnnf.variables()
+        }
+        return dnnf.probability(valuation)
+    if method == "automaton":
+        from repro.provenance.ucq_automaton import ucq_probability_via_automaton
+
+        return ucq_probability_via_automaton(query, probabilistic_instance)
+    if method == "read_once":
+        return _read_once_probability(query, probabilistic_instance)
+    raise ProbabilityError(f"unknown probability evaluation method {method!r}")
+
+
+def _auto_probability(
+    query: UnionOfConjunctiveQueries, probabilistic_instance: ProbabilisticInstance
+) -> Fraction:
+    """Pick a strategy: read-once lineages get the direct formula, everything
+    else goes through the OBDD compilation (which is exact for any UCQ≠)."""
+    lineage = lineage_of(query, probabilistic_instance.instance)
+    if lineage.is_read_once_shaped():
+        return _probability_of_read_once(lineage, probabilistic_instance)
+    compiled = compile_query_to_obdd(query, probabilistic_instance.instance)
+    return compiled.probability(probabilistic_instance.valuation())
+
+
+def _read_once_probability(
+    query: UnionOfConjunctiveQueries, probabilistic_instance: ProbabilisticInstance
+) -> Fraction:
+    lineage = lineage_of(query, probabilistic_instance.instance)
+    if not lineage.is_read_once_shaped():
+        raise ProbabilityError("lineage is not read-once shaped; use another method")
+    return _probability_of_read_once(lineage, probabilistic_instance)
+
+
+def _probability_of_read_once(lineage, probabilistic_instance: ProbabilisticInstance) -> Fraction:
+    """P(OR of independent ANDs) = 1 - prod(1 - prod(p(fact)))."""
+    complement = Fraction(1)
+    for clause in lineage.clauses:
+        clause_probability = Fraction(1)
+        for fact in clause:
+            clause_probability *= probabilistic_instance.probability_of(fact)
+        complement *= 1 - clause_probability
+    return 1 - complement

@@ -1,0 +1,191 @@
+"""Lifted inference (safe plans) for hierarchical self-join-free queries.
+
+The query-based tractability route of [18, 19, 36], used in Section 9 of the
+paper as the point of comparison with the instance-based route: hierarchical
+self-join-free CQs (the safe ones) and inversion-free UCQs admit probability
+computation directly on the TID instance, without materializing a lineage,
+by recursively applying independence rules:
+
+* *independent project*: if a root variable x occurs in every atom, group the
+  facts by the value of x; the groups touch disjoint facts, so
+  ``P(q) = 1 - prod_a (1 - P(q[x := a]))``;
+* *independent join*: if the query splits into sub-queries sharing no
+  relation symbol (and no variable), ``P(q1 ∧ q2) = P(q1) * P(q2)``;
+* *ground atom*: the probability of a fully instantiated atom is its
+  TID probability (0 if the fact is absent).
+
+For unions, we apply inclusion–exclusion over the disjuncts (exponential in
+the — fixed — number of disjuncts only), which is exact for any UCQ whose
+conjunctions of disjuncts remain safe; inversion-free UCQs satisfy this.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Mapping
+
+from repro.data.instance import Fact
+from repro.data.tid import ProbabilisticInstance
+from repro.errors import ProbabilityError, QueryError
+from repro.queries.atoms import Atom, Variable
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.properties import is_hierarchical
+from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq
+
+
+class UnsafeQueryError(ProbabilityError):
+    """Raised when the lifted-inference rules do not apply (the query is unsafe)."""
+
+
+def safe_plan_probability(
+    query: UnionOfConjunctiveQueries | ConjunctiveQuery,
+    probabilistic_instance: ProbabilisticInstance,
+) -> Fraction:
+    """Exact probability by lifted inference.
+
+    Raises :class:`UnsafeQueryError` when a disjunct (or conjunction of
+    disjuncts arising in inclusion–exclusion) is not hierarchical / has
+    self-joins that block the independence rules.
+    """
+    query = as_ucq(query)
+    if query.has_disequalities():
+        raise UnsafeQueryError("lifted inference implemented for UCQs without disequalities")
+    disjuncts = list(query.disjuncts)
+    # Inclusion-exclusion over disjuncts: P(OR q_i) = sum over non-empty S of
+    # (-1)^{|S|+1} P(AND of q_i in S), where the conjunction of CQs is the CQ
+    # with variables renamed apart and atom sets concatenated.
+    total = Fraction(0)
+    for mask in range(1, 1 << len(disjuncts)):
+        chosen = [disjuncts[i] for i in range(len(disjuncts)) if mask >> i & 1]
+        conjunction = _conjoin(chosen)
+        sign = -1 if bin(mask).count("1") % 2 == 0 else 1
+        total += sign * _cq_probability(conjunction, probabilistic_instance)
+    return total
+
+
+def _conjoin(disjuncts: list[ConjunctiveQuery]) -> ConjunctiveQuery:
+    """The conjunction of several CQs with variables renamed apart."""
+    atoms: list[Atom] = []
+    for index, disjunct in enumerate(disjuncts):
+        renaming = {v: Variable(f"{v.name}__{index}") for v in disjunct.variables()}
+        renamed = disjunct.rename_variables(renaming)
+        atoms.extend(renamed.atoms)
+    return ConjunctiveQuery(tuple(atoms))
+
+
+def _cq_probability(
+    query: ConjunctiveQuery, probabilistic_instance: ProbabilisticInstance
+) -> Fraction:
+    """Probability of a (Boolean) CQ by the independent project / join rules."""
+    atoms = [(a, {}) for a in query.atoms]
+    return _evaluate(atoms, probabilistic_instance)
+
+
+_Binding = Mapping[Variable, Any]
+
+
+def _evaluate(
+    atoms: list[tuple[Atom, _Binding]], probabilistic_instance: ProbabilisticInstance
+) -> Fraction:
+    """Recursive lifted evaluation of a conjunction of partially bound atoms."""
+    if not atoms:
+        return Fraction(1)
+
+    # Ground atoms: all variables bound -> multiply the fact probability in.
+    ground = [
+        (a, binding) for a, binding in atoms if all(v in binding for v in a.variables())
+    ]
+    if ground:
+        remaining = [(a, binding) for a, binding in atoms if (a, binding) not in ground]
+        probability = Fraction(1)
+        ground_facts: set[Fact] = set()
+        for a, binding in ground:
+            ground_facts.add(Fact(a.relation, tuple(binding[v] for v in a.arguments)))
+        instance_facts = set(probabilistic_instance.instance.facts)
+        for fact in ground_facts:
+            if fact in instance_facts:
+                probability *= probabilistic_instance.probability_of(fact)
+            else:
+                return Fraction(0)
+        return probability * _evaluate(remaining, probabilistic_instance)
+
+    # Independent join: split into connected components sharing no unbound variable.
+    components = _components(atoms)
+    if len(components) > 1:
+        probability = Fraction(1)
+        for component in components:
+            probability *= _evaluate(component, probabilistic_instance)
+        return probability
+
+    # Independent project on a root variable: an unbound variable occurring in
+    # every atom of the component.
+    unbound_per_atom = [
+        {v for v in a.variables() if v not in binding} for a, binding in atoms
+    ]
+    shared = set.intersection(*unbound_per_atom) if unbound_per_atom else set()
+    if not shared:
+        raise UnsafeQueryError(
+            "no root variable: the query is not hierarchical (unsafe for lifted inference)"
+        )
+    if not _distinct_relations(atoms):
+        raise UnsafeQueryError("self-join across the root variable: lifted inference does not apply")
+    root = sorted(shared, key=lambda v: v.name)[0]
+    domain = probabilistic_instance.instance.domain
+    probability_none = Fraction(1)
+    for value in domain:
+        bound = [(a, {**binding, root: value}) for a, binding in atoms]
+        probability_none *= 1 - _evaluate(bound, probabilistic_instance)
+    return 1 - probability_none
+
+
+def _components(atoms: list[tuple[Atom, _Binding]]) -> list[list[tuple[Atom, _Binding]]]:
+    """Connected components of atoms linked by shared *unbound* variables or by a
+    shared relation symbol (two atoms over the same relation are never
+    independent, so splitting them would be unsound)."""
+    n = len(atoms)
+    adjacency = {i: set() for i in range(n)}
+    unbound = [
+        {v for v in a.variables() if v not in binding} for a, binding in atoms
+    ]
+    for i in range(n):
+        for j in range(i + 1, n):
+            if unbound[i] & unbound[j] or atoms[i][0].relation == atoms[j][0].relation:
+                adjacency[i].add(j)
+                adjacency[j].add(i)
+    seen: set[int] = set()
+    components: list[list[tuple[Atom, _Binding]]] = []
+    for start in range(n):
+        if start in seen:
+            continue
+        stack = [start]
+        component = []
+        seen.add(start)
+        while stack:
+            current = stack.pop()
+            component.append(atoms[current])
+            for neighbor in adjacency[current]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        components.append(component)
+    return components
+
+
+def _distinct_relations(atoms: list[tuple[Atom, _Binding]]) -> bool:
+    names = [a.relation for a, _ in atoms]
+    return len(names) == len(set(names))
+
+
+def is_liftable(query: UnionOfConjunctiveQueries | ConjunctiveQuery) -> bool:
+    """A quick syntactic sufficient condition: every disjunct (and conjunction of
+    disjuncts) is hierarchical and self-join-free after renaming apart."""
+    query = as_ucq(query)
+    if query.has_disequalities():
+        return False
+    try:
+        for disjunct in query.disjuncts:
+            if not disjunct.is_self_join_free():
+                return False
+        return is_hierarchical(query)
+    except QueryError:
+        return False

@@ -1,0 +1,102 @@
+"""Lineage and provenance constructions on treelike instances (Section 6)."""
+
+from repro.provenance.automata import (
+    FunctionalAutomaton,
+    accepts,
+    automaton_probability,
+    model_check,
+    reachable_states,
+    run_automaton,
+)
+from repro.provenance.automaton_provenance import (
+    ProvenanceResult,
+    provenance,
+    provenance_circuit,
+    provenance_dnnf,
+    provenance_obdd,
+)
+from repro.provenance.compile_obdd import (
+    CompiledOBDD,
+    compile_circuit_to_obdd,
+    compile_lineage_to_obdd,
+    compile_query_to_dnnf,
+    compile_query_to_obdd,
+    obdd_width_of_query,
+)
+from repro.provenance.lineage import (
+    MonotoneDNFLineage,
+    brute_force_lineage_table,
+    lineage_circuit,
+    lineage_of,
+)
+from repro.provenance.mso_properties import (
+    all_facts_present_automaton,
+    fact_count_parity_automaton,
+    incident_pair_automaton,
+    matching_world_automaton,
+    nonempty_automaton,
+    parity_automaton,
+    threshold_automaton,
+)
+from repro.provenance.reliability import (
+    is_st_connected,
+    st_connectivity_automaton,
+    st_reliability,
+)
+from repro.provenance.tree_encoding import EncodingNode, TreeEncoding, path_encoding, tree_encoding
+from repro.provenance.ucq_automaton import (
+    ucq_automaton,
+    ucq_lineage_dnnf,
+    ucq_probability_via_automaton,
+)
+from repro.provenance.variable_orders import (
+    default_fact_order,
+    element_major_order,
+    fact_order_from_path_decomposition,
+    fact_order_from_tree_decomposition,
+)
+
+__all__ = [
+    "CompiledOBDD",
+    "EncodingNode",
+    "FunctionalAutomaton",
+    "MonotoneDNFLineage",
+    "ProvenanceResult",
+    "TreeEncoding",
+    "accepts",
+    "all_facts_present_automaton",
+    "automaton_probability",
+    "brute_force_lineage_table",
+    "compile_circuit_to_obdd",
+    "compile_lineage_to_obdd",
+    "compile_query_to_dnnf",
+    "compile_query_to_obdd",
+    "default_fact_order",
+    "element_major_order",
+    "fact_count_parity_automaton",
+    "fact_order_from_path_decomposition",
+    "fact_order_from_tree_decomposition",
+    "incident_pair_automaton",
+    "is_st_connected",
+    "lineage_circuit",
+    "lineage_of",
+    "matching_world_automaton",
+    "model_check",
+    "nonempty_automaton",
+    "obdd_width_of_query",
+    "parity_automaton",
+    "path_encoding",
+    "provenance",
+    "provenance_circuit",
+    "provenance_dnnf",
+    "provenance_obdd",
+    "reachable_states",
+    "run_automaton",
+    "st_connectivity_automaton",
+    "st_reliability",
+    "threshold_automaton",
+    "tree_encoding",
+    "ucq_automaton",
+    "ucq_lineage_dnnf",
+    "ucq_probability_via_automaton",
+]

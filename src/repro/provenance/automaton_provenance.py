@@ -1,0 +1,154 @@
+"""Provenance circuits from deterministic tree automata (Theorems 6.3 and 6.11).
+
+Given a deterministic bottom-up automaton A and a tree encoding E of an
+instance, the construction of [2] builds, bottom-up, one gate ``g^q_n`` per
+node n and reachable state q, meaning "in the current possible world, the run
+of A assigns state q to node n".  The gate is an OR, over the combinations of
+children states and fact-presence values leading to q, of the AND of the
+children's gates and the fact literal (or its negation).
+
+Because A is deterministic:
+
+* the OR inputs are mutually exclusive (different combinations cannot hold in
+  the same world), and
+* the AND inputs depend on disjoint facts (left subtree, right subtree, and
+  the node's own fact),
+
+so the produced circuit is a d-DNNF (Theorem 6.11), of size linear in the
+encoding (for a fixed automaton and width).  The same circuit viewed as a
+plain Boolean circuit is the bounded-treewidth lineage circuit of
+Theorem 6.3; over a path encoding it has bounded pathwidth (Proposition 6.8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.booleans.circuit import BooleanCircuit
+from repro.booleans.dnnf import DNNF
+from repro.data.instance import Fact
+from repro.errors import LineageError
+from repro.provenance.automata import State, TreeAutomaton, reachable_states
+from repro.provenance.tree_encoding import TreeEncoding
+
+
+@dataclass
+class ProvenanceResult:
+    """The provenance of an automaton on an encoding, in both representations."""
+
+    dnnf: DNNF
+    circuit: BooleanCircuit
+    reachable_state_counts: dict[int, int]
+
+    @property
+    def dnnf_size(self) -> int:
+        return self.dnnf.size
+
+    @property
+    def circuit_size(self) -> int:
+        return self.circuit.size
+
+    @property
+    def max_states_per_node(self) -> int:
+        return max(self.reachable_state_counts.values(), default=0)
+
+
+def provenance_dnnf(automaton: TreeAutomaton, encoding: TreeEncoding) -> DNNF:
+    """The d-DNNF provenance of the automaton on the encoding (Theorem 6.11)."""
+    return provenance(automaton, encoding).dnnf
+
+
+def provenance_circuit(automaton: TreeAutomaton, encoding: TreeEncoding) -> BooleanCircuit:
+    """The lineage circuit of the automaton on the encoding (Theorem 6.3)."""
+    return provenance(automaton, encoding).circuit
+
+
+def provenance(automaton: TreeAutomaton, encoding: TreeEncoding) -> ProvenanceResult:
+    """Build the provenance d-DNNF and circuit in one bottom-up pass."""
+    reachable = reachable_states(automaton, encoding)
+
+    dnnf = DNNF()
+    circuit = BooleanCircuit()
+
+    # Per node: state -> d-DNNF node id / circuit gate id
+    dnnf_gate: dict[int, dict[State, int]] = {}
+    circuit_gate: dict[int, dict[State, int]] = {}
+
+    for identifier in encoding.post_order():
+        node = encoding.nodes[identifier]
+        children = node.children
+        child_states: list[list[State]] = [sorted(reachable[c], key=repr) for c in children]
+
+        # collect, per resulting state, the list of (child-state combination, fact_present)
+        combos_for_state: dict[State, list[tuple[tuple[State, ...], bool]]] = {}
+        for combination in _product(child_states):
+            presence_options = (False, True) if node.fact is not None else (False,)
+            for fact_present in presence_options:
+                state = automaton.transition(node, fact_present, combination)
+                combos_for_state.setdefault(state, []).append((combination, fact_present))
+
+        dnnf_gate[identifier] = {}
+        circuit_gate[identifier] = {}
+        for state, combos in combos_for_state.items():
+            dnnf_terms: list[int] = []
+            circuit_terms: list[int] = []
+            for combination, fact_present in combos:
+                dnnf_parts: list[int] = []
+                circuit_parts: list[int] = []
+                for child, child_state in zip(children, combination):
+                    dnnf_parts.append(dnnf_gate[child][child_state])
+                    circuit_parts.append(circuit_gate[child][child_state])
+                if node.fact is not None:
+                    dnnf_parts.append(dnnf.literal(node.fact, fact_present))
+                    fact_gate = circuit.variable(node.fact)
+                    circuit_parts.append(fact_gate if fact_present else circuit.negation(fact_gate))
+                dnnf_terms.append(dnnf.conjunction(dnnf_parts))
+                circuit_terms.append(circuit.conjunction(circuit_parts))
+            dnnf_gate[identifier][state] = dnnf.disjunction(dnnf_terms)
+            circuit_gate[identifier][state] = circuit.disjunction(circuit_terms)
+
+    root_states = sorted(reachable[encoding.root], key=repr)
+    accepting = [state for state in root_states if automaton.is_accepting(state)]
+    dnnf.set_output(
+        dnnf.disjunction([dnnf_gate[encoding.root][state] for state in accepting])
+        if accepting
+        else dnnf.constant(False)
+    )
+    circuit.set_output(
+        circuit.disjunction([circuit_gate[encoding.root][state] for state in accepting])
+        if accepting
+        else circuit.constant(False)
+    )
+
+    counts = {identifier: len(states) for identifier, states in reachable.items()}
+    return ProvenanceResult(dnnf=dnnf, circuit=circuit, reachable_state_counts=counts)
+
+
+def provenance_obdd(automaton: TreeAutomaton, encoding: TreeEncoding):
+    """An OBDD for the automaton's lineage, under the encoding's fact order.
+
+    This realizes the Theorem 6.5 pipeline: the bounded-treewidth circuit of
+    Theorem 6.3 compiled into an OBDD whose variable order follows the
+    decomposition (facts in post-order of their attachment node).
+    """
+    from repro.provenance.compile_obdd import compile_circuit_to_obdd
+
+    result = provenance(automaton, encoding)
+    order: Sequence[Fact] = encoding.facts_in_order()
+    missing = set(result.circuit.variables()) - set(order)
+    if missing:
+        raise LineageError("encoding fact order does not cover the circuit variables")
+    # Facts never mentioned by the circuit are appended so that model counts
+    # are taken over the full instance when needed.
+    return compile_circuit_to_obdd(result.circuit, list(order))
+
+
+def _product(sequences: Sequence[Sequence[State]]):
+    if not sequences:
+        yield ()
+        return
+    head, *tail = sequences
+    for item in head:
+        for rest in _product(tail):
+            yield (item, *rest)

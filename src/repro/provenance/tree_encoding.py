@@ -1,0 +1,182 @@
+"""Tree encodings of treelike instances (the Γ-trees of [2], used in Section 6).
+
+A bounded-treewidth instance is encoded as a rooted binary tree whose nodes
+carry a *bag* of domain elements (of size at most width + 1) and at most one
+fact of the instance whose elements all belong to the bag.  Every fact is
+attached to exactly one node (its topmost covering bag), and the bags satisfy
+the tree-decomposition conditions, so the occurrences of each element form a
+connected subtree.
+
+The provenance constructions (:mod:`repro.provenance.automaton_provenance`)
+run bottom-up deterministic automata over these encodings, where the
+uncertainty is whether each attached fact is kept or discarded — exactly the
+uncertain-tree setting of [2].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.data.gaifman import gaifman_graph
+from repro.data.instance import Fact, Instance
+from repro.errors import DecompositionError
+from repro.structure.nice import binarize
+from repro.structure.path_decomposition import PathDecomposition
+from repro.structure.tree_decomposition import TreeDecomposition, tree_decomposition
+
+
+@dataclass(frozen=True)
+class EncodingNode:
+    """A node of a tree encoding: a bag, an optional attached fact, children ids."""
+
+    identifier: int
+    bag: frozenset
+    fact: Fact | None
+    children: tuple[int, ...]
+
+
+@dataclass
+class TreeEncoding:
+    """A binary tree encoding of an instance."""
+
+    instance: Instance
+    nodes: dict[int, EncodingNode]
+    root: int
+
+    @property
+    def width(self) -> int:
+        return max((len(node.bag) for node in self.nodes.values()), default=0) - 1
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def post_order(self) -> list[int]:
+        order: list[int] = []
+        stack: list[tuple[int, bool]] = [(self.root, False)]
+        while stack:
+            identifier, expanded = stack.pop()
+            if expanded:
+                order.append(identifier)
+            else:
+                stack.append((identifier, True))
+                for child in reversed(self.nodes[identifier].children):
+                    stack.append((child, False))
+        return order
+
+    def facts_in_order(self) -> list[Fact]:
+        """Facts in post-order of their attachment nodes (a decomposition-derived order)."""
+        return [
+            self.nodes[identifier].fact
+            for identifier in self.post_order()
+            if self.nodes[identifier].fact is not None
+        ]
+
+    def validate(self) -> None:
+        """Check the tree-decomposition conditions and the fact attachment."""
+        attached = [node.fact for node in self.nodes.values() if node.fact is not None]
+        if sorted(attached, key=_fact_key) != sorted(self.instance.facts, key=_fact_key):
+            raise DecompositionError("attached facts do not match the instance's facts")
+        for node in self.nodes.values():
+            if node.fact is not None and not set(node.fact.elements()) <= node.bag:
+                raise DecompositionError("a fact is attached to a bag not covering it")
+            if len(node.children) > 2:
+                raise DecompositionError("tree encoding must be binary")
+        # connectivity of element occurrences
+        parent: dict[int, int | None] = {self.root: None}
+        for identifier, node in self.nodes.items():
+            for child in node.children:
+                parent[child] = identifier
+        for element in self.instance.domain:
+            occurrences = {i for i, node in self.nodes.items() if element in node.bag}
+            if not occurrences:
+                raise DecompositionError(f"element {element!r} appears in no bag")
+            start = next(iter(occurrences))
+            seen = {start}
+            stack = [start]
+            while stack:
+                current = stack.pop()
+                neighbors = list(self.nodes[current].children)
+                if parent.get(current) is not None:
+                    neighbors.append(parent[current])
+                for other in neighbors:
+                    if other in occurrences and other not in seen:
+                        seen.add(other)
+                        stack.append(other)
+            if seen != occurrences:
+                raise DecompositionError(f"occurrences of element {element!r} are not connected")
+
+    def iter_nodes(self) -> Iterator[EncodingNode]:
+        return iter(self.nodes.values())
+
+
+def tree_encoding(
+    instance: Instance, decomposition: TreeDecomposition | None = None
+) -> TreeEncoding:
+    """Build a tree encoding of the instance from a tree decomposition.
+
+    Each fact is attached to the topmost (closest to the root) bag covering
+    it; bags with several facts are expanded into chains of nodes carrying one
+    fact each, so the encoding stays binary and its size is linear in
+    ``|I| + |decomposition|``.
+    """
+    if decomposition is None:
+        decomposition = tree_decomposition(gaifman_graph(instance))
+    decomposition = binarize(decomposition)
+
+    order = decomposition.topological_order()
+    position = {node: index for index, node in enumerate(order)}
+    facts_at: dict[int, list[Fact]] = {node: [] for node in decomposition.nodes()}
+    for f in instance:
+        elements = set(f.elements())
+        covering = [node for node in order if elements <= decomposition.bags[node]]
+        if not covering:
+            raise DecompositionError(f"no bag covers fact {f}")
+        topmost = min(covering, key=lambda node: position[node])
+        facts_at[topmost].append(f)
+
+    nodes: dict[int, EncodingNode] = {}
+    counter = [0]
+
+    def fresh() -> int:
+        counter[0] += 1
+        return counter[0] - 1
+
+    def build(bag_node: int) -> int:
+        bag = decomposition.bags[bag_node]
+        child_ids = tuple(build(child) for child in decomposition.children.get(bag_node, []))
+        facts = sorted(facts_at[bag_node], key=_fact_key)
+        if not facts:
+            identifier = fresh()
+            nodes[identifier] = EncodingNode(identifier, bag, None, child_ids)
+            return identifier
+        current_children = child_ids
+        identifier = -1
+        for f in facts:
+            identifier = fresh()
+            nodes[identifier] = EncodingNode(identifier, bag, f, current_children)
+            current_children = (identifier,)
+        return identifier
+
+    root = build(decomposition.root)
+    encoding = TreeEncoding(instance, nodes, root)
+    encoding.validate()
+    return encoding
+
+
+def path_encoding(instance: Instance, decomposition: PathDecomposition | None = None) -> TreeEncoding:
+    """A tree encoding whose tree is a path, from a path decomposition.
+
+    Used for the bounded-pathwidth results (Theorem 6.7 / Proposition 6.8):
+    running the provenance construction over a path encoding yields
+    bounded-pathwidth circuits and constant-width OBDDs.
+    """
+    from repro.structure.path_decomposition import path_decomposition as compute_path
+
+    if decomposition is None:
+        decomposition = compute_path(gaifman_graph(instance))
+    return tree_encoding(instance, decomposition.to_tree_decomposition())
+
+
+def _fact_key(f: Fact) -> tuple:
+    return (f.relation, tuple(repr(a) for a in f.arguments))

@@ -1,0 +1,242 @@
+"""Compiling UCQ≠ queries into deterministic tree automata on tree encodings.
+
+This implements the dynamic programming that underlies the bounded-treewidth
+lineage constructions for (unions of) conjunctive queries with disequalities:
+the automaton state at an encoding node summarizes, for the facts kept in the
+subtree, which *partial matches* of each disjunct exist, described only in
+terms of the current bag.
+
+A partial-match descriptor for a disjunct is a pair ``(A, mu)`` where ``A`` is
+the set of atoms already matched by kept facts attached in the subtree and
+``mu`` maps the *live* variables (those whose image lies in the current bag)
+to bag elements.  Variables whose image has left the bag are "forgotten",
+which is only allowed when all atoms containing them are already matched —
+the usual treewidth argument guarantees this is sound and complete.
+Disequalities are checked whenever both sides are live; when one side has
+been forgotten the disequality is automatically satisfied because a forgotten
+element can never reappear in a later bag (connectivity of occurrences).
+
+Once some disjunct is fully matched the state collapses to the ``ACCEPT``
+sink.  The automaton is deterministic by construction, so the provenance
+construction of Theorem 6.11 applied to it yields a d-DNNF lineage, and the
+state-space dynamic programming of :func:`repro.provenance.automata.
+automaton_probability` evaluates query probability in one bottom-up pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.data.instance import Instance
+from repro.errors import QueryError
+from repro.provenance.automata import FunctionalAutomaton, State
+from repro.provenance.tree_encoding import EncodingNode, TreeEncoding, tree_encoding
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq
+
+ACCEPT = "ACCEPT"
+
+# A descriptor is (disjunct index, frozenset of matched atom indices,
+#                  frozenset of (variable name, element) pairs for live variables).
+Descriptor = tuple[int, frozenset, frozenset]
+
+
+@dataclass(frozen=True)
+class _DisjunctInfo:
+    """Precomputed structural data about one disjunct."""
+
+    atom_relations: tuple[str, ...]
+    atom_variables: tuple[tuple[str, ...], ...]  # variable names per atom, in position order
+    atoms_of_variable: dict[str, frozenset]  # variable name -> indices of atoms containing it
+    disequalities: tuple[tuple[str, str], ...]
+    atom_count: int
+
+
+def _analyze(query: UnionOfConjunctiveQueries) -> list[_DisjunctInfo]:
+    infos: list[_DisjunctInfo] = []
+    for disjunct in query.disjuncts:
+        atom_relations = tuple(a.relation for a in disjunct.atoms)
+        atom_variables = tuple(tuple(v.name for v in a.arguments) for a in disjunct.atoms)
+        atoms_of_variable: dict[str, set[int]] = {}
+        for index, a in enumerate(disjunct.atoms):
+            for v in a.variables():
+                atoms_of_variable.setdefault(v.name, set()).add(index)
+        disequalities = tuple((d.left.name, d.right.name) for d in disjunct.disequalities)
+        infos.append(
+            _DisjunctInfo(
+                atom_relations=atom_relations,
+                atom_variables=atom_variables,
+                atoms_of_variable={k: frozenset(v) for k, v in atoms_of_variable.items()},
+                disequalities=disequalities,
+                atom_count=len(disjunct.atoms),
+            )
+        )
+    return infos
+
+
+def ucq_automaton(query: UnionOfConjunctiveQueries | ConjunctiveQuery) -> FunctionalAutomaton:
+    """A deterministic tree automaton recognizing the possible worlds satisfying the UCQ≠."""
+    query = as_ucq(query)
+    infos = _analyze(query)
+
+    def violates_disequality(info: _DisjunctInfo, live: dict[str, Any]) -> bool:
+        for left, right in info.disequalities:
+            if left in live and right in live and live[left] == live[right]:
+                return True
+        return False
+
+    def reproject(descriptor: Descriptor, bag: frozenset) -> Descriptor | None:
+        disjunct_index, matched, live_items = descriptor
+        info = infos[disjunct_index]
+        live = dict(live_items)
+        for variable, element in live_items:
+            if element not in bag:
+                # forgetting: only allowed when every atom containing the variable is matched
+                if not info.atoms_of_variable.get(variable, frozenset()) <= matched:
+                    return None
+                del live[variable]
+        return (disjunct_index, matched, frozenset(live.items()))
+
+    def combine(first: Descriptor, second: Descriptor) -> Descriptor | None:
+        disjunct_index, matched_a, live_a = first
+        _, matched_b, live_b = second
+        info = infos[disjunct_index]
+        live = dict(live_a)
+        for variable, element in live_b:
+            if variable in live:
+                if live[variable] != element:
+                    return None
+            else:
+                live[variable] = element
+        # A variable used (matched) on both sides must be live on both sides
+        # with the same value; being forgotten on either side means its images
+        # would live in disjoint subtrees, hence differ.
+        assigned_a = {v for index in matched_a for v in info.atom_variables[index]}
+        assigned_b = {v for index in matched_b for v in info.atom_variables[index]}
+        live_a_vars = {v for v, _ in live_a}
+        live_b_vars = {v for v, _ in live_b}
+        for variable in assigned_a & assigned_b:
+            if variable not in live_a_vars or variable not in live_b_vars:
+                return None
+        if violates_disequality(info, live):
+            return None
+        return (disjunct_index, matched_a | matched_b, frozenset(live.items()))
+
+    def extend_with_fact(descriptors: set[Descriptor], node: EncodingNode) -> tuple[set[Descriptor], bool]:
+        """Saturate the descriptor set with matches using the node's (kept) fact."""
+        fact = node.fact
+        assert fact is not None
+        accepted = False
+        worklist = list(descriptors) + [
+            (index, frozenset(), frozenset()) for index in range(len(infos))
+        ]
+        result = set(descriptors)
+        while worklist:
+            descriptor = worklist.pop()
+            disjunct_index, matched, live_items = descriptor
+            info = infos[disjunct_index]
+            live = dict(live_items)
+            assigned = {v for index in matched for v in info.atom_variables[index]}
+            for atom_index, relation in enumerate(info.atom_relations):
+                if relation != fact.relation or atom_index in matched:
+                    continue
+                variables = info.atom_variables[atom_index]
+                if len(variables) != len(fact.arguments):
+                    continue
+                new_live = dict(live)
+                consistent = True
+                for variable, element in zip(variables, fact.arguments):
+                    if variable in new_live:
+                        if new_live[variable] != element:
+                            consistent = False
+                            break
+                    elif variable in assigned:
+                        # forgotten variable: its image is outside the bag, but the
+                        # fact's elements are inside the bag, so they cannot match
+                        consistent = False
+                        break
+                    else:
+                        new_live[variable] = element
+                if not consistent:
+                    continue
+                if violates_disequality(info, new_live):
+                    continue
+                new_matched = matched | {atom_index}
+                if len(new_matched) == info.atom_count:
+                    accepted = True
+                new_descriptor = (disjunct_index, new_matched, frozenset(new_live.items()))
+                if new_descriptor not in result:
+                    result.add(new_descriptor)
+                    worklist.append(new_descriptor)
+        return result, accepted
+
+    def transition(node: EncodingNode, fact_present: bool, child_states: Sequence[State]) -> State:
+        if any(state == ACCEPT for state in child_states):
+            return ACCEPT
+        projected: list[set[Descriptor]] = []
+        for state in child_states:
+            current: set[Descriptor] = set()
+            for descriptor in state:  # type: ignore[union-attr]
+                reprojected = reproject(descriptor, node.bag)
+                if reprojected is not None:
+                    current.add(reprojected)
+            projected.append(current)
+
+        descriptors: set[Descriptor] = set()
+        accepted = False
+        for current in projected:
+            descriptors |= current
+        if len(projected) == 2:
+            for first in projected[0]:
+                for second in projected[1]:
+                    if first[0] != second[0]:
+                        continue
+                    merged = combine(first, second)
+                    if merged is None:
+                        continue
+                    descriptors.add(merged)
+                    if len(merged[1]) == infos[merged[0]].atom_count:
+                        accepted = True
+        if node.fact is not None and fact_present:
+            descriptors, fact_accepted = extend_with_fact(descriptors, node)
+            accepted = accepted or fact_accepted
+        # A descriptor may be complete even without new facts (e.g. completed by merging).
+        if not accepted:
+            accepted = any(len(matched) == infos[index].atom_count for index, matched, _ in descriptors)
+        if accepted:
+            return ACCEPT
+        return frozenset(descriptors)
+
+    def is_accepting(state: State) -> bool:
+        return state == ACCEPT
+
+    return FunctionalAutomaton(transition, is_accepting, name=f"ucq[{query}]")
+
+
+def ucq_lineage_dnnf(
+    query: UnionOfConjunctiveQueries | ConjunctiveQuery,
+    instance: Instance,
+    encoding: TreeEncoding | None = None,
+):
+    """The d-DNNF lineage of a UCQ≠ on a (treelike) instance via the automaton route."""
+    from repro.provenance.automaton_provenance import provenance_dnnf
+
+    if encoding is None:
+        encoding = tree_encoding(instance)
+    if encoding.instance != instance:
+        raise QueryError("encoding does not encode the given instance")
+    return provenance_dnnf(ucq_automaton(query), encoding)
+
+
+def ucq_probability_via_automaton(
+    query: UnionOfConjunctiveQueries | ConjunctiveQuery,
+    probabilistic_instance,
+    encoding: TreeEncoding | None = None,
+):
+    """Query probability by the state dynamic programming of Theorem 4.2 (upper bound)."""
+    from repro.provenance.automata import automaton_probability
+
+    if encoding is None:
+        encoding = tree_encoding(probabilistic_instance.instance)
+    return automaton_probability(ucq_automaton(query), encoding, probabilistic_instance)

@@ -1,0 +1,99 @@
+"""Query atoms and variables (Section 2 of the paper).
+
+Queries are constant-free: atom arguments are always variables.  Disequality
+atoms ``x != y`` are kept separate from relational atoms, following the
+definition of CQ≠ in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A query variable, identified by its name."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise QueryError("variable name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def var(name: str) -> Variable:
+    """Shorthand constructor for a variable."""
+    return Variable(name)
+
+
+@dataclass(frozen=True, order=True)
+class Atom:
+    """A relational atom ``R(x_1, ..., x_k)`` over variables."""
+
+    relation: str
+    arguments: tuple[Variable, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.arguments, tuple):
+            object.__setattr__(self, "arguments", tuple(self.arguments))
+        for argument in self.arguments:
+            if not isinstance(argument, Variable):
+                raise QueryError(f"atom arguments must be Variables, got {argument!r}")
+
+    @property
+    def arity(self) -> int:
+        return len(self.arguments)
+
+    def variables(self) -> tuple[Variable, ...]:
+        """Distinct variables of the atom, in order of first occurrence."""
+        seen: dict[Variable, None] = {}
+        for argument in self.arguments:
+            seen.setdefault(argument, None)
+        return tuple(seen)
+
+    def has_repeated_variable(self) -> bool:
+        return len(self.variables()) != len(self.arguments)
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(str(a) for a in self.arguments)})"
+
+
+def atom(relation: str, *variables: str | Variable) -> Atom:
+    """Shorthand constructor: ``atom("R", "x", "y")``."""
+    return Atom(relation, tuple(v if isinstance(v, Variable) else Variable(v) for v in variables))
+
+
+@dataclass(frozen=True, order=True)
+class Disequality:
+    """A disequality atom ``x != y`` between two variables."""
+
+    left: Variable
+    right: Variable
+
+    def __post_init__(self) -> None:
+        if self.left == self.right:
+            raise QueryError(f"disequality {self.left} != {self.right} is unsatisfiable")
+
+    def variables(self) -> tuple[Variable, Variable]:
+        return (self.left, self.right)
+
+    def normalized(self) -> "Disequality":
+        """A canonical orientation (sorted by variable name)."""
+        if self.left <= self.right:
+            return self
+        return Disequality(self.right, self.left)
+
+    def __str__(self) -> str:
+        return f"{self.left} != {self.right}"
+
+
+def neq(left: str | Variable, right: str | Variable) -> Disequality:
+    """Shorthand constructor for a disequality atom."""
+    left_var = left if isinstance(left, Variable) else Variable(left)
+    right_var = right if isinstance(right, Variable) else Variable(right)
+    return Disequality(left_var, right_var)

@@ -1,0 +1,178 @@
+"""Intricate queries and line instances (Definitions 8.4, 8.5 and Lemma 8.6).
+
+A *line instance* over an arity-2 signature is a path a_1, ..., a_m where each
+consecutive pair carries exactly one binary fact, in either direction and with
+any binary relation of the signature.  A UCQ≠ q is *n-intricate* when on every
+line instance with 2n+2 facts, some minimal match of q contains both facts
+incident to the middle element a_{n+2}; q is *intricate* when it is
+|q|-intricate.
+
+Theorem 8.7 (the meta-dichotomy) states that a connected UCQ≠ has
+super-polynomial OBDDs on every (dense enough) unbounded-treewidth family iff
+it is intricate; non-intricate queries have constant-width OBDDs on some
+unbounded-treewidth family.  Proposition 8.8 shows connected CQ≠ queries are
+never intricate.
+
+The decision procedure below enumerates all line instances of the required
+length (Lemma 8.6 places the problem in PSPACE; our direct enumeration is
+exponential in ``n`` and in the number of binary relations, which is fine for
+the small queries of the paper).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.data.instance import Fact, Instance
+from repro.data.signature import Signature
+from repro.errors import QueryError
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.matching import minimal_matches
+from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq
+
+
+def line_instance(choices: tuple[tuple[str, bool], ...], signature: Signature | None = None) -> Instance:
+    """Build a line instance from per-edge choices ``(relation, forward)``.
+
+    The domain is a_1, ..., a_{m+1} for m = len(choices); the i-th fact is
+    ``R(a_i, a_{i+1})`` when forward, ``R(a_{i+1}, a_i)`` otherwise.
+    """
+    facts = []
+    for index, (relation, forward) in enumerate(choices):
+        left, right = f"a{index + 1}", f"a{index + 2}"
+        if forward:
+            facts.append(Fact(relation, (left, right)))
+        else:
+            facts.append(Fact(relation, (right, left)))
+    return Instance(facts, signature)
+
+
+def all_line_instances(length: int, signature: Signature) -> Iterator[Instance]:
+    """All line instances with ``length`` facts over the signature's binary relations."""
+    binary = [relation.name for relation in signature.binary_relations()]
+    if not binary:
+        raise QueryError("the signature has no binary relation; no line instances exist")
+    options = [(name, direction) for name in binary for direction in (True, False)]
+    for choices in itertools.product(options, repeat=length):
+        yield line_instance(choices, signature)
+
+
+def middle_facts(line: Instance) -> tuple[Fact, Fact]:
+    """The two facts incident to the middle element of an even-length line instance."""
+    length = len(line)
+    if length % 2 != 0 or length < 2:
+        raise QueryError("middle facts are defined for even-length line instances only")
+    middle_index = length // 2 + 1  # element a_{n+2} when length = 2n + 2
+    middle_element = f"a{middle_index}"
+    incident = [f for f in line if middle_element in f.arguments]
+    if len(incident) != 2:
+        raise QueryError("line instance does not have exactly two middle facts")
+    return incident[0], incident[1]
+
+
+@dataclass(frozen=True)
+class IntricacyWitness:
+    """A counterexample to n-intricacy: a line instance whose middle facts are
+    contained in no minimal match."""
+
+    line: Instance
+    middle: tuple[Fact, Fact]
+
+
+def is_n_intricate(
+    query: UnionOfConjunctiveQueries | ConjunctiveQuery,
+    n: int,
+    signature: Signature | None = None,
+) -> bool:
+    """Decide n-intricacy (Definition 8.5)."""
+    return find_intricacy_counterexample(query, n, signature) is None
+
+
+def find_intricacy_counterexample(
+    query: UnionOfConjunctiveQueries | ConjunctiveQuery,
+    n: int,
+    signature: Signature | None = None,
+) -> IntricacyWitness | None:
+    """Return a witness line instance violating n-intricacy, or None.
+
+    The signature defaults to the query's own signature; note that intricacy
+    depends on the ambient signature since line instances range over all its
+    binary relations.
+    """
+    query = as_ucq(query)
+    signature = signature or query.signature()
+    if not signature.is_arity_two():
+        raise QueryError("intricacy is defined over arity-2 signatures")
+    length = 2 * n + 2
+    for line in all_line_instances(length, signature):
+        first, second = middle_facts(line)
+        found = False
+        for match in minimal_matches(query, line):
+            if first in match and second in match:
+                found = True
+                break
+        if not found:
+            return IntricacyWitness(line, (first, second))
+    return None
+
+
+def is_intricate(
+    query: UnionOfConjunctiveQueries | ConjunctiveQuery,
+    signature: Signature | None = None,
+    max_line_instances: int = 200_000,
+) -> bool:
+    """Decide intricacy: |q|-intricacy (Definition 8.5).
+
+    Since n-intricacy implies m-intricacy for every m > n, we test increasing
+    levels n = 0, 1, ..., |q| and answer True as soon as one holds (this makes
+    the positive case cheap for queries such as q_p, which is 0-intricate).
+    The negative case requires the full check at n = |q|, which enumerates
+    (2B)^(2|q|+2) line instances for B binary relations;
+    ``max_line_instances`` guards against infeasible enumerations and raises
+    :class:`QueryError` when exceeded.
+    """
+    query = as_ucq(query)
+    signature = signature or query.signature()
+    if query.size < 2:
+        # Queries with |q| < 2 can never be intricate (Section 8.2).
+        return False
+    binary_count = len(signature.binary_relations())
+    if binary_count == 0:
+        # No line instances exist, and queries without binary matches are
+        # never intricate (Section 8.2).
+        return False
+    for level in range(query.size + 1):
+        instance_count = (2 * binary_count) ** (2 * level + 2)
+        if instance_count > max_line_instances:
+            raise QueryError(
+                f"intricacy check at level {level} needs {instance_count} line instances; "
+                f"raise max_line_instances to force it"
+            )
+        if is_n_intricate(query, level, signature):
+            return True
+    return False
+
+
+def non_intricate_counterexample_family(
+    query: UnionOfConjunctiveQueries | ConjunctiveQuery,
+    signature: Signature | None = None,
+    sizes: tuple[int, ...] = (2, 3, 4),
+):
+    """For a non-intricate query, the unbounded-treewidth family on which it has
+    constant-width OBDDs (the grid family built from a counterexample line,
+    Theorem 8.7 first item).
+
+    Returns a list of instances (grids of growing size built by replicating
+    the counterexample line instance horizontally and stacking disconnected
+    copies vertically, which keeps matches local).
+    """
+    from repro.generators.grids import grid_of_lines
+
+    query = as_ucq(query)
+    signature = signature or query.signature()
+    witness = find_intricacy_counterexample(query, query.size, signature)
+    if witness is None:
+        raise QueryError("query is intricate; no counterexample family exists")
+    return [grid_of_lines(witness.line, size, size) for size in sizes]

@@ -1,0 +1,143 @@
+"""The paper's named queries.
+
+* :func:`unsafe_rst` — the classic unsafe CQ ``∃xy R(x) ∧ S(x, y) ∧ T(y)``
+  ([17], discussed in Sections 1 and 8.3: unsafe, yet not intricate, with
+  trivial OBDDs on S-grids);
+* :func:`threshold_two_query` — ``∃xy R(x) ∧ R(y) ∧ x ≠ y`` (Proposition 7.1);
+* :func:`qp` — the intricate UCQ≠ of Theorem 8.1, testing two distinct
+  incident binary facts (a violation of "the possible world is a matching");
+* :func:`qd` — the disconnected CQ≠ of Proposition 8.10, testing two binary
+  facts with disjoint domains;
+* :func:`hierarchical_example` / :func:`inversion_free_example` — safe queries
+  used by the Section 9 experiments;
+* :func:`non_hierarchical_example` — a minimal unsafe (non-hierarchical) CQ.
+"""
+
+from __future__ import annotations
+
+from repro.data.signature import GRAPH_SIGNATURE, Signature
+from repro.errors import QueryError
+from repro.queries.atoms import Atom, Disequality, Variable, atom, neq
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.ucq import UnionOfConjunctiveQueries
+
+
+def unsafe_rst() -> ConjunctiveQuery:
+    """``∃xy R(x) ∧ S(x, y) ∧ T(y)`` — the canonical #P-hard (unsafe) CQ [17]."""
+    return ConjunctiveQuery((atom("R", "x"), atom("S", "x", "y"), atom("T", "y")))
+
+
+def threshold_two_query(relation: str = "R") -> ConjunctiveQuery:
+    """``∃xy R(x) ∧ R(y) ∧ x ≠ y`` — lineage is the threshold-2 function (Prop. 7.1)."""
+    return ConjunctiveQuery(
+        (atom(relation, "x"), atom(relation, "y")), (neq("x", "y"),)
+    )
+
+
+def hierarchical_example() -> ConjunctiveQuery:
+    """``∃xy R(x) ∧ S(x, y)`` — hierarchical, hence safe and inversion-free."""
+    return ConjunctiveQuery((atom("R", "x"), atom("S", "x", "y")))
+
+
+def inversion_free_example() -> UnionOfConjunctiveQueries:
+    """A two-disjunct inversion-free UCQ: ``(R(x) ∧ S(x, y)) ∨ (S(x, y) ∧ T(x))``.
+
+    Both disjuncts are hierarchical with x above y, and the attribute order of
+    S (first position before second) is shared, so the UCQ is inversion-free.
+    """
+    first = ConjunctiveQuery((atom("R", "x"), atom("S", "x", "y")))
+    second = ConjunctiveQuery((atom("S", "x", "y"), atom("T", "x")))
+    return UnionOfConjunctiveQueries((first, second))
+
+
+def non_hierarchical_example() -> ConjunctiveQuery:
+    """The unsafe RST query again, exposed under a name stressing why it is unsafe."""
+    return unsafe_rst()
+
+
+def qp(signature: Signature = GRAPH_SIGNATURE) -> UnionOfConjunctiveQueries:
+    """The intricate UCQ≠ q_p of Theorem 8.1 for an arity-2 signature.
+
+    q_p holds exactly when the instance contains two *distinct* binary facts
+    sharing a domain element, i.e. a path of length 2 in the Gaifman graph —
+    the violation of the possible world being a matching.  It is 0-intricate:
+    on any line instance the two middle facts are distinct and incident, and
+    they alone form a minimal match.
+    """
+    binary = [relation.name for relation in signature.binary_relations()]
+    if not binary:
+        raise QueryError("q_p needs at least one binary relation in the signature")
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    disjuncts: list[ConjunctiveQuery] = []
+    for i, first in enumerate(binary):
+        for second in binary[i:]:
+            same = first == second
+            # Shared first positions: P(z, x), Q(z, y)
+            disjuncts.append(
+                ConjunctiveQuery(
+                    (Atom(first, (z, x)), Atom(second, (z, y))),
+                    (Disequality(x, y),) if same else (),
+                )
+            )
+            # Shared second positions: P(x, z), Q(y, z)
+            disjuncts.append(
+                ConjunctiveQuery(
+                    (Atom(first, (x, z)), Atom(second, (y, z))),
+                    (Disequality(x, y),) if same else (),
+                )
+            )
+            # Head-to-tail: P(x, z), Q(z, y) — when P = Q the two facts coincide
+            # exactly when x = z = y, so we add two disjuncts covering x != z
+            # and y != z; when P != Q no disequality is needed.
+            if same:
+                disjuncts.append(
+                    ConjunctiveQuery(
+                        (Atom(first, (x, z)), Atom(second, (z, y))), (Disequality(x, z),)
+                    )
+                )
+                disjuncts.append(
+                    ConjunctiveQuery(
+                        (Atom(first, (x, z)), Atom(second, (z, y))), (Disequality(y, z),)
+                    )
+                )
+            else:
+                disjuncts.append(
+                    ConjunctiveQuery((Atom(first, (x, z)), Atom(second, (z, y))))
+                )
+                disjuncts.append(
+                    ConjunctiveQuery((Atom(second, (x, z)), Atom(first, (z, y))))
+                )
+    return UnionOfConjunctiveQueries(tuple(disjuncts))
+
+
+def qd(relation: str = "E") -> ConjunctiveQuery:
+    """The disconnected CQ≠ q_d of Proposition 8.10.
+
+    q_d tests for two binary facts with disjoint domains: ``R(x, y) ∧ R(z, w)``
+    with all four variables pairwise distinct across the two atoms.
+    """
+    x, y, z, w = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+    return ConjunctiveQuery(
+        (Atom(relation, (x, y)), Atom(relation, (z, w))),
+        (
+            Disequality(x, z),
+            Disequality(x, w),
+            Disequality(y, z),
+            Disequality(y, w),
+        ),
+    )
+
+
+def path_query(length: int, relation: str = "E") -> ConjunctiveQuery:
+    """The directed path CQ of the given length: ``E(x0,x1) ∧ ... ∧ E(x_{l-1},x_l)``."""
+    if length < 1:
+        raise QueryError("path query length must be >= 1")
+    atoms = tuple(
+        Atom(relation, (Variable(f"x{i}"), Variable(f"x{i + 1}"))) for i in range(length)
+    )
+    return ConjunctiveQuery(atoms)
+
+
+def two_incident_same_direction(relation: str = "E") -> ConjunctiveQuery:
+    """``E(x, y) ∧ E(y, z)`` — a connected CQ (no disequalities), never intricate."""
+    return ConjunctiveQuery((atom(relation, "x", "y"), atom(relation, "y", "z")))

@@ -1,0 +1,111 @@
+"""Query matching: homomorphisms from queries to instances, matches, and
+minimal matches (Section 2 of the paper).
+
+A homomorphism from a CQ≠ to an instance maps variables to domain elements so
+that every relational atom maps to a fact and every disequality is satisfied.
+A *match* is the set of facts in the image of a homomorphism; a *minimal
+match* is a match minimal under inclusion.  The lineage of a UCQ≠ is exactly
+the disjunction, over matches, of the conjunction of the facts of the match
+(monotone queries), which is what :mod:`repro.provenance.lineage` builds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.data.instance import Fact, Instance
+from repro.queries.atoms import Variable
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq
+
+
+def cq_homomorphisms(query: ConjunctiveQuery, instance: Instance) -> Iterator[dict[Variable, Any]]:
+    """Enumerate all homomorphisms from ``query`` to ``instance``.
+
+    Backtracking over the query atoms, in an order chosen to maximize joins
+    with already-bound variables (reduces branching).
+    """
+    atoms = list(query.atoms)
+    ordered: list = []
+    bound: set[Variable] = set()
+    remaining = atoms[:]
+    while remaining:
+        remaining.sort(key=lambda a: (-len(set(a.variables()) & bound), -a.arity))
+        chosen = remaining.pop(0)
+        ordered.append(chosen)
+        bound.update(chosen.variables())
+
+    disequalities = [d.normalized() for d in query.disequalities]
+
+    def violates_disequalities(assignment: dict[Variable, Any]) -> bool:
+        for d in disequalities:
+            if d.left in assignment and d.right in assignment:
+                if assignment[d.left] == assignment[d.right]:
+                    return True
+        return False
+
+    def extend(index: int, assignment: dict[Variable, Any]) -> Iterator[dict[Variable, Any]]:
+        if index == len(ordered):
+            yield dict(assignment)
+            return
+        current = ordered[index]
+        for candidate in instance.facts_of(current.relation):
+            additions: dict[Variable, Any] = {}
+            consistent = True
+            for variable, value in zip(current.arguments, candidate.arguments):
+                expected = assignment.get(variable, additions.get(variable))
+                if expected is None:
+                    additions[variable] = value
+                elif expected != value:
+                    consistent = False
+                    break
+            if not consistent:
+                continue
+            assignment.update(additions)
+            if not violates_disequalities(assignment):
+                yield from extend(index + 1, assignment)
+            for variable in additions:
+                del assignment[variable]
+
+    yield from extend(0, {})
+
+
+def cq_matches(query: ConjunctiveQuery, instance: Instance) -> Iterator[frozenset[Fact]]:
+    """Enumerate the matches of a CQ≠ (images of homomorphisms), deduplicated."""
+    seen: set[frozenset[Fact]] = set()
+    for assignment in cq_homomorphisms(query, instance):
+        match = frozenset(
+            Fact(a.relation, tuple(assignment[v] for v in a.arguments)) for a in query.atoms
+        )
+        if match not in seen:
+            seen.add(match)
+            yield match
+
+
+def ucq_matches(query: UnionOfConjunctiveQueries | ConjunctiveQuery, instance: Instance) -> list[frozenset[Fact]]:
+    """All matches of a UCQ≠ on an instance (deduplicated across disjuncts)."""
+    query = as_ucq(query)
+    result: set[frozenset[Fact]] = set()
+    for disjunct in query.disjuncts:
+        result.update(cq_matches(disjunct, instance))
+    return sorted(result, key=lambda match: (len(match), sorted(map(str, match))))
+
+
+def minimal_matches(query: UnionOfConjunctiveQueries | ConjunctiveQuery, instance: Instance) -> list[frozenset[Fact]]:
+    """The inclusion-minimal matches of a UCQ≠ on an instance (Section 2)."""
+    matches = ucq_matches(query, instance)
+    return [match for match in matches if not any(other < match for other in matches)]
+
+
+def satisfies(instance: Instance, query: UnionOfConjunctiveQueries | ConjunctiveQuery) -> bool:
+    """Model checking: does the instance satisfy the (U)CQ≠ query?"""
+    query = as_ucq(query)
+    for disjunct in query.disjuncts:
+        for _ in cq_homomorphisms(disjunct, instance):
+            return True
+    return False
+
+
+def is_monotone_witnessed(query: UnionOfConjunctiveQueries | ConjunctiveQuery, instance: Instance, subset: Instance) -> bool:
+    """Check (by brute force) that satisfaction on ``subset`` implies it on ``instance``."""
+    return not satisfies(subset, query) or satisfies(instance, query)

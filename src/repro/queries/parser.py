@@ -1,0 +1,85 @@
+"""A small textual syntax for CQ≠ and UCQ≠ queries.
+
+Grammar (whitespace-insensitive)::
+
+    ucq      := cq ("|" cq)*
+    cq       := literal ("," literal)*
+    literal  := atom | disequality
+    atom     := NAME "(" NAME ("," NAME)* ")"
+    disequality := NAME "!=" NAME
+
+Examples::
+
+    parse_cq("R(x), S(x, y), T(y)")
+    parse_ucq("R(x, y), x != y | S(x, x)")
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import QueryError
+from repro.queries.atoms import Atom, Disequality, Variable
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.ucq import UnionOfConjunctiveQueries
+
+_ATOM_RE = re.compile(r"^\s*([A-Za-z_][A-Za-z_0-9]*)\s*\(\s*([^()]*)\s*\)\s*$")
+_NEQ_RE = re.compile(r"^\s*([A-Za-z_][A-Za-z_0-9]*)\s*!=\s*([A-Za-z_][A-Za-z_0-9]*)\s*$")
+
+
+def _split_top_level(text: str, separator: str) -> list[str]:
+    """Split on ``separator`` outside parentheses."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for char in text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+            if depth < 0:
+                raise QueryError(f"unbalanced parentheses in query: {text!r}")
+        if char == separator and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if depth != 0:
+        raise QueryError(f"unbalanced parentheses in query: {text!r}")
+    parts.append("".join(current))
+    return parts
+
+
+def parse_cq(text: str) -> ConjunctiveQuery:
+    """Parse a single CQ≠ from text."""
+    atoms: list[Atom] = []
+    disequalities: list[Disequality] = []
+    for chunk in _split_top_level(text, ","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        match = _NEQ_RE.match(chunk)
+        if match:
+            disequalities.append(Disequality(Variable(match.group(1)), Variable(match.group(2))))
+            continue
+        match = _ATOM_RE.match(chunk)
+        if match:
+            relation = match.group(1)
+            arguments_text = match.group(2).strip()
+            if not arguments_text:
+                raise QueryError(f"atom {chunk!r} has no arguments")
+            arguments = tuple(
+                Variable(argument.strip()) for argument in arguments_text.split(",")
+            )
+            atoms.append(Atom(relation, arguments))
+            continue
+        raise QueryError(f"cannot parse query literal {chunk!r}")
+    return ConjunctiveQuery(tuple(atoms), tuple(disequalities))
+
+
+def parse_ucq(text: str) -> UnionOfConjunctiveQueries:
+    """Parse a UCQ≠ from text; disjuncts are separated by '|'."""
+    disjuncts = [parse_cq(part) for part in text.split("|") if part.strip()]
+    if not disjuncts:
+        raise QueryError("empty UCQ")
+    return UnionOfConjunctiveQueries(tuple(disjuncts))

@@ -1,0 +1,221 @@
+"""Structural query properties: hierarchical, ranked, inversion-free, safe.
+
+These notions come from the safe-query literature ([18, 36]) and are used in
+Section 9 of the paper: *inversion-free* UCQs are exactly the UCQs with
+constant-width OBDDs on all instances (Theorem 9.6), and Theorem 9.7 explains
+this via unfoldings to bounded-tree-depth instances.
+
+We implement:
+
+* ``is_hierarchical``: the classical hierarchical property per disjunct;
+* ``is_ranked_query`` / ``is_ranked_instance``: the ranking property of
+  Section 9 (no cyclic variable/domain order induced by atom positions);
+* ``attribute_orders`` / ``is_inversion_free``: a per-relation total order on
+  positions compatible with the hierarchy across all atoms and disjuncts —
+  the defining data of an inversion-free expression (Definition C.1);
+* ``is_safe_self_join_free_cq``: the classical safety criterion for
+  self-join-free CQs (safe iff hierarchical), used by the lifted-inference
+  evaluator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.data.instance import Instance
+from repro.errors import QueryError
+from repro.queries.atoms import Variable
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq
+
+
+# ---------------------------------------------------------------------------
+# Hierarchical queries
+# ---------------------------------------------------------------------------
+
+
+def is_hierarchical(query: ConjunctiveQuery | UnionOfConjunctiveQueries) -> bool:
+    """True iff every disjunct is hierarchical.
+
+    A CQ is hierarchical when, for every two variables x and y, the sets of
+    atoms containing x and containing y are nested or disjoint.
+    """
+    for disjunct in as_ucq(query).disjuncts:
+        if not _cq_is_hierarchical(disjunct):
+            return False
+    return True
+
+
+def _cq_is_hierarchical(disjunct: ConjunctiveQuery) -> bool:
+    occurrences = {
+        variable: frozenset(
+            index for index, a in enumerate(disjunct.atoms) if variable in a.variables()
+        )
+        for variable in disjunct.variables()
+    }
+    variables = list(occurrences)
+    for i, x in enumerate(variables):
+        for y in variables[i + 1 :]:
+            sx, sy = occurrences[x], occurrences[y]
+            if not (sx <= sy or sy <= sx or not (sx & sy)):
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Ranked queries and instances (Section 9)
+# ---------------------------------------------------------------------------
+
+
+def is_ranked_query(query: ConjunctiveQuery | UnionOfConjunctiveQueries) -> bool:
+    """A UCQ is ranked when the 'occurs before' relation on variables is acyclic.
+
+    Setting x < y when x occurs before y in some atom, the query is ranked if
+    < has no cycle; in particular no variable occurs twice in an atom.
+    """
+    edges: set[tuple[Variable, Variable]] = set()
+    for disjunct in as_ucq(query).disjuncts:
+        for a in disjunct.atoms:
+            if a.has_repeated_variable():
+                return False
+            for i, x in enumerate(a.arguments):
+                for y in a.arguments[i + 1 :]:
+                    edges.add((x, y))
+    return not _has_cycle(edges)
+
+
+def is_ranked_instance(instance: Instance) -> bool:
+    """An instance is ranked when some total domain order makes every fact ascending."""
+    edges: set[tuple[object, object]] = set()
+    for f in instance:
+        if len(set(f.arguments)) != len(f.arguments):
+            return False
+        for i, a in enumerate(f.arguments):
+            for b in f.arguments[i + 1 :]:
+                edges.add((a, b))
+    return not _has_cycle(edges)
+
+
+def _has_cycle(edges: Iterable[tuple[object, object]]) -> bool:
+    adjacency: dict[object, set[object]] = {}
+    for source, target in edges:
+        adjacency.setdefault(source, set()).add(target)
+        adjacency.setdefault(target, set())
+    state: dict[object, int] = {}  # 0 = unseen, 1 = in progress, 2 = done
+
+    def visit(node: object) -> bool:
+        state[node] = 1
+        for successor in adjacency[node]:
+            status = state.get(successor, 0)
+            if status == 1:
+                return True
+            if status == 0 and visit(successor):
+                return True
+        state[node] = 2
+        return False
+
+    return any(state.get(node, 0) == 0 and visit(node) for node in adjacency)
+
+
+# ---------------------------------------------------------------------------
+# Inversion-freeness (Definition C.1)
+# ---------------------------------------------------------------------------
+
+
+def attribute_orders(query: ConjunctiveQuery | UnionOfConjunctiveQueries) -> dict[str, tuple[int, ...]]:
+    """Per-relation total orders on positions witnessing inversion-freeness.
+
+    For each relation R the returned tuple lists the positions of R
+    (0-based) from outermost to innermost quantification.  Raises
+    :class:`QueryError` when the query is not inversion-free (not
+    hierarchical, or no consistent order exists).
+
+    The construction follows the hierarchical structure: within a disjunct,
+    position i dominates position j in an atom when the variable at i occurs
+    in a superset of the atoms containing the variable at j; domination must
+    be total within every atom and consistent across atoms and disjuncts.
+    """
+    query = as_ucq(query)
+    if not is_hierarchical(query):
+        raise QueryError("query is not hierarchical, hence not inversion-free")
+    if not is_ranked_query(query):
+        raise QueryError("query is not ranked; apply the ranking transformation first")
+
+    # Collect precedence constraints between positions of each relation.
+    precedence: dict[str, set[tuple[int, int]]] = {}
+    arity: dict[str, int] = {}
+    for disjunct in query.disjuncts:
+        occurrences = {
+            variable: frozenset(
+                index for index, a in enumerate(disjunct.atoms) if variable in a.variables()
+            )
+            for variable in disjunct.variables()
+        }
+        for a in disjunct.atoms:
+            arity[a.relation] = a.arity
+            constraints = precedence.setdefault(a.relation, set())
+            for i, x in enumerate(a.arguments):
+                for j, y in enumerate(a.arguments):
+                    if i == j:
+                        continue
+                    sx, sy = occurrences[x], occurrences[y]
+                    if sx > sy:  # x occurs in strictly more atoms: x is quantified outside y
+                        constraints.add((i, j))
+                    elif sx == sy and i < j:
+                        # Equal occurrence sets: break the tie by atom position
+                        # (legal since either nesting of the quantifiers works).
+                        constraints.add((i, j))
+
+    orders: dict[str, tuple[int, ...]] = {}
+    for relation, constraints in precedence.items():
+        order = _topological_order(range(arity[relation]), constraints)
+        if order is None:
+            raise QueryError(
+                f"no consistent attribute order for relation {relation!r}: the query has an inversion"
+            )
+        orders[relation] = tuple(order)
+    return orders
+
+
+def _topological_order(nodes: Iterable[int], edges: set[tuple[int, int]]) -> list[int] | None:
+    nodes = list(nodes)
+    adjacency = {node: set() for node in nodes}
+    indegree = {node: 0 for node in nodes}
+    for source, target in edges:
+        if target not in adjacency[source]:
+            adjacency[source].add(target)
+            indegree[target] += 1
+    ready = sorted(node for node in nodes if indegree[node] == 0)
+    order: list[int] = []
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        for successor in sorted(adjacency[node]):
+            indegree[successor] -= 1
+            if indegree[successor] == 0:
+                ready.append(successor)
+        ready.sort()
+    if len(order) != len(nodes):
+        return None
+    return order
+
+
+def is_inversion_free(query: ConjunctiveQuery | UnionOfConjunctiveQueries) -> bool:
+    """True iff the (ranked) query admits an inversion-free expression."""
+    try:
+        attribute_orders(query)
+    except QueryError:
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Safety of self-join-free CQs (used by the lifted-inference evaluator)
+# ---------------------------------------------------------------------------
+
+
+def is_safe_self_join_free_cq(query: ConjunctiveQuery) -> bool:
+    """Dalvi-Suciu: a self-join-free CQ is safe iff it is hierarchical."""
+    if not query.is_self_join_free():
+        raise QueryError("safety criterion only applies to self-join-free CQs")
+    return _cq_is_hierarchical(query)

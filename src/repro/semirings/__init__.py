@@ -1,0 +1,53 @@
+"""Semiring provenance (Green, Karvounarakis, Tannen; used by [2] and Section 3).
+
+The lineage studied in the paper is the Boolean (PosBool[X]) specialisation of
+semiring provenance; the provenance-circuit construction of [2] works for any
+commutative semiring.  This subpackage provides:
+
+* a small algebra of commutative (monoid/semiring) structures
+  (:mod:`repro.semirings.semirings`): Boolean, counting, tropical,
+  security/access-control, Viterbi, Why(X), and the free polynomial semiring
+  N[X];
+* evaluation of monotone lineage circuits and monotone DNF lineages in an
+  arbitrary commutative semiring (:mod:`repro.semirings.evaluation`);
+* provenance polynomials as explicit multisets of monomials
+  (:mod:`repro.semirings.polynomials`), with specialisation homomorphisms into
+  any other semiring (the universality property of N[X]).
+"""
+
+from repro.semirings.evaluation import (
+    evaluate_circuit_in_semiring,
+    evaluate_lineage_in_semiring,
+    query_provenance_polynomial,
+    query_semiring_annotation,
+)
+from repro.semirings.polynomials import Monomial, ProvenancePolynomial
+from repro.semirings.semirings import (
+    BOOLEAN,
+    COUNTING,
+    SECURITY,
+    TROPICAL,
+    VITERBI,
+    WHY,
+    Semiring,
+    polynomial_semiring,
+    why_provenance,
+)
+
+__all__ = [
+    "BOOLEAN",
+    "COUNTING",
+    "Monomial",
+    "ProvenancePolynomial",
+    "SECURITY",
+    "Semiring",
+    "TROPICAL",
+    "VITERBI",
+    "WHY",
+    "evaluate_circuit_in_semiring",
+    "evaluate_lineage_in_semiring",
+    "polynomial_semiring",
+    "query_provenance_polynomial",
+    "query_semiring_annotation",
+    "why_provenance",
+]

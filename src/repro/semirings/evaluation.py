@@ -1,0 +1,105 @@
+"""Evaluating lineages and queries in arbitrary commutative semirings.
+
+The provenance-circuit construction of [2] (Theorem 3.2) computes, for a
+monotone query, a *monotone* circuit whose gates can be re-interpreted in any
+commutative semiring: OR becomes the semiring +, AND becomes the semiring *,
+and each fact variable is replaced by the fact's annotation.  This module
+provides that re-interpretation for the monotone lineage representations of
+the library, plus the direct (match-based) N[X] provenance of UCQs.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from repro.booleans.circuit import BooleanCircuit, GateKind
+from repro.data.instance import Fact, Instance
+from repro.errors import LineageError
+from repro.semirings.polynomials import Monomial, ProvenancePolynomial
+from repro.semirings.semirings import Semiring
+
+
+def evaluate_circuit_in_semiring(
+    circuit: BooleanCircuit,
+    semiring: Semiring,
+    annotations: Mapping[Hashable, object],
+) -> object:
+    """Evaluate a monotone circuit with OR as + and AND as *.
+
+    ``annotations`` maps each circuit variable (a fact) to its semiring
+    annotation.  NOT gates are rejected: semiring provenance is only defined
+    for monotone queries (Definition 6.1 / [29]).
+    """
+    if circuit.output is None:
+        raise LineageError("circuit has no output gate")
+    values: dict[int, object] = {}
+    for gate_id in circuit.reachable_gates():
+        gate = circuit.gate(gate_id)
+        if gate.kind is GateKind.NOT:
+            raise LineageError("semiring evaluation requires a monotone circuit")
+        if gate.kind is GateKind.VAR:
+            if gate.payload not in annotations:
+                raise LineageError(f"missing annotation for variable {gate.payload!r}")
+            values[gate_id] = annotations[gate.payload]
+        elif gate.kind is GateKind.CONST:
+            values[gate_id] = semiring.one if gate.payload else semiring.zero
+        elif gate.kind is GateKind.AND:
+            values[gate_id] = semiring.product(values[i] for i in gate.inputs)
+        else:  # OR
+            values[gate_id] = semiring.sum(values[i] for i in gate.inputs)
+    return values[circuit.output]
+
+
+def evaluate_lineage_in_semiring(
+    lineage,
+    semiring: Semiring,
+    annotations: Mapping[Fact, object],
+) -> object:
+    """Evaluate a monotone DNF lineage: sum over clauses of the product of annotations."""
+    return semiring.sum(
+        semiring.product(annotations[fact] for fact in clause)
+        for clause in lineage.clauses
+    )
+
+
+def query_provenance_polynomial(query, instance: Instance) -> ProvenancePolynomial:
+    """The N[X] provenance of a UCQ (or CQ) on an instance.
+
+    One monomial per homomorphism from some disjunct to the instance, the
+    monomial being the multiset of facts used by the homomorphism (an atom
+    mapped onto a fact twice contributes exponent 2); identical monomials from
+    different homomorphisms accumulate in the coefficient.  This follows the
+    standard semantics of provenance polynomials for set-semantics UCQs.
+
+    Disequality atoms are supported (they filter homomorphisms but contribute
+    no variables); this matches the Boolean lineage used elsewhere in the
+    library, of which this polynomial is the N[X] refinement.
+    """
+    from repro.queries.matching import cq_homomorphisms
+    from repro.queries.ucq import as_ucq
+
+    terms: list[tuple[Monomial, int]] = []
+    for disjunct in as_ucq(query).disjuncts:
+        for assignment in cq_homomorphisms(disjunct, instance):
+            used_facts = [
+                Fact(atom.relation, tuple(assignment[argument] for argument in atom.arguments))
+                for atom in disjunct.atoms
+            ]
+            terms.append((Monomial.of(used_facts), 1))
+    return ProvenancePolynomial.from_terms(terms)
+
+
+def query_semiring_annotation(
+    query,
+    instance: Instance,
+    semiring: Semiring,
+    annotations: Mapping[Fact, object],
+) -> object:
+    """The K-annotation of a UCQ on a K-annotated instance.
+
+    Facts missing from ``annotations`` are treated as annotated with the
+    semiring's 1 (present with no particular information).
+    """
+    polynomial = query_provenance_polynomial(query, instance)
+    valuation = {fact: annotations.get(fact, semiring.one) for fact in instance.facts}
+    return polynomial.specialize(semiring, valuation)

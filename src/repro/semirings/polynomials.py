@@ -1,0 +1,188 @@
+"""Provenance polynomials: the free commutative semiring N[X].
+
+A provenance polynomial is a finite sum of monomials with natural-number
+coefficients, each monomial being a finite multiset of fact variables.  N[X]
+is the most informative provenance annotation: every other commutative
+semiring annotation is obtained from it by specialising the variables
+(universality, Green et al. 2007).
+
+The polynomial of a UCQ on an instance has one monomial per homomorphism
+image (with multiplicities); its specialisation to the Boolean semiring under
+a world valuation is exactly the lineage of Definition 6.1 for monotone
+queries.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping
+
+from repro.errors import LineageError
+
+
+@dataclass(frozen=True)
+class Monomial:
+    """A multiset of variables, e.g. ``x^2 * y`` as ``Monomial({x: 2, y: 1})``."""
+
+    powers: tuple[tuple[Hashable, int], ...]
+
+    @classmethod
+    def of(cls, variables: Iterable[Hashable] | Mapping[Hashable, int]) -> "Monomial":
+        if isinstance(variables, Mapping):
+            counts = Counter(dict(variables))
+        else:
+            counts = Counter(variables)
+        for variable, power in counts.items():
+            if power <= 0:
+                raise LineageError(f"monomial power for {variable!r} must be positive")
+        return cls(tuple(sorted(counts.items(), key=lambda item: repr(item[0]))))
+
+    @classmethod
+    def unit(cls) -> "Monomial":
+        return cls(())
+
+    @property
+    def degree(self) -> int:
+        return sum(power for _, power in self.powers)
+
+    def variables(self) -> frozenset:
+        return frozenset(variable for variable, _ in self.powers)
+
+    def __mul__(self, other: "Monomial") -> "Monomial":
+        counts = Counter(dict(self.powers))
+        counts.update(dict(other.powers))
+        return Monomial(tuple(sorted(counts.items(), key=lambda item: repr(item[0]))))
+
+    def __str__(self) -> str:
+        if not self.powers:
+            return "1"
+        parts = []
+        for variable, power in self.powers:
+            parts.append(str(variable) if power == 1 else f"{variable}^{power}")
+        return "*".join(parts)
+
+
+@dataclass(frozen=True)
+class ProvenancePolynomial:
+    """An element of N[X]: a sum of monomials with positive integer coefficients."""
+
+    terms: tuple[tuple[Monomial, int], ...]
+
+    @classmethod
+    def zero(cls) -> "ProvenancePolynomial":
+        return cls(())
+
+    @classmethod
+    def one(cls) -> "ProvenancePolynomial":
+        return cls(((Monomial.unit(), 1),))
+
+    @classmethod
+    def variable(cls, name: Hashable) -> "ProvenancePolynomial":
+        return cls(((Monomial.of([name]), 1),))
+
+    @classmethod
+    def from_terms(
+        cls, terms: Iterable[tuple[Monomial, int]]
+    ) -> "ProvenancePolynomial":
+        counts: Counter[Monomial] = Counter()
+        for monomial, coefficient in terms:
+            if coefficient < 0:
+                raise LineageError("N[X] coefficients must be non-negative")
+            if coefficient:
+                counts[monomial] += coefficient
+        ordered = sorted(counts.items(), key=lambda item: (item[0].degree, str(item[0])))
+        return cls(tuple(ordered))
+
+    # -- algebra ----------------------------------------------------------------
+
+    def __add__(self, other: "ProvenancePolynomial") -> "ProvenancePolynomial":
+        return ProvenancePolynomial.from_terms(list(self.terms) + list(other.terms))
+
+    def __mul__(self, other: "ProvenancePolynomial") -> "ProvenancePolynomial":
+        products = []
+        for left_monomial, left_coefficient in self.terms:
+            for right_monomial, right_coefficient in other.terms:
+                products.append(
+                    (left_monomial * right_monomial, left_coefficient * right_coefficient)
+                )
+        return ProvenancePolynomial.from_terms(products)
+
+    def is_zero(self) -> bool:
+        return not self.terms
+
+    @property
+    def monomial_count(self) -> int:
+        return len(self.terms)
+
+    def total_degree(self) -> int:
+        return max((monomial.degree for monomial, _ in self.terms), default=0)
+
+    def coefficient_of(self, monomial: Monomial) -> int:
+        for candidate, coefficient in self.terms:
+            if candidate == monomial:
+                return coefficient
+        return 0
+
+    def variables(self) -> frozenset:
+        result: frozenset = frozenset()
+        for monomial, _ in self.terms:
+            result |= monomial.variables()
+        return result
+
+    # -- universality -------------------------------------------------------------
+
+    def specialize(self, semiring, valuation: Mapping[Hashable, object]):
+        """Evaluate the polynomial in ``semiring`` under a variable valuation.
+
+        This is the unique semiring homomorphism N[X] -> K extending the
+        valuation; coefficients and exponents are expanded with repeated sums
+        and products, so no extra structure is required of K.
+        """
+        total = semiring.zero
+        for monomial, coefficient in self.terms:
+            factor = semiring.one
+            for variable, power in monomial.powers:
+                if variable not in valuation:
+                    raise LineageError(f"valuation missing variable {variable!r}")
+                for _ in range(power):
+                    factor = semiring.times(factor, valuation[variable])
+            term = semiring.zero
+            for _ in range(coefficient):
+                term = semiring.plus(term, factor)
+            total = semiring.plus(total, term)
+        return total
+
+    def to_boolean_lineage(self, world: Mapping[Hashable, bool]) -> bool:
+        """The Boolean specialisation: is some monomial fully present in the world?"""
+        from repro.semirings.semirings import BOOLEAN
+
+        return self.specialize(BOOLEAN, {v: bool(world.get(v, False)) for v in self.variables()})
+
+    def drop_coefficients(self) -> "ProvenancePolynomial":
+        """The B[X] image: coefficients collapsed to 1 (idempotent +)."""
+        return ProvenancePolynomial.from_terms(
+            (monomial, 1) for monomial, _ in self.terms
+        )
+
+    def drop_exponents(self) -> "ProvenancePolynomial":
+        """The Trio(X)-style image: exponents collapsed to 1 (idempotent *)."""
+        return ProvenancePolynomial.from_terms(
+            (Monomial.of(monomial.variables()), coefficient)
+            for monomial, coefficient in self.terms
+        )
+
+    def why(self) -> frozenset:
+        """The Why(X) image: the set of variable sets of the monomials."""
+        return frozenset(monomial.variables() for monomial, _ in self.terms)
+
+    def __str__(self) -> str:
+        if not self.terms:
+            return "0"
+        parts = []
+        for monomial, coefficient in self.terms:
+            if coefficient == 1:
+                parts.append(str(monomial))
+            else:
+                parts.append(f"{coefficient}*{monomial}")
+        return " + ".join(parts)

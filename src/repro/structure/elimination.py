@@ -1,0 +1,167 @@
+"""Elimination orderings for treewidth computation.
+
+Eliminating a vertex connects all its remaining neighbors into a clique.  The
+width of an ordering is the maximum number of neighbors a vertex has at its
+elimination time; the minimum width over all orderings equals the treewidth.
+We provide the classical min-degree and min-fill heuristics as well as an
+exact iterative-deepening search for small graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.structure.graph import Graph, Vertex
+
+
+def _eliminate(adjacency: dict[Vertex, set[Vertex]], v: Vertex) -> int:
+    """Eliminate ``v`` in-place, returning its degree at elimination time."""
+    neighbors = adjacency.pop(v)
+    for u in neighbors:
+        adjacency[u].discard(v)
+    neighbor_list = list(neighbors)
+    for i, a in enumerate(neighbor_list):
+        for b in neighbor_list[i + 1 :]:
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+    return len(neighbor_list)
+
+
+def ordering_width(graph: Graph, ordering: Sequence[Vertex]) -> int:
+    """The width of an elimination ordering (the treewidth bound it certifies)."""
+    adjacency = {v: graph.neighbors(v) for v in graph.vertices}
+    width = 0
+    for v in ordering:
+        width = max(width, _eliminate(adjacency, v))
+    return width
+
+
+def min_degree_ordering(graph: Graph) -> list[Vertex]:
+    """The min-degree heuristic: repeatedly eliminate a vertex of minimum degree."""
+    adjacency = {v: graph.neighbors(v) for v in graph.vertices}
+    ordering: list[Vertex] = []
+    while adjacency:
+        v = min(adjacency, key=lambda u: (len(adjacency[u]), _stable_key(u)))
+        ordering.append(v)
+        _eliminate(adjacency, v)
+    return ordering
+
+
+def min_fill_ordering(graph: Graph) -> list[Vertex]:
+    """The min-fill heuristic: eliminate the vertex adding fewest fill edges."""
+    adjacency = {v: graph.neighbors(v) for v in graph.vertices}
+
+    def fill_in(v: Vertex) -> int:
+        neighbors = list(adjacency[v])
+        missing = 0
+        for i, a in enumerate(neighbors):
+            for b in neighbors[i + 1 :]:
+                if b not in adjacency[a]:
+                    missing += 1
+        return missing
+
+    ordering: list[Vertex] = []
+    while adjacency:
+        v = min(adjacency, key=lambda u: (fill_in(u), len(adjacency[u]), _stable_key(u)))
+        ordering.append(v)
+        _eliminate(adjacency, v)
+    return ordering
+
+
+def best_heuristic_ordering(graph: Graph) -> list[Vertex]:
+    """The better of the min-degree and min-fill orderings."""
+    candidates = [min_degree_ordering(graph), min_fill_ordering(graph)]
+    return min(candidates, key=lambda order: ordering_width(graph, order))
+
+
+def exists_ordering_of_width(graph: Graph, target: int) -> bool:
+    """Decide whether the graph has an elimination ordering of width <= target.
+
+    Depth-first search with memoization on the set of remaining vertices;
+    exponential, intended for graphs of at most ~15 vertices.
+    """
+    failed: set[frozenset[Vertex]] = set()
+
+    def recurse(adjacency: dict[Vertex, set[Vertex]]) -> bool:
+        if not adjacency:
+            return True
+        key = frozenset(adjacency)
+        if key in failed:
+            return False
+        # Simplicial-vertex rule: a vertex whose neighborhood is a clique and
+        # small enough can always be eliminated first.
+        for v in adjacency:
+            neighbors = adjacency[v]
+            if len(neighbors) <= target and _is_clique(neighbors, adjacency):
+                next_adjacency = {u: set(ns) for u, ns in adjacency.items()}
+                _eliminate(next_adjacency, v)
+                if recurse(next_adjacency):
+                    return True
+                failed.add(key)
+                return False
+        for v in sorted(adjacency, key=lambda u: (len(adjacency[u]), _stable_key(u))):
+            if len(adjacency[v]) > target:
+                continue
+            next_adjacency = {u: set(ns) for u, ns in adjacency.items()}
+            _eliminate(next_adjacency, v)
+            if recurse(next_adjacency):
+                return True
+        failed.add(key)
+        return False
+
+    return recurse({v: graph.neighbors(v) for v in graph.vertices})
+
+
+def _is_clique(candidate: set[Vertex], adjacency: dict[Vertex, set[Vertex]]) -> bool:
+    candidates = list(candidate)
+    for i, a in enumerate(candidates):
+        for b in candidates[i + 1 :]:
+            if b not in adjacency[a]:
+                return False
+    return True
+
+
+def exact_ordering(graph: Graph) -> list[Vertex]:
+    """An elimination ordering of minimum width (exact treewidth).
+
+    Finds the exact width by iterative deepening from a degeneracy-style lower
+    bound up to the heuristic upper bound, then reconstructs an ordering
+    greedily, only making moves that keep an ordering of that width feasible.
+    """
+    if len(graph) == 0:
+        return []
+    heuristic = best_heuristic_ordering(graph)
+    upper = ordering_width(graph, heuristic)
+    target = upper
+    for width in range(0, upper):
+        if exists_ordering_of_width(graph, width):
+            target = width
+            break
+
+    ordering: list[Vertex] = []
+    adjacency = {v: graph.neighbors(v) for v in graph.vertices}
+    while adjacency:
+        chosen = None
+        for v in sorted(adjacency, key=lambda u: (len(adjacency[u]), _stable_key(u))):
+            if len(adjacency[v]) > target:
+                continue
+            trial = {u: set(ns) for u, ns in adjacency.items()}
+            _eliminate(trial, v)
+            residual = Graph()
+            for u in trial:
+                residual.add_vertex(u)
+            for u, ns in trial.items():
+                for w in ns:
+                    residual.add_edge(u, w)
+            if exists_ordering_of_width(residual, target):
+                chosen = v
+                break
+        if chosen is None:  # pragma: no cover - cannot happen if target is feasible
+            chosen = min(adjacency, key=lambda u: (len(adjacency[u]), _stable_key(u)))
+        ordering.append(chosen)
+        _eliminate(adjacency, chosen)
+    return ordering
+
+
+def _stable_key(vertex: Vertex) -> tuple[str, str]:
+    return (type(vertex).__name__, repr(vertex))

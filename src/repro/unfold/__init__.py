@@ -1,0 +1,18 @@
+"""The Section 9 unfolding technique: lineage-preserving treewidth reduction."""
+
+from repro.unfold.unfolding import Unfolding, unfold_instance
+from repro.unfold.verification import (
+    is_valid_unfolding,
+    lineage_preserved,
+    respects_query,
+    verify_unfolding,
+)
+
+__all__ = [
+    "Unfolding",
+    "is_valid_unfolding",
+    "lineage_preserved",
+    "respects_query",
+    "unfold_instance",
+    "verify_unfolding",
+]

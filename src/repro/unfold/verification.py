@@ -1,0 +1,86 @@
+"""Verification of unfoldings (Definitions 9.2, 9.4 and Lemma 9.5).
+
+These checks validate the output of :func:`repro.unfold.unfolding.unfold_instance`:
+
+* the last-element map is a homomorphism from I' to I, bijective on facts
+  (Definition 9.2);
+* the unfolding *respects* the query: the preimage of every match of q on I
+  is a match of q on I' (Definition 9.4);
+* the lineage is preserved (Lemma 9.5) — for monotone UCQ≠ queries this is
+  equivalent to the minimal matches corresponding under the fact bijection,
+  which we check directly (no exponential enumeration needed).
+"""
+
+from __future__ import annotations
+
+from repro.data.homomorphism import is_homomorphism
+from repro.data.instance import Fact, Instance
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.matching import minimal_matches, satisfies
+from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq
+from repro.unfold.unfolding import Unfolding
+
+
+def is_valid_unfolding(unfolding: Unfolding) -> bool:
+    """Check Definition 9.2: homomorphism bijective on facts."""
+    if len(unfolding.unfolded) != len(unfolding.original):
+        return False
+    if set(unfolding.fact_map.keys()) != set(unfolding.original.facts):
+        return False
+    if set(unfolding.fact_map.values()) != set(unfolding.unfolded.facts):
+        return False
+    mapping = dict(unfolding.homomorphism)
+    if not is_homomorphism(mapping, unfolding.unfolded, unfolding.original):
+        return False
+    # The homomorphism must map each unfolded fact onto its original fact.
+    for original, image in unfolding.fact_map.items():
+        mapped = Fact(image.relation, tuple(mapping[a] for a in image.arguments))
+        if mapped != original:
+            return False
+    return True
+
+
+def respects_query(
+    unfolding: Unfolding, query: UnionOfConjunctiveQueries | ConjunctiveQuery
+) -> bool:
+    """Check Definition 9.4: preimages of matches of q on I are matches on I'."""
+    query = as_ucq(query)
+    for match in minimal_matches(query, unfolding.original):
+        preimage = [unfolding.unfolded_fact(f) for f in match]
+        world = Instance(preimage, unfolding.unfolded.signature)
+        if not satisfies(world, query):
+            return False
+    return True
+
+
+def lineage_preserved(
+    unfolding: Unfolding, query: UnionOfConjunctiveQueries | ConjunctiveQuery
+) -> bool:
+    """Check Lemma 9.5: q has the same lineage on I and I'.
+
+    For monotone UCQ≠ queries the lineage is determined by the set of minimal
+    matches, so it suffices to compare the minimal matches of q on I and on
+    I' through the fact bijection.
+    """
+    query = as_ucq(query)
+    original_matches = {
+        frozenset(match) for match in minimal_matches(query, unfolding.original)
+    }
+    unfolded_matches = {
+        frozenset(unfolding.original_fact(f) for f in match)
+        for match in minimal_matches(query, unfolding.unfolded)
+    }
+    return original_matches == unfolded_matches
+
+
+def verify_unfolding(
+    unfolding: Unfolding, query: UnionOfConjunctiveQueries | ConjunctiveQuery
+) -> dict[str, bool]:
+    """Run all checks and return a report (used by examples and tests)."""
+    return {
+        "valid_unfolding": is_valid_unfolding(unfolding),
+        "respects_query": respects_query(unfolding, query),
+        "lineage_preserved": lineage_preserved(unfolding, query),
+        "tree_depth_within_arity": unfolding.tree_depth_bound
+        <= unfolding.original.signature.max_arity,
+    }

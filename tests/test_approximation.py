@@ -1,0 +1,241 @@
+"""Tests for approximate probability evaluation (repro.probability.approximation)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.instance import Instance, fact
+from repro.data.signature import Signature
+from repro.data.tid import ProbabilisticInstance
+from repro.errors import ProbabilityError
+from repro.generators.lines import rst_chain_instance
+from repro.generators.random_instances import random_rst_instance
+from repro.probability.approximation import (
+    ApproximationResult,
+    DissociationBounds,
+    approximate_probability,
+    dissociation_bounds,
+    estimate_property_probability,
+    hoeffding_sample_size,
+    karp_luby_probability,
+    monte_carlo_probability,
+)
+from repro.probability.brute_force import brute_force_probability
+from repro.provenance.lineage import lineage_of
+from repro.queries.library import unsafe_rst
+from repro.queries.matching import satisfies
+from repro.queries.parser import parse_cq
+
+
+def _rst_tid(n: int, p: Fraction = Fraction(1, 2)) -> ProbabilisticInstance:
+    return ProbabilisticInstance.uniform(rst_chain_instance(n), p)
+
+
+# -- result containers ----------------------------------------------------------------
+
+
+def test_approximation_result_error_measures():
+    result = ApproximationResult(0.5, 100, "monte_carlo")
+    assert result.absolute_error(Fraction(1, 2)) == pytest.approx(0.0)
+    assert result.relative_error(Fraction(1, 4)) == pytest.approx(1.0)
+    assert result.relative_error(0) == float("inf")
+    zero = ApproximationResult(0.0, 10, "monte_carlo")
+    assert zero.relative_error(0) == 0.0
+
+
+def test_dissociation_bounds_container():
+    bounds = DissociationBounds(Fraction(1, 4), Fraction(1, 2))
+    assert bounds.contains(Fraction(1, 3))
+    assert not bounds.contains(Fraction(3, 4))
+    assert bounds.gap == Fraction(1, 4)
+
+
+def test_hoeffding_sample_size_monotone_in_parameters():
+    loose = hoeffding_sample_size(0.2, 0.2)
+    tight = hoeffding_sample_size(0.05, 0.05)
+    assert tight > loose
+    with pytest.raises(ProbabilityError):
+        hoeffding_sample_size(0.0, 0.1)
+    with pytest.raises(ProbabilityError):
+        hoeffding_sample_size(0.1, 1.5)
+
+
+# -- Monte-Carlo -----------------------------------------------------------------------
+
+
+def test_monte_carlo_close_to_exact_on_rst_chain():
+    tid = _rst_tid(3)
+    query = unsafe_rst()
+    exact = brute_force_probability(query, tid)
+    estimate = monte_carlo_probability(query, tid, samples=4000, seed=7)
+    assert estimate.method == "monte_carlo"
+    assert estimate.samples == 4000
+    assert estimate.absolute_error(exact) < 0.05
+
+
+def test_monte_carlo_accepts_precomputed_lineage():
+    tid = _rst_tid(2)
+    lineage = lineage_of(unsafe_rst(), tid.instance)
+    estimate = monte_carlo_probability(lineage, tid, samples=2000, seed=3)
+    exact = brute_force_probability(unsafe_rst(), tid)
+    assert estimate.absolute_error(exact) < 0.06
+
+
+def test_monte_carlo_rejects_bad_inputs():
+    tid = _rst_tid(2)
+    with pytest.raises(ProbabilityError):
+        monte_carlo_probability(unsafe_rst(), tid, samples=0)
+    with pytest.raises(ProbabilityError):
+        monte_carlo_probability("not a query", tid)
+
+
+def test_monte_carlo_deterministic_under_seed():
+    tid = _rst_tid(3)
+    first = monte_carlo_probability(unsafe_rst(), tid, samples=500, seed=11)
+    second = monte_carlo_probability(unsafe_rst(), tid, samples=500, seed=11)
+    assert first.estimate == second.estimate
+
+
+def test_monte_carlo_certain_and_impossible_queries():
+    instance = rst_chain_instance(2)
+    certain = ProbabilisticInstance.uniform(instance, Fraction(1))
+    impossible = ProbabilisticInstance.uniform(instance, Fraction(0))
+    assert monte_carlo_probability(unsafe_rst(), certain, samples=50).estimate == 1.0
+    assert monte_carlo_probability(unsafe_rst(), impossible, samples=50).estimate == 0.0
+
+
+# -- Karp-Luby --------------------------------------------------------------------------
+
+
+def test_karp_luby_close_to_exact_on_rst_chain():
+    tid = _rst_tid(3)
+    query = unsafe_rst()
+    exact = brute_force_probability(query, tid)
+    estimate = karp_luby_probability(query, tid, samples=4000, seed=13)
+    assert estimate.method == "karp_luby"
+    assert estimate.relative_error(exact) < 0.1
+
+
+def test_karp_luby_handles_tiny_probabilities_better_than_monte_carlo():
+    tid = _rst_tid(2, Fraction(1, 50))
+    query = unsafe_rst()
+    exact = brute_force_probability(query, tid)
+    karp = karp_luby_probability(query, tid, samples=3000, seed=1)
+    assert exact > 0
+    assert karp.relative_error(exact) < 0.25
+
+
+def test_karp_luby_empty_and_certain_lineages():
+    instance = Instance([fact("R", "a")], Signature([("R", 1), ("S", 2), ("T", 1)]))
+    tid = ProbabilisticInstance.uniform(instance, Fraction(1, 2))
+    # The RST query has no match at all on this instance: probability 0.
+    result = karp_luby_probability(unsafe_rst(), tid, samples=100)
+    assert result.estimate == 0.0
+    # All probabilities zero: the union bound collapses to 0.
+    zero_tid = ProbabilisticInstance.uniform(rst_chain_instance(2), Fraction(0))
+    assert karp_luby_probability(unsafe_rst(), zero_tid, samples=100).estimate == 0.0
+
+
+def test_karp_luby_rejects_bad_sample_count():
+    with pytest.raises(ProbabilityError):
+        karp_luby_probability(unsafe_rst(), _rst_tid(2), samples=-5)
+
+
+def test_karp_luby_single_clause_is_nearly_exact():
+    tid = _rst_tid(1, Fraction(1, 3))
+    query = unsafe_rst()
+    exact = brute_force_probability(query, tid)
+    estimate = karp_luby_probability(query, tid, samples=2000, seed=5)
+    assert estimate.relative_error(exact) < 0.1
+
+
+# -- dissociation bounds -------------------------------------------------------------------
+
+
+def test_dissociation_bounds_bracket_exact_probability():
+    tid = _rst_tid(3)
+    query = unsafe_rst()
+    exact = brute_force_probability(query, tid)
+    bounds = dissociation_bounds(query, tid)
+    assert bounds.lower <= exact <= bounds.upper
+
+
+def test_dissociation_bounds_exact_for_disjoint_clauses():
+    # On the RST chain the minimal matches are pairwise disjoint, so the
+    # independent-or upper bound is exact.
+    tid = _rst_tid(4, Fraction(1, 3))
+    exact = brute_force_probability(unsafe_rst(), tid)
+    bounds = dissociation_bounds(unsafe_rst(), tid)
+    assert bounds.upper == exact
+    assert bounds.lower == Fraction(1, 3) ** 3
+
+
+def test_dissociation_bounds_on_shared_fact_lineage():
+    # R(a), S(a,b1), S(a,b2), T(b1), T(b2): the two matches share the R fact,
+    # so the independent-or bound is strictly above the exact probability.
+    instance = Instance(
+        [
+            fact("R", "a"),
+            fact("S", "a", "b1"),
+            fact("S", "a", "b2"),
+            fact("T", "b1"),
+            fact("T", "b2"),
+        ],
+        Signature([("R", 1), ("S", 2), ("T", 1)]),
+    )
+    tid = ProbabilisticInstance.uniform(instance, Fraction(1, 2))
+    exact = brute_force_probability(unsafe_rst(), tid)
+    bounds = dissociation_bounds(unsafe_rst(), tid)
+    assert bounds.lower <= exact <= bounds.upper
+    assert bounds.upper > exact
+
+
+def test_dissociation_bounds_empty_lineage():
+    instance = Instance([fact("R", "a")], Signature([("R", 1), ("S", 2), ("T", 1)]))
+    tid = ProbabilisticInstance.uniform(instance, Fraction(1, 2))
+    bounds = dissociation_bounds(unsafe_rst(), tid)
+    assert bounds.lower == 0 and bounds.upper == 0
+
+
+# -- wrappers -----------------------------------------------------------------------------
+
+
+def test_approximate_probability_dispatch_and_errors():
+    tid = _rst_tid(2)
+    karp = approximate_probability(unsafe_rst(), tid, epsilon=0.2, delta=0.2, method="karp_luby")
+    naive = approximate_probability(unsafe_rst(), tid, epsilon=0.2, delta=0.2, method="monte_carlo")
+    assert karp.samples == naive.samples == hoeffding_sample_size(0.2, 0.2)
+    with pytest.raises(ProbabilityError):
+        approximate_probability(unsafe_rst(), tid, method="magic")
+
+
+def test_estimate_property_probability_non_monotone_property():
+    instance = rst_chain_instance(2)
+    tid = ProbabilisticInstance.uniform(instance, Fraction(1, 2))
+    # "The world has an even number of facts" is not monotone.
+    result = estimate_property_probability(
+        lambda world: len(world) % 2 == 0, tid, samples=3000, seed=2
+    )
+    exact = Fraction(1, 2)  # parity of a binomial(6, 1/2) count is uniform
+    assert abs(result.estimate - float(exact)) < 0.05
+    with pytest.raises(ProbabilityError):
+        estimate_property_probability(lambda world: True, tid, samples=0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    numerator=st.integers(min_value=1, max_value=3),
+)
+def test_karp_luby_and_bounds_are_consistent_on_random_instances(seed, numerator):
+    """Estimates stay within (slightly widened) dissociation bounds on random inputs."""
+    instance = random_rst_instance(4, 8, seed=seed)
+    tid = ProbabilisticInstance.uniform(instance, Fraction(numerator, 4))
+    query = unsafe_rst()
+    if not satisfies(instance, query):
+        return
+    bounds = dissociation_bounds(query, tid)
+    estimate = karp_luby_probability(query, tid, samples=1200, seed=seed)
+    assert float(bounds.lower) - 0.1 <= estimate.estimate <= float(bounds.upper) + 0.1

@@ -1,0 +1,132 @@
+"""Tests for tree automata over encodings: model checking, reachable states, probability DP."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.data.instance import Instance, fact
+from repro.data.tid import ProbabilisticInstance
+from repro.errors import LineageError
+from repro.generators import grid_instance, labelled_line_instance, random_probabilities
+from repro.probability.brute_force import brute_force_property_probability
+from repro.provenance.automata import (
+    accepts,
+    automaton_probability,
+    model_check,
+    reachable_states,
+    run_automaton,
+)
+from repro.provenance.mso_properties import (
+    all_facts_present_automaton,
+    fact_count_parity_automaton,
+    incident_pair_automaton,
+    matching_world_automaton,
+    nonempty_automaton,
+    parity_automaton,
+    threshold_automaton,
+)
+from repro.provenance.tree_encoding import tree_encoding
+
+
+def test_parity_automaton_model_checking():
+    instance = labelled_line_instance(5)
+    encoding = tree_encoding(instance)
+    automaton = parity_automaton("L")
+    assert model_check(automaton, encoding)  # 5 L-facts: odd
+    even_world = [f for f in instance if f.relation == "E"] + list(instance.facts_of("L"))[:4]
+    assert not accepts(automaton, encoding, even_world)
+
+
+def test_threshold_and_nonempty_automata():
+    instance = labelled_line_instance(4)
+    encoding = tree_encoding(instance)
+    assert model_check(threshold_automaton(2, "L"), encoding)
+    assert not accepts(threshold_automaton(2, "L"), encoding, [])
+    assert model_check(nonempty_automaton(), encoding)
+    assert not accepts(nonempty_automaton("L"), encoding, instance.facts_of("E"))
+
+
+def test_all_facts_present_automaton():
+    instance = labelled_line_instance(3)
+    encoding = tree_encoding(instance)
+    assert model_check(all_facts_present_automaton(), encoding)
+    assert not accepts(all_facts_present_automaton(), encoding, list(instance.facts)[:-1])
+    assert accepts(all_facts_present_automaton("L"), encoding, instance.facts_of("L"))
+
+
+def test_incident_pair_automaton_against_semantics():
+    instance = grid_instance(2, 3)
+    encoding = tree_encoding(instance)
+    automaton = incident_pair_automaton()
+
+    def has_incident_pair(world):
+        facts = list(world)
+        for i, a in enumerate(facts):
+            for b in facts[i + 1 :]:
+                if set(a.elements()) & set(b.elements()):
+                    return True
+        return False
+
+    for world in instance.all_subinstances():
+        assert accepts(automaton, encoding, world) == has_incident_pair(world)
+
+
+def test_matching_world_automaton_is_complement():
+    instance = grid_instance(2, 2)
+    encoding = tree_encoding(instance)
+    violation = incident_pair_automaton()
+    matching = matching_world_automaton()
+    for world in instance.all_subinstances():
+        assert accepts(matching, encoding, world) == (not accepts(violation, encoding, world))
+
+
+def test_run_automaton_with_mapping_world():
+    instance = labelled_line_instance(3)
+    encoding = tree_encoding(instance)
+    world = {f: f.relation == "E" for f in instance}
+    state = run_automaton(parity_automaton("L"), encoding, world)
+    assert state is False
+
+
+def test_reachable_states_bounded():
+    instance = labelled_line_instance(6)
+    encoding = tree_encoding(instance)
+    reachable = reachable_states(parity_automaton("L"), encoding)
+    assert all(len(states) <= 2 for states in reachable.values())
+
+
+def test_automaton_probability_matches_brute_force():
+    instance = labelled_line_instance(4)
+    encoding = tree_encoding(instance)
+    tid = random_probabilities(instance, seed=7)
+    automaton = parity_automaton("L")
+    expected = brute_force_property_probability(
+        lambda world: len(world.facts_of("L")) % 2 == 1, tid
+    )
+    assert automaton_probability(automaton, encoding, tid) == expected
+
+
+def test_automaton_probability_incident_pairs():
+    instance = grid_instance(2, 2)
+    encoding = tree_encoding(instance)
+    tid = ProbabilisticInstance.uniform(instance, Fraction(1, 2))
+
+    def has_incident_pair(world):
+        facts = list(world)
+        for i, a in enumerate(facts):
+            for b in facts[i + 1 :]:
+                if set(a.elements()) & set(b.elements()):
+                    return True
+        return False
+
+    expected = brute_force_property_probability(has_incident_pair, tid)
+    assert automaton_probability(incident_pair_automaton(), encoding, tid) == expected
+
+
+def test_automaton_probability_requires_matching_instance():
+    instance = labelled_line_instance(3)
+    other = labelled_line_instance(4)
+    encoding = tree_encoding(instance)
+    tid = ProbabilisticInstance.uniform(other, Fraction(1, 2))
+    with pytest.raises(LineageError):
+        automaton_probability(parity_automaton("L"), encoding, tid)

@@ -1,0 +1,108 @@
+"""Tests for the provenance d-DNNF / circuit construction (Theorems 6.3, 6.5, 6.11)."""
+
+from fractions import Fraction
+
+from repro.data.tid import ProbabilisticInstance
+from repro.generators import grid_instance, labelled_line_instance, random_probabilities
+from repro.probability.brute_force import brute_force_property_probability
+from repro.provenance.automata import accepts, automaton_probability
+from repro.provenance.automaton_provenance import (
+    provenance,
+    provenance_circuit,
+    provenance_dnnf,
+    provenance_obdd,
+)
+from repro.provenance.mso_properties import (
+    incident_pair_automaton,
+    parity_automaton,
+    threshold_automaton,
+)
+from repro.provenance.tree_encoding import path_encoding, tree_encoding
+
+
+def worlds_of(instance):
+    return instance.all_subinstances()
+
+
+def test_provenance_dnnf_is_deterministic_and_decomposable():
+    instance = labelled_line_instance(4)
+    encoding = tree_encoding(instance)
+    dnnf = provenance_dnnf(parity_automaton("L"), encoding)
+    assert dnnf.check_decomposability()
+    assert dnnf.check_determinism()
+
+
+def test_provenance_dnnf_equivalent_to_automaton():
+    instance = labelled_line_instance(4)
+    encoding = tree_encoding(instance)
+    automaton = parity_automaton("L")
+    dnnf = provenance_dnnf(automaton, encoding)
+    for world in worlds_of(instance):
+        valuation = {f: (f in set(world.facts)) for f in instance}
+        restricted = {f: valuation[f] for f in dnnf.variables()}
+        assert dnnf.evaluate(restricted) == accepts(automaton, encoding, world)
+
+
+def test_provenance_circuit_equivalent_to_automaton():
+    instance = grid_instance(2, 2)
+    encoding = tree_encoding(instance)
+    automaton = incident_pair_automaton()
+    circuit = provenance_circuit(automaton, encoding)
+    for world in worlds_of(instance):
+        valuation = {f: (f in set(world.facts)) for f in instance}
+        assert circuit.evaluate(valuation) == accepts(automaton, encoding, world)
+
+
+def test_provenance_probability_agrees_with_state_dp_and_brute_force():
+    instance = labelled_line_instance(4)
+    encoding = tree_encoding(instance)
+    automaton = threshold_automaton(2, "L")
+    tid = random_probabilities(instance, seed=11)
+    dnnf = provenance_dnnf(automaton, encoding)
+    valuation = {f: tid.probability_of(f) for f in dnnf.variables()}
+    expected = brute_force_property_probability(
+        lambda world: len(world.facts_of("L")) >= 2, tid
+    )
+    assert dnnf.probability(valuation) == expected
+    assert automaton_probability(automaton, encoding, tid) == expected
+
+
+def test_provenance_dnnf_linear_size_growth():
+    # Theorem 6.11 shape: d-DNNF size grows linearly with the instance.
+    sizes = []
+    for n in (8, 16, 32):
+        encoding = tree_encoding(labelled_line_instance(n))
+        sizes.append(provenance_dnnf(parity_automaton("L"), encoding).size)
+    assert sizes[2] / sizes[1] <= 2.5
+    assert sizes[1] / sizes[0] <= 2.5
+
+
+def test_provenance_obdd_equivalent_and_narrow_on_paths():
+    instance = labelled_line_instance(5)
+    encoding = path_encoding(instance)
+    automaton = parity_automaton("L")
+    compiled = provenance_obdd(automaton, encoding)
+    for world in worlds_of(instance):
+        valuation = {f: (f in set(world.facts)) for f in instance}
+        assert compiled.evaluate(valuation) == accepts(automaton, encoding, world)
+    assert compiled.width <= 4
+
+
+def test_provenance_result_bookkeeping():
+    instance = labelled_line_instance(4)
+    encoding = tree_encoding(instance)
+    result = provenance(parity_automaton("L"), encoding)
+    assert result.dnnf_size == result.dnnf.size
+    assert result.circuit_size == result.circuit.size
+    assert result.max_states_per_node <= 2
+
+
+def test_provenance_of_unsatisfiable_property():
+    instance = labelled_line_instance(2)
+    encoding = tree_encoding(instance)
+    # Threshold higher than the number of facts: never satisfied.
+    automaton = threshold_automaton(10)
+    dnnf = provenance_dnnf(automaton, encoding)
+    for world in worlds_of(instance):
+        valuation = {f: (f in set(world.facts)) for f in dnnf.variables()}
+        assert not dnnf.evaluate(valuation)

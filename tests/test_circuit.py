@@ -1,0 +1,122 @@
+"""Tests for Boolean circuits."""
+
+import pytest
+
+from repro.booleans.circuit import BooleanCircuit, GateKind, circuit_from_function
+from repro.errors import LineageError
+
+
+def xor_circuit():
+    circuit = BooleanCircuit()
+    x = circuit.variable("x")
+    y = circuit.variable("y")
+    circuit.set_output(
+        circuit.disjunction(
+            [
+                circuit.conjunction([x, circuit.negation(y)]),
+                circuit.conjunction([circuit.negation(x), y]),
+            ]
+        )
+    )
+    return circuit
+
+
+def test_evaluate_xor():
+    circuit = xor_circuit()
+    assert circuit.evaluate({"x": True, "y": False})
+    assert circuit.evaluate({"x": False, "y": True})
+    assert not circuit.evaluate({"x": True, "y": True})
+    assert not circuit.evaluate({"x": False, "y": False})
+
+
+def test_missing_variable_raises():
+    circuit = xor_circuit()
+    with pytest.raises(LineageError):
+        circuit.evaluate({"x": True})
+
+
+def test_variable_and_constant_sharing():
+    circuit = BooleanCircuit()
+    assert circuit.variable("x") == circuit.variable("x")
+    assert circuit.constant(True) == circuit.constant(True)
+    assert circuit.constant(True) != circuit.constant(False)
+
+
+def test_empty_connectives_are_constants():
+    circuit = BooleanCircuit()
+    circuit.set_output(circuit.conjunction([]))
+    assert circuit.evaluate({})
+    circuit2 = BooleanCircuit()
+    circuit2.set_output(circuit2.disjunction([]))
+    assert not circuit2.evaluate({})
+
+
+def test_single_input_connective_collapses():
+    circuit = BooleanCircuit()
+    x = circuit.variable("x")
+    assert circuit.conjunction([x]) == x
+    assert circuit.disjunction([x]) == x
+
+
+def test_monotone_detection():
+    circuit = xor_circuit()
+    assert not circuit.is_monotone()
+    monotone = BooleanCircuit()
+    monotone.set_output(monotone.conjunction([monotone.variable("x"), monotone.variable("y")]))
+    assert monotone.is_monotone()
+
+
+def test_pruned_removes_unreachable_gates():
+    circuit = BooleanCircuit()
+    x = circuit.variable("x")
+    circuit.conjunction([x, circuit.variable("dead")])  # unreachable
+    circuit.set_output(x)
+    pruned = circuit.pruned()
+    assert pruned.size < circuit.size
+    assert pruned.evaluate({"x": True, "dead": False})
+
+
+def test_restrict():
+    circuit = xor_circuit()
+    restricted = circuit.restrict({"y": True})
+    assert restricted.evaluate({"x": False})
+    assert not restricted.evaluate({"x": True})
+
+
+def test_model_count_and_satisfying_assignments():
+    circuit = xor_circuit()
+    assert circuit.model_count() == 2
+    assignments = list(circuit.satisfying_assignments())
+    assert len(assignments) == 2
+
+
+def test_equivalence_check():
+    assert xor_circuit().equivalent_to(xor_circuit())
+    other = BooleanCircuit()
+    other.set_output(other.conjunction([other.variable("x"), other.variable("y")]))
+    assert not xor_circuit().equivalent_to(other)
+
+
+def test_circuit_from_function():
+    circuit = circuit_from_function(["a", "b"], lambda v: v["a"] and not v["b"])
+    assert circuit.evaluate({"a": True, "b": False})
+    assert not circuit.evaluate({"a": True, "b": True})
+
+
+def test_to_graph_and_treewidth():
+    circuit = xor_circuit()
+    graph = circuit.to_graph()
+    assert len(graph) == circuit.size
+    assert circuit.treewidth() >= 1
+    assert circuit.pathwidth() >= 1
+
+
+def test_gate_kind_introspection():
+    circuit = xor_circuit()
+    kinds = {gate.kind for _, gate in circuit.gates()}
+    assert GateKind.VAR in kinds and GateKind.NOT in kinds
+
+
+def test_wire_count():
+    circuit = xor_circuit()
+    assert circuit.wire_count() > 0

@@ -1,0 +1,227 @@
+"""Tests for clique-width expressions (repro.structure.clique_width)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.counting.match_counting import count_independent_sets_brute_force
+from repro.data.instance import Instance, fact
+from repro.data.signature import Signature
+from repro.errors import DecompositionError
+from repro.generators.grids import graph_to_instance
+from repro.structure.clique_width import (
+    CliqueWidthExpression,
+    clique_expression,
+    cograph_expression,
+    complete_bipartite_expression,
+    count_edges,
+    count_independent_sets,
+    expression_from_graph,
+    maximum_independent_set,
+    path_expression,
+)
+from repro.structure.graph import Graph, complete_bipartite_graph, complete_graph, path_graph
+
+
+# -- construction and evaluation -----------------------------------------------------
+
+
+def test_create_and_union_evaluate_to_labelled_graph():
+    left = CliqueWidthExpression.create(1, "a")
+    right = CliqueWidthExpression.create(2, "b")
+    expression = CliqueWidthExpression.union(left, right)
+    graph, labelling = expression.evaluate()
+    assert set(graph.vertices) == {"a", "b"}
+    assert graph.edge_count() == 0
+    assert labelling == {"a": 1, "b": 2}
+
+
+def test_add_edges_and_relabel():
+    expression = CliqueWidthExpression.add_edges(
+        CliqueWidthExpression.union(
+            CliqueWidthExpression.create(1, "a"), CliqueWidthExpression.create(2, "b")
+        ),
+        1,
+        2,
+    )
+    graph, _ = expression.evaluate()
+    assert graph.has_edge("a", "b")
+    relabelled = CliqueWidthExpression.relabel(expression, 2, 1)
+    _, labelling = relabelled.evaluate()
+    assert set(labelling.values()) == {1}
+
+
+def test_add_edges_requires_distinct_labels():
+    leaf = CliqueWidthExpression.create(1, "a")
+    with pytest.raises(DecompositionError):
+        CliqueWidthExpression.add_edges(leaf, 1, 1)
+
+
+def test_validate_rejects_duplicate_vertices_and_bad_arity():
+    duplicated = CliqueWidthExpression.union(
+        CliqueWidthExpression.create(1, "a"), CliqueWidthExpression.create(2, "a")
+    )
+    with pytest.raises(DecompositionError):
+        duplicated.validate()
+    bad = CliqueWidthExpression("union", children=(CliqueWidthExpression.create(1, "a"),))
+    with pytest.raises(DecompositionError):
+        bad.validate()
+    unknown = CliqueWidthExpression("mystery")
+    with pytest.raises(DecompositionError):
+        unknown.validate()
+
+
+def test_width_size_vertices_and_str():
+    expression = clique_expression(4)
+    assert expression.width == 2
+    assert set(expression.vertices) == {"v0", "v1", "v2", "v3"}
+    assert expression.size() >= 4
+    text = str(expression)
+    assert "⊕" in text and "η" in text and "ρ" in text
+
+
+# -- ready-made families ----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5])
+def test_clique_expression_denotes_complete_graph(n):
+    graph = clique_expression(n).to_graph()
+    expected = complete_graph(n)
+    assert len(graph.vertices) == n
+    assert graph.edge_count() == expected.edge_count()
+
+
+def test_clique_expression_has_width_two_despite_unbounded_treewidth():
+    expression = clique_expression(6)
+    assert expression.width == 2
+    from repro.structure.tree_decomposition import treewidth
+
+    assert treewidth(expression.to_graph()) == 5
+
+
+@pytest.mark.parametrize("m,n", [(1, 1), (2, 3), (3, 3)])
+def test_complete_bipartite_expression(m, n):
+    graph = complete_bipartite_expression(m, n).to_graph()
+    expected = complete_bipartite_graph(m, n)
+    assert len(graph.vertices) == m + n
+    assert graph.edge_count() == expected.edge_count() == m * n
+
+
+def test_path_expression_denotes_path():
+    graph = path_expression(5).to_graph()
+    expected = path_graph(5)
+    assert graph.edge_count() == expected.edge_count() == 4
+    assert path_expression(5).width == 3
+
+
+def test_family_constructors_reject_empty_inputs():
+    with pytest.raises(DecompositionError):
+        clique_expression(0)
+    with pytest.raises(DecompositionError):
+        complete_bipartite_expression(0, 2)
+    with pytest.raises(DecompositionError):
+        path_expression(0)
+
+
+def test_cograph_expression_join_and_union():
+    # (a join b) union (c join d): two disjoint edges.
+    cotree = ("union", [("join", ["a", "b"]), ("join", ["c", "d"])])
+    expression = cograph_expression(cotree)
+    graph = expression.to_graph()
+    assert expression.width == 2
+    assert graph.edge_count() == 2
+    assert len(graph.connected_components()) == 2
+    with pytest.raises(DecompositionError):
+        cograph_expression(("join", []))
+
+
+def test_cograph_expression_join_of_three_is_triangle():
+    graph = cograph_expression(("join", ["a", "b", "c"])).to_graph()
+    assert graph.edge_count() == 3
+
+
+# -- dynamic programming --------------------------------------------------------------------
+
+
+def test_count_edges_matches_graph():
+    assert count_edges(clique_expression(5)) == 10
+    assert count_edges(path_expression(4)) == 3
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+def test_maximum_independent_set_on_cliques_and_paths(n):
+    assert maximum_independent_set(clique_expression(n)) == 1
+    assert maximum_independent_set(path_expression(n)) == (n + 1) // 2
+
+
+def test_maximum_independent_set_on_complete_bipartite():
+    assert maximum_independent_set(complete_bipartite_expression(3, 5)) == 5
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_count_independent_sets_matches_brute_force_on_cliques(n):
+    expression = clique_expression(n)
+    instance = graph_to_instance(expression.to_graph())
+    assert count_independent_sets(expression) == count_independent_sets_brute_force(instance)
+
+
+def test_count_independent_sets_single_vertex():
+    # The instance encoding drops isolated vertices, so compare against the
+    # graph-level count directly: the empty set and the singleton.
+    assert count_independent_sets(clique_expression(1)) == 2
+
+
+def test_count_independent_sets_matches_brute_force_on_paths_and_bipartite():
+    for expression in (path_expression(4), complete_bipartite_expression(2, 3)):
+        instance = graph_to_instance(expression.to_graph())
+        assert count_independent_sets(expression) == count_independent_sets_brute_force(instance)
+
+
+def test_expression_from_graph_reference_construction():
+    graph = path_graph(4)
+    expression = expression_from_graph(graph)
+    assert expression.to_graph().edge_count() == graph.edge_count()
+    assert expression.width == 4
+    with pytest.raises(DecompositionError):
+        expression_from_graph(Graph())
+    with pytest.raises(DecompositionError):
+        expression_from_graph(complete_graph(12), max_width=8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=4), st.integers(min_value=0, max_value=4)),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_independent_set_dp_matches_brute_force_on_random_graphs(edges):
+    """The clique-width DP agrees with brute force via the trivial k-expression."""
+    graph = Graph()
+    for index in range(5):
+        graph.add_vertex(index)
+    for u, v in edges:
+        if u != v:
+            graph.add_edge(u, v)
+    expression = expression_from_graph(graph)
+    instance = graph_to_instance(graph) if graph.edge_count() else None
+    dp_count = count_independent_sets(expression)
+    # Brute force over all vertex subsets.
+    vertices = list(graph.vertices)
+    expected = 0
+    for mask in range(1 << len(vertices)):
+        chosen = [vertices[i] for i in range(len(vertices)) if mask >> i & 1]
+        if all(not graph.has_edge(a, b) for i, a in enumerate(chosen) for b in chosen[i + 1 :]):
+            expected += 1
+    assert dp_count == expected
+    assert maximum_independent_set(expression) == max(
+        bin(mask).count("1")
+        for mask in range(1 << len(vertices))
+        if all(
+            not graph.has_edge(vertices[i], vertices[j])
+            for i in range(len(vertices))
+            for j in range(i + 1, len(vertices))
+            if mask >> i & 1 and mask >> j & 1
+        )
+    )

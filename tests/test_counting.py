@@ -1,0 +1,115 @@
+"""Tests for the counting substrate: matchings, Hamiltonian cycles, match counting."""
+
+import pytest
+
+from repro.counting import (
+    count_dominating_sets_brute_force,
+    count_hamiltonian_cycles,
+    count_independent_sets,
+    count_independent_sets_brute_force,
+    count_independent_sets_treewidth_dp,
+    count_matchings,
+    count_matchings_brute_force,
+    count_matchings_of_instance,
+    count_matchings_treewidth_dp,
+    count_matchings_via_lineage,
+    is_matching,
+)
+from repro.generators import (
+    cubic_planar_graph,
+    directed_path_instance,
+    grid_instance,
+    prism_graph,
+    random_tree_instance,
+)
+from repro.structure.graph import Graph, complete_graph, cycle_graph, grid_graph, path_graph
+
+
+def test_is_matching():
+    graph = path_graph(4)
+    assert is_matching(graph, [(0, 1), (2, 3)])
+    assert not is_matching(graph, [(0, 1), (1, 2)])
+    assert not is_matching(graph, [(0, 2)])  # not an edge
+    assert is_matching(graph, [])
+
+
+def test_matchings_of_paths_are_fibonacci():
+    # The number of matchings of P_n (n vertices) is the Fibonacci number F(n+1).
+    expected = {2: 2, 3: 3, 4: 5, 5: 8, 6: 13}
+    for n, value in expected.items():
+        assert count_matchings_brute_force(path_graph(n)) == value
+        assert count_matchings_treewidth_dp(path_graph(n)) == value
+
+
+def test_matchings_of_cycles():
+    # Matchings of C_n are Lucas numbers: C_3 -> 4, C_4 -> 7, C_5 -> 11, C_6 -> 18.
+    expected = {3: 4, 4: 7, 5: 11, 6: 18}
+    for n, value in expected.items():
+        assert count_matchings_treewidth_dp(cycle_graph(n)) == value
+
+
+def test_matchings_methods_agree_on_small_graphs():
+    for graph in (complete_graph(4), grid_graph(2, 3), cubic_planar_graph(0), prism_graph(3)):
+        brute = count_matchings_brute_force(graph)
+        assert count_matchings_treewidth_dp(graph) == brute
+        assert count_matchings_via_lineage(graph) == brute
+
+
+def test_count_matchings_dispatch():
+    graph = cycle_graph(4)
+    assert count_matchings(graph, "brute_force") == 7
+    assert count_matchings(graph, "treewidth") == 7
+    assert count_matchings(graph, "lineage") == 7
+    with pytest.raises(ValueError):
+        count_matchings(graph, "nope")
+
+
+def test_count_matchings_of_instance():
+    instance = grid_instance(2, 2)
+    graph = grid_graph(2, 2)
+    assert count_matchings_of_instance(instance) == count_matchings_brute_force(graph)
+
+
+def test_empty_graph_has_one_matching():
+    assert count_matchings_treewidth_dp(Graph()) == 1
+
+
+def test_hamiltonian_cycle_counts():
+    assert count_hamiltonian_cycles(complete_graph(4)) == 3
+    assert count_hamiltonian_cycles(cycle_graph(5)) == 1
+    assert count_hamiltonian_cycles(path_graph(4)) == 0
+    assert count_hamiltonian_cycles(prism_graph(3)) == 3
+    with pytest.raises(ValueError):
+        count_hamiltonian_cycles(complete_graph(12))
+
+
+def test_independent_set_counts_agree():
+    for instance in (directed_path_instance(5), random_tree_instance(7, seed=2), grid_instance(2, 3)):
+        brute = count_independent_sets_brute_force(instance)
+        assert count_independent_sets_treewidth_dp(instance) == brute
+        assert count_independent_sets(instance) == brute
+
+
+def test_independent_sets_of_path_are_fibonacci():
+    # Independent sets of a path with n vertices: F(n+2).
+    assert count_independent_sets(directed_path_instance(4)) == 13  # 5 vertices
+    assert count_independent_sets(directed_path_instance(5)) == 21  # 6 vertices
+
+
+def test_dominating_sets_brute_force():
+    instance = directed_path_instance(3)  # path on 4 vertices
+    assert count_dominating_sets_brute_force(instance) == sum(
+        1
+        for mask in range(16)
+        if _dominates(mask)
+    )
+
+
+def _dominates(mask):
+    chosen = {i for i in range(4) if mask >> i & 1}
+    return all(i in chosen or (i - 1 in chosen) or (i + 1 in chosen) for i in range(4))
+
+
+def test_counting_dispatch_errors():
+    with pytest.raises(ValueError):
+        count_independent_sets(directed_path_instance(3), method="nope")

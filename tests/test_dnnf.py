@@ -1,0 +1,104 @@
+"""Tests for d-DNNFs."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.booleans.dnnf import DNNF, dnnf_from_obdd
+from repro.booleans.formula import threshold_2_circuit
+from repro.booleans.obdd import OBDD
+from repro.errors import LineageError
+
+
+def simple_ddnnf():
+    """(x AND y) OR (NOT x AND z) — deterministic (disjuncts disagree on x)."""
+    dnnf = DNNF()
+    left = dnnf.conjunction([dnnf.literal("x"), dnnf.literal("y")])
+    right = dnnf.conjunction([dnnf.literal("x", False), dnnf.literal("z")])
+    dnnf.set_output(dnnf.disjunction([left, right]))
+    return dnnf
+
+
+def test_evaluate():
+    dnnf = simple_ddnnf()
+    assert dnnf.evaluate({"x": True, "y": True, "z": False})
+    assert dnnf.evaluate({"x": False, "y": False, "z": True})
+    assert not dnnf.evaluate({"x": True, "y": False, "z": True})
+
+
+def test_decomposability_enforced():
+    dnnf = DNNF()
+    with pytest.raises(LineageError):
+        dnnf.conjunction([dnnf.literal("x"), dnnf.literal("x", False)])
+
+
+def test_determinism_checks():
+    assert simple_ddnnf().check_determinism()
+    bad = DNNF()
+    bad.set_output(bad.disjunction([bad.literal("x"), bad.literal("y")]))
+    assert not bad.check_determinism()
+
+
+def test_probability():
+    dnnf = simple_ddnnf()
+    probability = dnnf.probability({"x": Fraction(1, 2), "y": Fraction(1, 2), "z": Fraction(1, 2)})
+    assert probability == Fraction(1, 2)
+
+
+def test_probability_requires_all_variables():
+    dnnf = simple_ddnnf()
+    with pytest.raises(LineageError):
+        dnnf.probability({"x": Fraction(1, 2)})
+
+
+def test_model_count():
+    dnnf = simple_ddnnf()
+    assert dnnf.model_count() == 4
+    assert dnnf.model_count(all_variables={"x", "y", "z", "extra"}) == 8
+
+
+def test_constants_and_trivial_connectives():
+    dnnf = DNNF()
+    dnnf.set_output(dnnf.conjunction([]))
+    assert dnnf.evaluate({})
+    dnnf2 = DNNF()
+    dnnf2.set_output(dnnf2.disjunction([]))
+    assert not dnnf2.evaluate({})
+
+
+def test_to_circuit_equivalence():
+    dnnf = simple_ddnnf()
+    circuit = dnnf.to_circuit()
+    for mask in range(8):
+        valuation = {"x": bool(mask & 1), "y": bool(mask & 2), "z": bool(mask & 4)}
+        assert dnnf.evaluate(valuation) == circuit.evaluate(valuation)
+
+
+def test_dnnf_from_obdd_equivalence_and_properties():
+    names = [f"x{i}" for i in range(5)]
+    circuit = threshold_2_circuit(names)
+    manager = OBDD(names)
+    root = manager.build_from_circuit(circuit)
+    dnnf = dnnf_from_obdd(manager, root)
+    assert dnnf.check_decomposability()
+    assert dnnf.check_determinism()
+    for mask in range(1 << len(names)):
+        valuation = {name: bool(mask >> i & 1) for i, name in enumerate(names)}
+        assert dnnf.evaluate(valuation) == circuit.evaluate(valuation)
+    probability = dnnf.probability({name: Fraction(1, 2) for name in names})
+    assert probability == manager.probability(root, {name: Fraction(1, 2) for name in names})
+
+
+def test_dnnf_from_obdd_terminal_cases():
+    manager = OBDD(["x"])
+    dnnf_true = dnnf_from_obdd(manager, manager.terminal(True))
+    assert dnnf_true.evaluate({})
+    dnnf_false = dnnf_from_obdd(manager, manager.terminal(False))
+    assert not dnnf_false.evaluate({})
+
+
+def test_size_and_reachable():
+    dnnf = simple_ddnnf()
+    assert dnnf.size >= 7
+    assert set(dnnf.reachable()) <= set(range(dnnf.size))
+    assert dnnf.variables() == frozenset({"x", "y", "z"})

@@ -1,0 +1,24 @@
+"""Smoke tests that run the lightweight example scripts end to end.
+
+Only the examples with sub-second workloads are exercised here (the heavier
+ones — approximate inference on the hard bipartite family, the dichotomy tour
+— are exercised by the benchmark suite instead); the goal is to keep the
+examples from drifting out of sync with the public API.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "provenance_semirings.py", "regular_path_queries.py"],
+)
+def test_example_runs_to_completion(script, capsys):
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script} produced no output"

@@ -1,0 +1,280 @@
+"""Tests for free binary decision diagrams (repro.booleans.fbdd)."""
+
+from fractions import Fraction
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.booleans.circuit import BooleanCircuit, circuit_from_function
+from repro.booleans.fbdd import (
+    FBDD,
+    compile_circuit_to_fbdd,
+    fbdd_from_clauses,
+    fbdd_from_obdd,
+)
+from repro.booleans.obdd import OBDD
+from repro.errors import CompilationError, LineageError
+
+
+def _all_valuations(variables):
+    for values in product([False, True], repeat=len(variables)):
+        yield dict(zip(variables, values))
+
+
+def test_terminals_and_literal():
+    diagram = FBDD()
+    assert diagram.terminal(True) == 1
+    assert diagram.terminal(False) == 0
+    node = diagram.literal("x")
+    assert diagram.evaluate({"x": True}, node)
+    assert not diagram.evaluate({"x": False}, node)
+    negative = diagram.literal("x", positive=False)
+    assert diagram.evaluate({"x": False}, negative)
+
+
+def test_make_node_reduction_and_sharing():
+    diagram = FBDD()
+    child = diagram.literal("y")
+    # low == high collapses to the child.
+    assert diagram.make_node("x", child, child) == child
+    first = diagram.make_node("x", 0, child)
+    second = diagram.make_node("x", 0, child)
+    assert first == second
+
+
+def test_make_node_rejects_bad_ids():
+    diagram = FBDD()
+    with pytest.raises(LineageError):
+        diagram.make_node("x", 0, 99)
+
+
+def test_node_accessor_and_table():
+    diagram = FBDD()
+    node = diagram.literal("x")
+    variable, low, high = diagram.node(node)
+    assert (variable, low, high) == ("x", 0, 1)
+    with pytest.raises(LineageError):
+        diagram.node(1)
+    table = diagram.node_table(node)
+    assert table == [(node, "x", 0, 1)]
+
+
+def test_evaluate_simple_and_gate():
+    diagram = FBDD()
+    # x AND y built by hand: test x, then y.
+    y_node = diagram.literal("y")
+    root = diagram.make_node("x", 0, y_node)
+    diagram.root = root
+    assert diagram.evaluate({"x": True, "y": True})
+    assert not diagram.evaluate({"x": True, "y": False})
+    assert not diagram.evaluate({"x": False, "y": True})
+
+
+def test_check_read_once_detects_violation():
+    diagram = FBDD()
+    inner = diagram.make_node("x", 0, 1)
+    outer = diagram.make_node("x", inner, 1)
+    diagram.root = outer
+    assert not diagram.check_read_once()
+    good = FBDD()
+    good.root = good.make_node("x", 0, good.literal("y"))
+    assert good.check_read_once()
+
+
+def test_is_ordered_detects_order_conflict():
+    # x before y on one branch, y before x on the other: free but not ordered.
+    diagram = FBDD()
+    y_then_x = diagram.make_node("y", 0, diagram.literal("x"))
+    x_then_y = diagram.make_node("x", 0, diagram.literal("y"))
+    root = diagram.make_node("z", y_then_x, x_then_y)
+    diagram.root = root
+    assert diagram.check_read_once()
+    assert not diagram.is_ordered()
+    ordered = FBDD()
+    ordered.root = ordered.make_node("x", 0, ordered.literal("y"))
+    assert ordered.is_ordered()
+
+
+def test_probability_matches_hand_computation():
+    diagram = FBDD()
+    y_node = diagram.literal("y")
+    diagram.root = diagram.make_node("x", 0, y_node)  # x AND y
+    result = diagram.probability({"x": Fraction(1, 2), "y": Fraction(1, 3)})
+    assert result == Fraction(1, 6)
+
+
+def test_probability_missing_variable_raises():
+    diagram = FBDD()
+    diagram.root = diagram.literal("x")
+    with pytest.raises(LineageError):
+        diagram.probability({})
+
+
+def test_model_count_or_of_two_variables():
+    diagram = fbdd_from_clauses([["x"], ["y"]])
+    assert diagram.model_count() == 3
+    assert diagram.model_count(all_variables=["x", "y", "z"]) == 6
+
+
+def test_model_count_universe_must_cover_tested_variables():
+    diagram = fbdd_from_clauses([["x"], ["y"]])
+    with pytest.raises(LineageError):
+        diagram.model_count(all_variables=["x"])
+
+
+def test_restrict_cofactors():
+    diagram = fbdd_from_clauses([["x", "y"]])
+    cofactor = diagram.restrict(diagram.root, "x", True)
+    assert diagram.evaluate({"y": True}, cofactor)
+    assert not diagram.evaluate({"y": False}, cofactor)
+    assert diagram.restrict(diagram.root, "x", False) == 0
+
+
+def test_negate_complements_the_function():
+    diagram = fbdd_from_clauses([["x", "y"]])
+    complement = diagram.negate()
+    for valuation in _all_valuations(["x", "y"]):
+        assert diagram.evaluate(valuation, complement) != diagram.evaluate(
+            valuation, diagram.root
+        )
+
+
+def test_fbdd_from_obdd_preserves_function_and_order():
+    obdd = OBDD(["a", "b", "c"])
+    root = obdd.build_from_clauses([["a", "b"], ["b", "c"]])
+    diagram = fbdd_from_obdd(obdd, root)
+    assert diagram.check_read_once()
+    assert diagram.is_ordered()
+    for valuation in _all_valuations(["a", "b", "c"]):
+        assert diagram.evaluate(valuation) == obdd.evaluate(root, valuation)
+
+
+def test_compile_circuit_to_fbdd_equivalence():
+    circuit = BooleanCircuit()
+    a, b, c = (circuit.variable(v) for v in "abc")
+    circuit.set_output(
+        circuit.disjunction(
+            [circuit.conjunction([a, b]), circuit.conjunction([circuit.negation(a), c])]
+        )
+    )
+    diagram = compile_circuit_to_fbdd(circuit)
+    assert diagram.check_read_once()
+    for valuation in _all_valuations(["a", "b", "c"]):
+        assert diagram.evaluate(valuation) == circuit.evaluate(valuation)
+
+
+def test_compile_circuit_custom_variable_choice():
+    circuit = BooleanCircuit()
+    x, y = circuit.variable("x"), circuit.variable("y")
+    circuit.set_output(circuit.conjunction([x, y]))
+
+    chosen = []
+
+    def choose(assignment, live):
+        chosen.append(tuple(live))
+        return live[-1]
+
+    diagram = compile_circuit_to_fbdd(circuit, variable_choice=choose)
+    for valuation in _all_valuations(["x", "y"]):
+        assert diagram.evaluate(valuation) == circuit.evaluate(valuation)
+    assert chosen and chosen[0] == ("x", "y")
+
+
+def test_compile_circuit_variable_choice_must_be_live():
+    circuit = BooleanCircuit()
+    circuit.set_output(circuit.variable("x"))
+    with pytest.raises(CompilationError):
+        compile_circuit_to_fbdd(circuit, variable_choice=lambda assignment, live: "zzz")
+
+
+def test_compile_circuit_requires_output():
+    with pytest.raises(CompilationError):
+        compile_circuit_to_fbdd(BooleanCircuit())
+
+
+def test_compile_circuit_node_budget():
+    circuit = BooleanCircuit()
+    terms = []
+    for i in range(6):
+        terms.append(circuit.conjunction([circuit.variable(f"x{i}"), circuit.variable(f"y{i}")]))
+    circuit.set_output(circuit.disjunction(terms))
+    with pytest.raises(CompilationError):
+        compile_circuit_to_fbdd(circuit, max_nodes=1)
+
+
+def test_constant_circuits_compile_to_terminals():
+    circuit = BooleanCircuit()
+    circuit.set_output(circuit.constant(True))
+    assert compile_circuit_to_fbdd(circuit).root == 1
+    circuit = BooleanCircuit()
+    circuit.set_output(circuit.constant(False))
+    assert compile_circuit_to_fbdd(circuit).root == 0
+
+
+def test_to_dnnf_equivalence_and_probability():
+    diagram = fbdd_from_clauses([["x", "y"], ["z"]])
+    dnnf = diagram.to_dnnf()
+    probabilities = {"x": Fraction(1, 2), "y": Fraction(1, 3), "z": Fraction(1, 5)}
+    assert dnnf.probability(probabilities) == diagram.probability(probabilities)
+    for valuation in _all_valuations(["x", "y", "z"]):
+        assert dnnf.evaluate(valuation) == diagram.evaluate(valuation)
+
+
+def test_size_and_variables():
+    diagram = fbdd_from_clauses([["x", "y"], ["z"]])
+    assert diagram.variables() == frozenset({"x", "y", "z"})
+    assert diagram.size() >= 3
+    assert len(diagram) >= diagram.size()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    clauses=st.lists(
+        st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=3, unique=True),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_fbdd_matches_dnf_semantics(clauses):
+    """fbdd_from_clauses agrees with direct DNF evaluation on every valuation."""
+    diagram = fbdd_from_clauses(clauses)
+    assert diagram.check_read_once()
+    variables = ["a", "b", "c", "d"]
+    for valuation in _all_valuations(variables):
+        expected = any(all(valuation[v] for v in clause) for clause in clauses)
+        assert diagram.evaluate(valuation) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    clauses=st.lists(
+        st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=3, unique=True),
+        min_size=1,
+        max_size=4,
+    ),
+    probabilities=st.lists(st.integers(min_value=0, max_value=4), min_size=4, max_size=4),
+)
+def test_fbdd_probability_matches_obdd(clauses, probabilities):
+    """FBDD and OBDD probability computations agree on random monotone DNFs."""
+    variables = ["a", "b", "c", "d"]
+    valuation = {v: Fraction(p, 4) for v, p in zip(variables, probabilities)}
+    diagram = fbdd_from_clauses(clauses)
+    obdd = OBDD(variables)
+    root = obdd.build_from_clauses(clauses)
+    assert diagram.probability(valuation) == obdd.probability(root, valuation)
+    assert diagram.model_count(all_variables=variables) == obdd.model_count(root)
+
+
+def test_fbdd_from_complex_function_is_free_and_correct():
+    variables = ["a", "b", "c", "d"]
+
+    def majority(valuation):
+        return sum(valuation[v] for v in variables) >= 3
+
+    circuit = circuit_from_function(variables, majority)
+    diagram = compile_circuit_to_fbdd(circuit)
+    assert diagram.check_read_once()
+    for valuation in _all_valuations(variables):
+        assert diagram.evaluate(valuation) == majority(valuation)

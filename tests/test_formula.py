@@ -1,0 +1,129 @@
+"""Tests for Boolean formulas and the Section 7 constructions."""
+
+import pytest
+
+from repro.booleans.circuit import BooleanCircuit
+from repro.booleans.formula import (
+    Formula,
+    circuit_to_formula,
+    minimal_formula_size,
+    parity_circuit,
+    parity_formula,
+    threshold_2_circuit,
+    threshold_2_formula,
+)
+from repro.errors import LineageError
+
+
+def variables(n):
+    return [f"x{i}" for i in range(n)]
+
+
+def all_valuations(names):
+    for mask in range(1 << len(names)):
+        yield {name: bool(mask >> i & 1) for i, name in enumerate(names)}
+
+
+def test_formula_evaluation_and_sizes():
+    formula = Formula.disjunction(
+        [Formula.conjunction([Formula.var("a"), Formula.var("b")]), Formula.negation(Formula.var("c"))]
+    )
+    assert formula.evaluate({"a": True, "b": True, "c": True})
+    assert formula.evaluate({"a": False, "b": False, "c": False})
+    assert not formula.evaluate({"a": False, "b": True, "c": True})
+    assert formula.leaf_size == 3
+    assert formula.variables() == {"a", "b", "c"}
+    assert not formula.is_monotone()
+
+
+def test_formula_to_circuit_round_trip():
+    formula = threshold_2_formula(variables(5))
+    circuit = formula.to_circuit()
+    for valuation in all_valuations(variables(5)):
+        assert formula.evaluate(valuation) == circuit.evaluate(valuation)
+
+
+def test_threshold_formula_correct():
+    names = variables(6)
+    formula = threshold_2_formula(names)
+    assert formula.is_monotone()
+    for valuation in all_valuations(names):
+        expected = sum(valuation.values()) >= 2
+        assert formula.evaluate(valuation) == expected
+
+
+def test_threshold_circuit_correct_and_linear():
+    names = variables(7)
+    circuit = threshold_2_circuit(names)
+    for valuation in all_valuations(names):
+        assert circuit.evaluate(valuation) == (sum(valuation.values()) >= 2)
+    sizes = [threshold_2_circuit(variables(n)).size for n in (10, 20, 40)]
+    # Linear growth: doubling n roughly doubles the size.
+    assert sizes[2] / sizes[1] == pytest.approx(2.0, rel=0.2)
+    assert sizes[1] / sizes[0] == pytest.approx(2.0, rel=0.25)
+
+
+def test_parity_formula_correct_and_quadratic_shape():
+    names = variables(5)
+    formula = parity_formula(names)
+    for valuation in all_valuations(names):
+        assert formula.evaluate(valuation) == (sum(valuation.values()) % 2 == 1)
+    small = parity_formula(variables(8)).leaf_size
+    large = parity_formula(variables(16)).leaf_size
+    # Quadratic: doubling n should roughly quadruple the leaf size.
+    assert 3.0 <= large / small <= 5.0
+
+
+def test_parity_circuit_correct_and_linear():
+    names = variables(6)
+    circuit = parity_circuit(names)
+    for valuation in all_valuations(names):
+        assert circuit.evaluate(valuation) == (sum(valuation.values()) % 2 == 1)
+    small = parity_circuit(variables(10)).size
+    large = parity_circuit(variables(20)).size
+    assert large <= 2.5 * small
+
+
+def test_threshold_formula_superlinear_versus_circuit():
+    # The conciseness gap of Section 7: formulas grow faster than circuits.
+    formula_sizes = [threshold_2_formula(variables(n)).leaf_size for n in (16, 64)]
+    circuit_sizes = [threshold_2_circuit(variables(n)).size for n in (16, 64)]
+    assert formula_sizes[1] / formula_sizes[0] > circuit_sizes[1] / circuit_sizes[0]
+
+
+def test_circuit_to_formula_expansion():
+    circuit = parity_circuit(variables(4))
+    formula = circuit_to_formula(circuit)
+    for valuation in all_valuations(variables(4)):
+        assert formula.evaluate(valuation) == circuit.evaluate(valuation)
+
+
+def test_circuit_to_formula_budget():
+    circuit = parity_circuit(variables(18))
+    with pytest.raises(LineageError):
+        circuit_to_formula(circuit, max_size=50)
+
+
+def test_minimal_formula_size_tiny_functions():
+    # AND of two variables needs 2 leaves; XOR of two needs 4 (over the binary basis).
+    assert minimal_formula_size(["a", "b"], lambda v: v["a"] and v["b"]) == 2
+    assert minimal_formula_size(["a", "b"], lambda v: v["a"] != v["b"]) == 4
+    assert (
+        minimal_formula_size(["a", "b", "c"], lambda v: sum(v.values()) >= 2, monotone=True) >= 4
+    )
+
+
+def test_minimal_formula_size_constant():
+    assert minimal_formula_size(["a"], lambda v: True) == 0
+
+
+def test_minimal_formula_size_budget_exceeded():
+    with pytest.raises(LineageError):
+        minimal_formula_size(
+            ["a", "b", "c", "d"], lambda v: sum(v.values()) % 2 == 1, max_leaves=5
+        )
+
+
+def test_formula_str():
+    formula = Formula.conjunction([Formula.var("x"), Formula.negation(Formula.var("y"))])
+    assert "x" in str(formula) and "~" in str(formula)

@@ -1,0 +1,148 @@
+"""Tests for the instance/graph generators."""
+
+import pytest
+
+from repro.data.gaifman import instance_pathwidth, instance_treewidth
+from repro.generators import (
+    balanced_binary_tree_instance,
+    caterpillar_instance,
+    clique_instance,
+    complete_bipartite_instance,
+    cubic_planar_graph,
+    directed_path_instance,
+    grid_instance,
+    grid_of_lines,
+    labelled_line_instance,
+    labelled_partial_ktree_instance,
+    one_three_regular_graph,
+    prism_graph,
+    probabilistic_xml_instance,
+    random_binary_instance,
+    random_instance,
+    random_line_instance,
+    random_partial_ktree_instance,
+    random_probabilities,
+    random_tree_instance,
+    rst_bipartite_instance,
+    rst_chain_instance,
+    s_grid_instance,
+    unary_instance,
+    wall_instance,
+)
+from repro.data.signature import Signature
+from repro.queries.intricacy import line_instance
+
+
+def test_directed_path_instance():
+    instance = directed_path_instance(5)
+    assert len(instance) == 5
+    assert instance_treewidth(instance) == 1
+
+
+def test_labelled_line_instance_counts():
+    instance = labelled_line_instance(4)
+    assert len(instance.facts_of("E")) == 3
+    assert len(instance.facts_of("L")) == 4
+    assert instance_treewidth(instance) == 1
+    partial = labelled_line_instance(4, labelled=[True, False, True, False])
+    assert len(partial.facts_of("L")) == 2
+
+
+def test_unary_instance_treewidth_zero():
+    instance = unary_instance(6)
+    assert len(instance) == 6
+    assert instance_treewidth(instance) == 0
+
+
+def test_rst_chain_and_bipartite():
+    chain = rst_chain_instance(3)
+    assert len(chain) == 9
+    assert instance_pathwidth(chain) == 1
+    bipartite = rst_bipartite_instance(3)
+    assert len(bipartite.facts_of("S")) == 9
+    assert instance_treewidth(bipartite) >= 2
+
+
+def test_grid_instance_treewidth_grows():
+    small = grid_instance(2, 2)
+    large = grid_instance(4, 4)
+    assert instance_treewidth(large) > instance_treewidth(small)
+    symmetric = grid_instance(2, 2, symmetric=True)
+    assert len(symmetric) == 2 * len(small)
+
+
+def test_s_grid_has_rst_signature():
+    instance = s_grid_instance(3, 3)
+    assert "R" in instance.signature and "T" in instance.signature
+    assert len(instance.facts_of("R")) == 0
+
+
+def test_complete_bipartite_and_clique():
+    bipartite = complete_bipartite_instance(3, 4)
+    assert len(bipartite) == 12
+    clique = clique_instance(4)
+    assert len(clique) == 12  # ordered pairs
+
+
+def test_grid_of_lines_uses_witness_signature():
+    witness = line_instance((("E", True), ("E", False)))
+    tiled = grid_of_lines(witness, 3, 3)
+    assert tiled.signature == witness.signature
+    assert instance_treewidth(tiled) >= 2
+
+
+def test_tree_generators():
+    tree = balanced_binary_tree_instance(3)
+    assert len(tree) == 14
+    assert instance_treewidth(tree) == 1
+    random_tree = random_tree_instance(10, seed=1)
+    assert instance_treewidth(random_tree) == 1
+    caterpillar = caterpillar_instance(4, 2)
+    assert instance_pathwidth(caterpillar) <= 2
+
+
+def test_probabilistic_xml_instance():
+    doc = probabilistic_xml_instance(2, fanout=2)
+    assert len(doc.facts_of("child")) == 6
+    assert instance_treewidth(doc) == 1
+
+
+def test_random_line_instance_matches_length():
+    instance = random_line_instance(5, Signature([("E", 2)]), seed=2)
+    assert len(instance) == 5
+    assert instance_pathwidth(instance) == 1
+
+
+def test_cubic_planar_graphs_are_cubic():
+    for index in range(3):
+        graph = cubic_planar_graph(index)
+        assert graph.is_k_regular(3)
+
+
+def test_prism_and_one_three_regular():
+    assert prism_graph(4).is_k_regular(3)
+    graph = one_three_regular_graph(5)
+    assert graph.is_K_regular({1, 3})
+    with pytest.raises(ValueError):
+        prism_graph(2)
+
+
+def test_wall_instance_and_partial_ktrees():
+    wall = wall_instance(3, 4)
+    assert instance_treewidth(wall) >= 2
+    ktree = random_partial_ktree_instance(12, 3, seed=0)
+    assert instance_treewidth(ktree) <= 3
+    labelled = labelled_partial_ktree_instance(10, 2, seed=1)
+    assert instance_treewidth(labelled, exact=True) <= 2
+    assert "R" in labelled.signature
+
+
+def test_random_instance_and_probabilities():
+    signature = Signature([("R", 1), ("S", 2)])
+    instance = random_instance(signature, 4, 8, seed=5)
+    assert len(instance) <= 8
+    tid = random_probabilities(instance, seed=5)
+    for fact in instance:
+        assert 0 <= tid.probability_of(fact) <= 1
+    binary = random_binary_instance(4, 6, seed=1)
+    assert binary.signature.arity("E") == 2

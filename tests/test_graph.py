@@ -1,0 +1,95 @@
+"""Tests for repro.structure.graph."""
+
+from repro.structure.graph import (
+    Graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+)
+
+
+def test_add_edge_and_degree():
+    graph = Graph([(1, 2), (2, 3)])
+    assert graph.degree(2) == 2
+    assert graph.degree(1) == 1
+    assert graph.max_degree() == 2
+    assert graph.has_edge(1, 2) and graph.has_edge(2, 1)
+    assert not graph.has_edge(1, 3)
+
+
+def test_self_loops_ignored():
+    graph = Graph()
+    graph.add_edge(1, 1)
+    assert 1 in graph
+    assert graph.edge_count() == 0
+
+
+def test_remove_vertex_and_edge():
+    graph = Graph([(1, 2), (2, 3)])
+    graph.remove_edge(1, 2)
+    assert not graph.has_edge(1, 2)
+    graph.remove_vertex(3)
+    assert 3 not in graph
+    assert graph.degree(2) == 0
+
+
+def test_copy_is_independent():
+    graph = Graph([(1, 2)])
+    clone = graph.copy()
+    clone.add_edge(2, 3)
+    assert 3 not in graph
+
+
+def test_connected_components():
+    graph = Graph([(1, 2), (3, 4)])
+    components = graph.connected_components()
+    assert len(components) == 2
+    assert not graph.is_connected()
+    assert Graph([(1, 2), (2, 3)]).is_connected()
+
+
+def test_tree_and_cycle_detection():
+    assert path_graph(5).is_tree()
+    assert not cycle_graph(4).is_tree()
+    assert cycle_graph(4).has_cycle()
+    assert not path_graph(5).has_cycle()
+    assert Graph([(1, 2), (3, 4)]).is_forest()
+
+
+def test_regularity():
+    assert cycle_graph(5).is_k_regular(2)
+    assert not path_graph(3).is_k_regular(2)
+    assert path_graph(3).is_K_regular({1, 2})
+
+
+def test_shortest_path():
+    graph = grid_graph(3, 3)
+    path = graph.shortest_path((0, 0), (2, 2))
+    assert path is not None
+    assert len(path) == 5
+    assert graph.shortest_path((0, 0), (0, 0)) == [(0, 0)]
+    disconnected = Graph([(1, 2), (3, 4)])
+    assert disconnected.shortest_path(1, 4) is None
+
+
+def test_subgraph():
+    graph = complete_graph(4)
+    sub = graph.subgraph({0, 1, 2})
+    assert len(sub) == 3
+    assert sub.edge_count() == 3
+
+
+def test_named_constructors_counts():
+    assert complete_graph(5).edge_count() == 10
+    assert path_graph(5).edge_count() == 4
+    assert cycle_graph(5).edge_count() == 5
+    assert grid_graph(3, 4).edge_count() == 3 * 3 + 2 * 4
+    assert complete_bipartite_graph(2, 3).edge_count() == 6
+
+
+def test_networkx_roundtrip():
+    graph = grid_graph(2, 3)
+    roundtrip = Graph.from_networkx(graph.to_networkx())
+    assert set(map(frozenset, roundtrip.edges())) == set(map(frozenset, graph.edges()))

@@ -1,0 +1,59 @@
+"""Tests for the experiment harness."""
+
+from repro.experiments import ScalingSeries, classify_growth, format_table, run_series
+
+
+def series_from(values):
+    series = ScalingSeries("test")
+    for size, value in values:
+        series.add(size, value)
+    return series
+
+
+def test_loglog_slope_linear():
+    series = series_from([(10, 10), (20, 20), (40, 40)])
+    assert abs(series.loglog_slope() - 1.0) < 0.01
+
+
+def test_loglog_slope_quadratic():
+    series = series_from([(10, 100), (20, 400), (40, 1600)])
+    assert abs(series.loglog_slope() - 2.0) < 0.01
+
+
+def test_constant_detection():
+    series = series_from([(10, 3), (20, 3), (40, 4)])
+    assert series.is_roughly_constant()
+    assert classify_growth(series) == "constant"
+
+
+def test_classify_growth_linear_and_super():
+    linear = series_from([(10, 11), (20, 21), (40, 39)])
+    assert classify_growth(linear) == "linear"
+    explosive = series_from([(4, 16), (5, 64), (6, 512), (7, 8192)])
+    assert classify_growth(explosive) in ("super-polynomial", "polynomial (high degree) or worse")
+
+
+def test_growth_ratios_and_rows():
+    series = series_from([(1, 2), (2, 4), (3, 8)])
+    assert series.growth_ratios() == [2.0, 2.0]
+    assert series.rows() == [(1.0, 2.0), (2.0, 4.0), (3.0, 8.0)]
+    assert len(series) == 3
+
+
+def test_run_series():
+    series = run_series("squares", [1, 2, 3], lambda n: n * n)
+    assert series.values == [1.0, 4.0, 9.0]
+
+
+def test_format_table():
+    text = format_table(["a", "bb"], [[1, 22], [333, 4]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "a" in lines[0] and "bb" in lines[0]
+    assert "333" in lines[3]
+
+
+def test_degenerate_series():
+    empty = ScalingSeries("empty")
+    assert empty.loglog_slope() == 0.0
+    assert empty.is_roughly_constant()

@@ -1,0 +1,65 @@
+"""Tests for repro.data.homomorphism."""
+
+from repro.data.homomorphism import (
+    are_isomorphic,
+    find_homomorphism,
+    has_homomorphism,
+    homomorphisms,
+    is_homomorphism,
+    is_isomorphism,
+)
+from repro.data.instance import Instance, fact
+
+
+def path(n, relation="E"):
+    return Instance([fact(relation, f"a{i}", f"a{i+1}") for i in range(n)])
+
+
+def test_identity_is_homomorphism():
+    instance = path(3)
+    identity = {e: e for e in instance.domain}
+    assert is_homomorphism(identity, instance, instance)
+    assert is_isomorphism(identity, instance, instance)
+
+
+def test_path_maps_into_longer_path():
+    assert has_homomorphism(path(2), path(4))
+    assert find_homomorphism(path(2), path(4)) is not None
+
+
+def test_longer_path_does_not_map_into_shorter_cycle_free_path():
+    # A directed path of length 3 cannot map into a directed path of length 1.
+    assert not has_homomorphism(path(3), path(1))
+
+
+def test_homomorphism_count_path_into_path():
+    # The directed path with 1 edge maps into a path with 3 edges in 3 ways.
+    assert len(list(homomorphisms(path(1), path(3)))) == 3
+
+
+def test_collapse_homomorphism():
+    # A 2-edge path maps onto a single "back-and-forth" pair only if target has it.
+    source = path(2)
+    target = Instance([fact("E", "u", "v"), fact("E", "v", "u")])
+    assert has_homomorphism(source, target)
+
+
+def test_is_homomorphism_rejects_wrong_mapping():
+    source = path(1)
+    target = path(2)
+    assert not is_homomorphism({"a0": "a0", "a1": "a2"}, source, target)
+
+
+def test_isomorphism_detection():
+    a = path(3)
+    b = a.rename({"a0": "x0", "a1": "x1", "a2": "x2", "a3": "x3"})
+    assert are_isomorphic(a, b)
+    assert not are_isomorphic(a, path(2))
+
+
+def test_non_isomorphic_same_size():
+    # Same number of facts and elements, different shape.
+    star = Instance([fact("E", "c", "l1"), fact("E", "c", "l2"), fact("E", "c", "l3")])
+    line = path(3)
+    assert len(star) == len(line) and star.domain_size == line.domain_size
+    assert not are_isomorphic(star, line)

@@ -1,0 +1,118 @@
+"""Tests for repro.data.instance."""
+
+import pytest
+
+from repro.data.instance import Fact, Instance, fact, graph_instance
+from repro.data.signature import Signature
+from repro.errors import InstanceError, SignatureError
+
+
+def make_instance():
+    return Instance([fact("R", "a"), fact("S", "a", "b"), fact("T", "b")])
+
+
+def test_size_and_domain():
+    instance = make_instance()
+    assert len(instance) == 3
+    assert instance.domain == ("a", "b")
+    assert instance.domain_size == 2
+
+
+def test_signature_inferred():
+    instance = make_instance()
+    assert instance.signature.arity("R") == 1
+    assert instance.signature.arity("S") == 2
+
+
+def test_explicit_signature_checked():
+    with pytest.raises(SignatureError):
+        Instance([fact("R", "a", "b")], Signature.of(R=1))
+    with pytest.raises(SignatureError):
+        Instance([fact("Z", "a")], Signature.of(R=1))
+
+
+def test_inconsistent_arity_detected():
+    with pytest.raises(SignatureError):
+        Instance([fact("R", "a"), fact("R", "a", "b")])
+
+
+def test_facts_of_and_containing():
+    instance = make_instance()
+    assert instance.facts_of("S") == (fact("S", "a", "b"),)
+    assert instance.facts_of("Z") == ()
+    assert set(instance.facts_containing("a")) == {fact("R", "a"), fact("S", "a", "b")}
+
+
+def test_duplicate_facts_collapse():
+    instance = Instance([fact("R", "a"), fact("R", "a")])
+    assert len(instance) == 1
+
+
+def test_subinstance_and_membership():
+    instance = make_instance()
+    sub = instance.subinstance([fact("R", "a")])
+    assert len(sub) == 1
+    assert fact("R", "a") in instance
+    assert sub.is_subinstance_of(instance)
+    with pytest.raises(InstanceError):
+        instance.subinstance([fact("R", "zzz")])
+
+
+def test_restrict_domain():
+    instance = make_instance()
+    restricted = instance.restrict_domain({"a"})
+    assert set(restricted.facts) == {fact("R", "a")}
+
+
+def test_rename_with_dict_and_callable():
+    instance = make_instance()
+    renamed = instance.rename({"a": "x"})
+    assert fact("S", "x", "b") in renamed
+    renamed2 = instance.rename(lambda e: e.upper())
+    assert fact("T", "B") in renamed2
+
+
+def test_union_and_disjoint_union():
+    left = Instance([fact("R", "a")])
+    right = Instance([fact("R", "a"), fact("R", "b")])
+    union = left.union(right)
+    assert len(union) == 2
+    disjoint = left.disjoint_union(right)
+    assert len(disjoint) == 3
+    assert disjoint.domain_size == 3
+
+
+def test_all_subinstances_count():
+    instance = make_instance()
+    assert sum(1 for _ in instance.all_subinstances()) == 8
+
+
+def test_all_subinstances_guard():
+    big = Instance([fact("R", f"a{i}") for i in range(30)])
+    with pytest.raises(InstanceError):
+        list(big.all_subinstances())
+
+
+def test_fact_helpers():
+    f = fact("S", "a", "b")
+    assert f.arity == 2
+    assert f.elements() == ("a", "b")
+    assert fact("S", "a", "a").elements() == ("a",)
+    assert f.rename({"a": "z"}) == fact("S", "z", "b")
+    assert str(f) == "S(a, b)"
+
+
+def test_graph_instance_symmetric_and_loops():
+    g = graph_instance([("u", "v")])
+    assert len(g) == 2  # both orientations
+    directed = graph_instance([("u", "v")], symmetric=False)
+    assert len(directed) == 1
+    with pytest.raises(InstanceError):
+        graph_instance([("u", "u")])
+
+
+def test_instance_equality_and_ordering_stability():
+    a = Instance([fact("R", "a"), fact("R", "b")])
+    b = Instance([fact("R", "b"), fact("R", "a")])
+    assert a == b
+    assert a.facts == b.facts

@@ -1,0 +1,95 @@
+"""End-to-end integration tests mirroring the paper's headline claims."""
+
+from fractions import Fraction
+
+from repro.data.gaifman import instance_pathwidth, instance_treewidth
+from repro.data.signature import Signature
+from repro.data.tid import ProbabilisticInstance
+from repro.generators import (
+    directed_path_instance,
+    grid_instance,
+    probabilistic_xml_instance,
+    random_probabilities,
+    random_ranked_instance,
+    s_grid_instance,
+)
+from repro.probability import brute_force_probability, probability
+from repro.provenance import (
+    compile_query_to_obdd,
+    nonempty_automaton,
+    provenance_dnnf,
+    tree_encoding,
+    ucq_lineage_dnnf,
+)
+from repro.queries import inversion_free_example, is_intricate, qp, unsafe_rst
+from repro.unfold import unfold_instance, verify_unfolding
+
+
+def test_theorem_32_pipeline_on_probabilistic_xml():
+    """Probabilistic-XML-style instance: lineage + probability of an MSO property."""
+    document = probabilistic_xml_instance(3, fanout=2)
+    assert instance_treewidth(document) == 1
+    encoding = tree_encoding(document)
+    automaton = nonempty_automaton("paragraph")
+    dnnf = provenance_dnnf(automaton, encoding)
+    assert dnnf.check_decomposability()
+    valuation = {f: Fraction(9, 10) for f in dnnf.variables()}
+    result = dnnf.probability(valuation)
+    assert 0 < result < 1
+
+
+def test_theorem_42_upper_bound_consistency():
+    """All evaluation routes agree on a treelike instance (Theorem 4.2 upper bound)."""
+    instance = directed_path_instance(4)
+    tid = random_probabilities(instance, seed=17)
+    expected = brute_force_probability(qp(), tid)
+    assert probability(qp(), tid, method="obdd") == expected
+    assert probability(qp(), tid, method="automaton") == expected
+
+
+def test_theorem_81_dichotomy_shape():
+    """q_p OBDD width: constant on a path family, growing on the grid family."""
+    path_widths = [
+        compile_query_to_obdd(qp(), directed_path_instance(n), use_path_decomposition=True).width
+        for n in (4, 8, 12)
+    ]
+    grid_widths = [compile_query_to_obdd(qp(), grid_instance(n, n)).width for n in (2, 3, 4)]
+    assert max(path_widths) == min(path_widths)
+    assert grid_widths[-1] > grid_widths[0]
+    assert grid_widths[-1] > max(path_widths)
+
+
+def test_meta_dichotomy_classification():
+    """Theorem 8.7 / Proposition 8.8: q_p is intricate, the RST query is not."""
+    assert is_intricate(qp())
+    rst_signature = Signature([("R", 1), ("S", 2), ("T", 1)])
+    assert not is_intricate(unsafe_rst(), rst_signature)
+    # and indeed the RST query is trivial on the S-grid family (Section 8.2)
+    assert compile_query_to_obdd(unsafe_rst(), s_grid_instance(3, 3)).width == 1
+
+
+def test_section_9_unfolding_pipeline():
+    """Inversion-free query: unfolding preserves lineage and bounds tree-depth."""
+    query = inversion_free_example()
+    instance = random_ranked_instance(
+        Signature([("R", 1), ("S", 2), ("T", 1)]), 6, 14, seed=23
+    )
+    unfolding = unfold_instance(query, instance)
+    report = verify_unfolding(unfolding, query)
+    assert all(report.values())
+    assert instance_pathwidth(unfolding.unfolded) <= 1
+    # Probability computed on the unfolded instance equals the original.
+    tid = random_probabilities(instance, seed=23)
+    unfolded_tid = ProbabilisticInstance(
+        unfolding.unfolded,
+        {unfolding.unfolded_fact(f): tid.probability_of(f) for f in instance},
+    )
+    assert probability(query, tid) == probability(query, unfolded_tid)
+
+
+def test_ucq_dnnf_on_treelike_instance_agrees_with_brute_force():
+    instance = directed_path_instance(5)
+    dnnf = ucq_lineage_dnnf(qp(), instance)
+    tid = ProbabilisticInstance.uniform(instance, Fraction(1, 2))
+    valuation = {f: Fraction(1, 2) for f in dnnf.variables()}
+    assert dnnf.probability(valuation) == brute_force_probability(qp(), tid)

@@ -1,0 +1,105 @@
+"""Tests for line instances and the intricacy meta-dichotomy machinery (Section 8.2)."""
+
+import pytest
+
+from repro.data.signature import GRAPH_SIGNATURE, Signature
+from repro.data.gaifman import instance_treewidth
+from repro.errors import QueryError
+from repro.queries import (
+    all_line_instances,
+    find_intricacy_counterexample,
+    is_intricate,
+    is_n_intricate,
+    line_instance,
+    middle_facts,
+    parse_cq,
+    parse_ucq,
+    qd,
+    qp,
+    threshold_two_query,
+    two_incident_same_direction,
+    unsafe_rst,
+)
+from repro.queries.intricacy import non_intricate_counterexample_family
+
+RST_SIGNATURE = Signature([("R", 1), ("S", 2), ("T", 1)])
+
+
+def test_line_instance_shape():
+    line = line_instance((("E", True), ("E", False), ("E", True)))
+    assert len(line) == 3
+    assert line.domain_size == 4
+    from repro.data.instance import fact
+
+    assert fact("E", "a1", "a2") in line
+    assert fact("E", "a3", "a2") in line
+
+
+def test_all_line_instances_count():
+    assert sum(1 for _ in all_line_instances(3, GRAPH_SIGNATURE)) == 8
+    two_relations = Signature([("E", 2), ("F", 2)])
+    assert sum(1 for _ in all_line_instances(2, two_relations)) == 16
+
+
+def test_all_line_instances_requires_binary_relation():
+    with pytest.raises(QueryError):
+        list(all_line_instances(2, Signature([("R", 1)])))
+
+
+def test_middle_facts():
+    line = line_instance((("E", True), ("E", True), ("E", True), ("E", True)))
+    first, second = middle_facts(line)
+    elements = set(first.arguments) | set(second.arguments)
+    assert "a3" in first.arguments and "a3" in second.arguments
+    assert len(elements) == 3
+    with pytest.raises(QueryError):
+        middle_facts(line_instance((("E", True),)))
+
+
+def test_qp_is_intricate():
+    # q_p is 0-intricate (Theorem 8.1), hence intricate.
+    assert is_n_intricate(qp(), 0)
+    assert is_intricate(qp())
+
+
+def test_unsafe_rst_is_not_intricate():
+    # Proposition 8.8 / the S-grid discussion: the unsafe RST query is not intricate.
+    assert not is_intricate(unsafe_rst(), RST_SIGNATURE)
+    witness = find_intricacy_counterexample(unsafe_rst(), 0, RST_SIGNATURE)
+    assert witness is not None
+
+
+def test_connected_cq_without_disequalities_is_not_intricate():
+    # Proposition 8.8: connected CQ≠ (in particular plain CQs) are never intricate.
+    assert not is_intricate(two_incident_same_direction())
+    assert not is_intricate(parse_cq("E(x, y), E(y, z), E(z, w)"))
+
+
+def test_query_without_binary_relations_is_not_intricate():
+    assert not is_intricate(threshold_two_query())
+
+
+def test_small_queries_are_not_intricate():
+    assert not is_intricate(parse_cq("E(x, y)"))
+
+
+def test_intricacy_enumeration_guard():
+    with pytest.raises(QueryError):
+        is_intricate(qd(), max_line_instances=10)
+
+
+def test_qd_against_meta_dichotomy():
+    # q_d is disconnected; Proposition 8.10 shows it escapes the meta-dichotomy.
+    # Its |q|-intricacy check is feasible (single binary relation).
+    assert not is_n_intricate(qd(), 0)
+
+
+def test_non_intricate_counterexample_family():
+    family = non_intricate_counterexample_family(unsafe_rst(), RST_SIGNATURE, sizes=(3, 4))
+    assert len(family) == 2
+    assert instance_treewidth(family[1]) > 1
+
+
+def test_counterexample_family_rejected_for_intricate_query():
+    with pytest.raises(QueryError):
+        non_intricate_counterexample_family(qp(), sizes=(3,))

@@ -1,0 +1,98 @@
+"""Tests for the paper's named queries."""
+
+import pytest
+
+from repro.data.instance import Instance, fact
+from repro.data.signature import Signature
+from repro.errors import QueryError
+from repro.queries import (
+    hierarchical_example,
+    inversion_free_example,
+    parse_cq,
+    path_query,
+    qd,
+    qp,
+    satisfies,
+    threshold_two_query,
+    two_incident_same_direction,
+    unsafe_rst,
+)
+
+
+def test_unsafe_rst_shape():
+    query = unsafe_rst()
+    assert query.size == 3
+    assert not query.is_self_join_free() or query.is_self_join_free()
+    assert query.relations() == ("R", "S", "T")
+
+
+def test_threshold_two_query_semantics():
+    query = threshold_two_query()
+    assert not satisfies(Instance([fact("R", "a")]), query)
+    assert satisfies(Instance([fact("R", "a"), fact("R", "b")]), query)
+
+
+def test_qp_detects_incident_pairs():
+    query = qp()
+    two_incident = Instance([fact("E", "a", "b"), fact("E", "b", "c")])
+    assert satisfies(two_incident, query)
+    shared_source = Instance([fact("E", "a", "b"), fact("E", "a", "c")])
+    assert satisfies(shared_source, query)
+    shared_target = Instance([fact("E", "b", "a"), fact("E", "c", "a")])
+    assert satisfies(shared_target, query)
+    matching = Instance([fact("E", "a", "b"), fact("E", "c", "d")])
+    assert not satisfies(matching, query)
+    single = Instance([fact("E", "a", "b")])
+    assert not satisfies(single, query)
+
+
+def test_qp_on_multi_relation_signature():
+    signature = Signature([("E", 2), ("F", 2)])
+    query = qp(signature)
+    mixed = Instance([fact("E", "a", "b"), fact("F", "b", "c")], signature)
+    assert satisfies(mixed, query)
+    disjoint = Instance([fact("E", "a", "b"), fact("F", "c", "d")], signature)
+    assert not satisfies(disjoint, query)
+
+
+def test_qp_requires_binary_relation():
+    with pytest.raises(QueryError):
+        qp(Signature([("R", 1)]))
+
+
+def test_qp_ignores_single_self_loop():
+    # A single fact E(a, a) is one fact, not two incident facts.
+    assert not satisfies(Instance([fact("E", "a", "a")]), qp())
+    # But a self-loop plus another incident fact is a violation.
+    assert satisfies(Instance([fact("E", "a", "a"), fact("E", "a", "b")]), qp())
+
+
+def test_qd_semantics():
+    query = qd()
+    disjoint = Instance([fact("E", "a", "b"), fact("E", "c", "d")])
+    assert satisfies(disjoint, query)
+    incident = Instance([fact("E", "a", "b"), fact("E", "b", "c")])
+    assert not satisfies(incident, query)
+    assert not query.is_connected()
+
+
+def test_path_query():
+    query = path_query(3)
+    assert len(query.atoms) == 3
+    instance = Instance([fact("E", "a", "b"), fact("E", "b", "c"), fact("E", "c", "d")])
+    assert satisfies(instance, query)
+    with pytest.raises(QueryError):
+        path_query(0)
+
+
+def test_two_incident_same_direction():
+    query = two_incident_same_direction()
+    assert satisfies(Instance([fact("E", "a", "b"), fact("E", "b", "c")]), query)
+    assert not satisfies(Instance([fact("E", "a", "b"), fact("E", "c", "b")]), query)
+
+
+def test_named_safe_queries_are_hierarchical():
+    from repro.queries.properties import is_hierarchical
+
+    assert is_hierarchical(hierarchical_example())
+    assert is_hierarchical(inversion_free_example())

@@ -1,0 +1,88 @@
+"""Tests for lineage computation (DNF of matches, lineage circuits)."""
+
+from repro.data.instance import Instance, fact
+from repro.generators import rst_bipartite_instance, rst_chain_instance
+from repro.provenance.lineage import (
+    brute_force_lineage_table,
+    lineage_circuit,
+    lineage_of,
+)
+from repro.queries import parse_cq, parse_ucq, threshold_two_query, unsafe_rst
+
+
+def test_lineage_clauses_of_rst_chain():
+    instance = rst_chain_instance(2)
+    lineage = lineage_of(unsafe_rst(), instance)
+    assert lineage.clause_count == 2
+    assert all(len(clause) == 3 for clause in lineage.clauses)
+    assert lineage.is_read_once_shaped()
+
+
+def test_lineage_clauses_of_rst_bipartite_not_read_once():
+    instance = rst_bipartite_instance(2)
+    lineage = lineage_of(unsafe_rst(), instance)
+    assert lineage.clause_count == 4
+    assert not lineage.is_read_once_shaped()
+
+
+def test_lineage_evaluation_matches_query_semantics():
+    instance = rst_chain_instance(2)
+    lineage = lineage_of(unsafe_rst(), instance)
+    table = brute_force_lineage_table(unsafe_rst(), instance)
+    for world, expected in table.items():
+        assert lineage.evaluate(world) == expected
+
+
+def test_lineage_circuit_is_monotone_and_equivalent():
+    instance = rst_chain_instance(2)
+    circuit = lineage_circuit(unsafe_rst(), instance)
+    assert circuit.is_monotone()
+    lineage = lineage_of(unsafe_rst(), instance)
+    for world, expected in brute_force_lineage_table(unsafe_rst(), instance).items():
+        valuation = {f: (f in world) for f in instance}
+        assert circuit.evaluate(valuation) == expected
+        assert lineage.evaluate(valuation) == expected
+
+
+def test_lineage_of_threshold_query_is_threshold_function():
+    instance = Instance([fact("R", "a"), fact("R", "b"), fact("R", "c")])
+    lineage = lineage_of(threshold_two_query(), instance)
+    assert lineage.clause_count == 3
+    assert all(len(clause) == 2 for clause in lineage.clauses)
+    assert lineage.evaluate([fact("R", "a"), fact("R", "b")])
+    assert not lineage.evaluate([fact("R", "a")])
+
+
+def test_lineage_false_when_no_match():
+    instance = Instance([fact("R", "a")])
+    lineage = lineage_of(unsafe_rst(), instance)
+    assert lineage.clause_count == 0
+    assert not lineage.evaluate(instance.facts)
+    circuit = lineage.to_circuit()
+    assert not circuit.evaluate({f: True for f in instance})
+
+
+def test_minimal_versus_all_matches():
+    instance = Instance([fact("E", "a", "b"), fact("E", "b", "c")])
+    query = parse_ucq("E(x, y) | E(x, y), E(y, z)")
+    minimal = lineage_of(query, instance, minimal=True)
+    full = lineage_of(query, instance, minimal=False)
+    assert minimal.clause_count <= full.clause_count
+    for world, expected in brute_force_lineage_table(query, instance).items():
+        assert minimal.evaluate(world) == expected
+        assert full.evaluate(world) == expected
+
+
+def test_lineage_variables_subset_of_instance():
+    instance = rst_chain_instance(2)
+    lineage = lineage_of(unsafe_rst(), instance)
+    assert lineage.variables() <= set(instance.facts)
+
+
+def test_ucq_with_disequality_lineage():
+    instance = Instance([fact("E", "a", "b"), fact("E", "a", "a")])
+    query = parse_cq("E(x, y), x != y")
+    lineage = lineage_of(query, instance)
+    assert lineage.clause_count == 1
+    assert lineage.evaluate([fact("E", "a", "b")])
+    assert not lineage.evaluate([fact("E", "a", "a")])

@@ -1,0 +1,87 @@
+"""Tests for query matching (homomorphisms, matches, minimal matches)."""
+
+from repro.data.instance import Instance, fact
+from repro.generators import rst_bipartite_instance, rst_chain_instance
+from repro.queries import (
+    cq_homomorphisms,
+    cq_matches,
+    minimal_matches,
+    parse_cq,
+    parse_ucq,
+    satisfies,
+    threshold_two_query,
+    ucq_matches,
+    unsafe_rst,
+)
+
+
+def test_homomorphisms_of_rst_on_chain():
+    instance = rst_chain_instance(3)
+    homs = list(cq_homomorphisms(unsafe_rst(), instance))
+    assert len(homs) == 3
+
+
+def test_homomorphisms_of_rst_on_bipartite():
+    instance = rst_bipartite_instance(2)
+    homs = list(cq_homomorphisms(unsafe_rst(), instance))
+    assert len(homs) == 4
+
+
+def test_matches_deduplicate():
+    # Two homomorphisms with the same image yield one match.
+    instance = Instance([fact("E", "a", "a2"), fact("E", "a2", "a")])
+    query = parse_cq("E(x, y), E(y, x)")
+    matches = list(cq_matches(query, instance))
+    assert len(matches) == 1
+    assert matches[0] == frozenset(instance.facts)
+
+
+def test_disequality_filters_homomorphisms():
+    instance = Instance([fact("R", "a"), fact("R", "b")])
+    query = threshold_two_query()
+    matches = list(cq_matches(query, instance))
+    assert len(matches) == 1
+    single = Instance([fact("R", "a")])
+    assert list(cq_matches(query, single)) == []
+
+
+def test_ucq_matches_union_over_disjuncts():
+    instance = Instance([fact("R", "a"), fact("T", "b")])
+    query = parse_ucq("R(x) | T(x)")
+    assert len(ucq_matches(query, instance)) == 2
+
+
+def test_minimal_matches_drop_supersets():
+    # E(x,y) on a world where a match with extra facts is not minimal.
+    instance = Instance([fact("E", "a", "b"), fact("E", "b", "c")])
+    query = parse_ucq("E(x, y) | E(x, y), E(y, z)")
+    minimal = minimal_matches(query, instance)
+    assert all(len(match) == 1 for match in minimal)
+    assert len(minimal) == 2
+
+
+def test_satisfies():
+    instance = rst_chain_instance(2)
+    assert satisfies(instance, unsafe_rst())
+    empty_world = instance.subinstance([])
+    assert not satisfies(empty_world, unsafe_rst())
+
+
+def test_satisfies_with_disequality():
+    query = parse_cq("E(x, y), x != y")
+    loopish = Instance([fact("E", "a", "a")])
+    assert not satisfies(loopish, query)
+    proper = Instance([fact("E", "a", "b")])
+    assert satisfies(proper, query)
+
+
+def test_repeated_variable_atom():
+    query = parse_cq("E(x, x)")
+    assert satisfies(Instance([fact("E", "a", "a")]), query)
+    assert not satisfies(Instance([fact("E", "a", "b")]), query)
+
+
+def test_match_on_larger_instance_counts():
+    instance = rst_bipartite_instance(3)
+    assert len(ucq_matches(unsafe_rst(), instance)) == 9
+    assert len(minimal_matches(unsafe_rst(), instance)) == 9

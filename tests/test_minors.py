@@ -1,0 +1,79 @@
+"""Tests for topological minors, subdivisions, and the grid-like constructions."""
+
+from repro.structure.graph import Graph, cycle_graph, grid_graph, path_graph
+from repro.structure.minors import (
+    embed_grid_in_grid,
+    find_topological_minor,
+    is_subdivision_of,
+    skewed_grid,
+    subdivide,
+    wall_graph,
+)
+from repro.structure.tree_decomposition import treewidth
+
+
+def triangle():
+    return cycle_graph(3)
+
+
+def test_subdivide_preserves_vertex_names_and_grows():
+    graph = triangle()
+    once = subdivide(graph, 1)
+    assert set(graph.vertices) <= set(once.vertices)
+    assert len(once) == len(graph) + graph.edge_count()
+    assert once.edge_count() == 2 * graph.edge_count()
+
+
+def test_is_subdivision_of_accepts_subdivisions():
+    graph = cycle_graph(4)
+    assert is_subdivision_of(subdivide(graph, 1), graph)
+    assert is_subdivision_of(subdivide(graph, 3), graph)
+    assert is_subdivision_of(graph, graph)
+
+
+def test_is_subdivision_of_rejects_other_graphs():
+    assert not is_subdivision_of(path_graph(5), cycle_graph(3))
+
+
+def test_find_topological_minor_triangle_in_subdivided_triangle():
+    host = subdivide(triangle(), 2)
+    embedding = find_topological_minor(triangle(), host)
+    assert embedding is not None
+    assert embedding.validate(triangle(), host)
+
+
+def test_find_topological_minor_triangle_in_grid():
+    host = grid_graph(3, 3)
+    embedding = find_topological_minor(triangle(), host, max_path_length=4)
+    assert embedding is not None
+    assert embedding.validate(triangle(), host)
+
+
+def test_find_topological_minor_fails_when_impossible():
+    # A triangle is not a topological minor of a tree.
+    assert find_topological_minor(triangle(), path_graph(6)) is None
+
+
+def test_embed_grid_in_grid():
+    embedding = embed_grid_in_grid(3, 5, 5)
+    assert embedding is not None
+    assert embedding.validate(grid_graph(3, 3), grid_graph(5, 5))
+    assert embed_grid_in_grid(4, 3, 3) is None
+
+
+def test_wall_graph_degree_and_treewidth_growth():
+    wall = wall_graph(4, 6)
+    assert wall.max_degree() <= 3
+    assert treewidth(wall_graph(5, 8)) > treewidth(wall_graph(2, 8)) - 1
+
+
+def test_skewed_grid_treewidth_grows():
+    assert treewidth(skewed_grid(5)) >= treewidth(skewed_grid(3))
+    assert treewidth(skewed_grid(4)) >= 3
+
+
+def test_embedding_used_vertices():
+    host = subdivide(triangle(), 1)
+    embedding = find_topological_minor(triangle(), host)
+    used = embedding.all_used_vertices()
+    assert set(triangle().vertices) <= {v for v in used if v in set(host.vertices)}

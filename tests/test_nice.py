@@ -1,0 +1,56 @@
+"""Tests for binary and nice tree decompositions."""
+
+from repro.structure.graph import cycle_graph, grid_graph, path_graph
+from repro.structure.nice import NiceNodeKind, binarize, make_nice
+from repro.structure.tree_decomposition import tree_decomposition
+
+
+def test_binarize_preserves_width_and_validity():
+    graph = grid_graph(3, 3)
+    decomposition = tree_decomposition(graph)
+    binary = binarize(decomposition)
+    binary.validate(graph)
+    assert binary.width == decomposition.width
+    assert all(len(kids) <= 2 for kids in binary.children.values())
+
+
+def test_binarize_on_star_shaped_decomposition():
+    # A star graph's min-degree decomposition has a bag with many children.
+    from repro.structure.graph import Graph
+
+    star = Graph([(0, i) for i in range(1, 8)])
+    decomposition = tree_decomposition(star)
+    binary = binarize(decomposition)
+    binary.validate(star)
+    assert all(len(kids) <= 2 for kids in binary.children.values())
+
+
+def test_make_nice_structure_and_width():
+    for graph in (path_graph(5), cycle_graph(6), grid_graph(3, 3)):
+        decomposition = tree_decomposition(graph)
+        nice = make_nice(decomposition)
+        nice.validate()
+        assert nice.width == decomposition.width
+        root = nice.nodes[nice.root]
+        assert root.bag == frozenset()
+
+
+def test_make_nice_node_kinds():
+    graph = cycle_graph(5)
+    nice = make_nice(tree_decomposition(graph))
+    kinds = {node.kind for node in nice.nodes.values()}
+    assert NiceNodeKind.LEAF in kinds
+    assert NiceNodeKind.INTRODUCE in kinds
+    assert NiceNodeKind.FORGET in kinds
+
+
+def test_make_nice_post_order_is_consistent():
+    graph = grid_graph(2, 3)
+    nice = make_nice(tree_decomposition(graph))
+    order = nice.post_order()
+    seen = set()
+    for identifier in order:
+        for child in nice.nodes[identifier].children:
+            assert child in seen
+        seen.add(identifier)
+    assert order[-1] == nice.root

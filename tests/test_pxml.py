@@ -1,0 +1,269 @@
+"""Tests for probabilistic XML documents (repro.data.pxml)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.gaifman import instance_treewidth
+from repro.data.pxml import (
+    DeterministicDocument,
+    PXMLDocument,
+    PXMLNode,
+    TreePattern,
+    ind,
+    mux,
+    ordinary,
+    pattern,
+    pattern_lineage,
+    pattern_matches,
+    pattern_probability,
+    pattern_probability_brute_force,
+    random_pxml_document,
+)
+from repro.errors import InstanceError
+
+
+def _simple_ind_document() -> PXMLDocument:
+    """root(a) -> ind -> {b (1/2), c (1/3)}."""
+    b = ordinary("nb", "b")
+    c = ordinary("nc", "c")
+    distribution = ind("d1", [(b, Fraction(1, 2)), (c, Fraction(1, 3))])
+    root = ordinary("nr", "a", [distribution])
+    return PXMLDocument(root)
+
+
+def _mux_document() -> PXMLDocument:
+    """root(a) -> mux -> {b (1/2), c (1/4)}; with prob 1/4 neither child exists."""
+    b = ordinary("nb", "b")
+    c = ordinary("nc", "c")
+    chooser = mux("m1", [(b, Fraction(1, 2)), (c, Fraction(1, 4))])
+    root = ordinary("nr", "a", [chooser])
+    return PXMLDocument(root)
+
+
+# -- node and document construction -----------------------------------------------------
+
+
+def test_node_construction_constraints():
+    with pytest.raises(InstanceError):
+        PXMLNode("x", label=None, kind="ordinary")
+    with pytest.raises(InstanceError):
+        PXMLNode("x", label="a", kind="ind")
+    with pytest.raises(InstanceError):
+        PXMLNode("x", label="a", kind="???")
+    node = ordinary("x", "a")
+    assert str(node) == "a[x]"
+    assert str(ind("d", [])) == "ind[d]"
+
+
+def test_mux_probabilities_must_sum_to_at_most_one():
+    b = ordinary("nb", "b")
+    c = ordinary("nc", "c")
+    with pytest.raises(InstanceError):
+        mux("m", [(b, Fraction(3, 4)), (c, Fraction(1, 2))])
+
+
+def test_document_requires_ordinary_root_and_unique_identifiers():
+    with pytest.raises(InstanceError):
+        PXMLDocument(ind("d", []))
+    duplicate = ordinary("r", "a", [ordinary("x", "b"), ordinary("x", "c")])
+    with pytest.raises(InstanceError):
+        PXMLDocument(duplicate)
+
+
+def test_document_accessors():
+    document = _simple_ind_document()
+    assert len(document) == 4
+    assert {node.identifier for node in document.ordinary_nodes()} == {"nr", "nb", "nc"}
+    assert [node.kind for node in document.distributional_nodes()] == ["ind"]
+    assert not document.is_deterministic()
+    assert document.uses_only_ind()
+    assert not _mux_document().uses_only_ind()
+    assert "ordinary" in repr(document)
+
+
+# -- possible-world semantics -------------------------------------------------------------
+
+
+def test_possible_worlds_of_ind_document():
+    document = _simple_ind_document()
+    worlds = list(document.possible_worlds())
+    total = sum(probability for _, probability in worlds)
+    assert total == 1
+    sizes = {frozenset(world.nodes()): probability for world, probability in worlds}
+    assert sizes[frozenset({"nr", "nb", "nc"})] == Fraction(1, 2) * Fraction(1, 3)
+    assert sizes[frozenset({"nr"})] == Fraction(1, 2) * Fraction(2, 3)
+
+
+def test_possible_worlds_of_mux_document():
+    document = _mux_document()
+    worlds = {frozenset(world.nodes()): probability for world, probability in document.possible_worlds()}
+    assert worlds[frozenset({"nr", "nb"})] == Fraction(1, 2)
+    assert worlds[frozenset({"nr", "nc"})] == Fraction(1, 4)
+    assert worlds[frozenset({"nr"})] == Fraction(1, 4)
+    # mux never keeps both children.
+    assert frozenset({"nr", "nb", "nc"}) not in worlds
+
+
+def test_deterministic_document_navigation():
+    document = _simple_ind_document()
+    full = max(document.possible_worlds(), key=lambda pair: len(pair[0].nodes()))[0]
+    assert isinstance(full, DeterministicDocument)
+    assert set(full.children_of("nr")) == {"nb", "nc"}
+    assert set(full.descendants_of("nr")) == {"nb", "nc"}
+    assert full.size() == 3
+
+
+def test_probability_of_document_property():
+    document = _simple_ind_document()
+    at_least_two = document.probability_of(lambda world: world.size() >= 2)
+    # P(b present) + P(c present) - P(both) = 1/2 + 1/3 - 1/6.
+    assert at_least_two == Fraction(1, 2) + Fraction(1, 3) - Fraction(1, 6)
+
+
+# -- relational encodings -------------------------------------------------------------------
+
+
+def test_to_instance_is_treelike():
+    document = random_pxml_document(depth=3, fanout=2, seed=1)
+    instance = document.to_instance()
+    assert instance_treewidth(instance) <= 1
+    assert instance.facts_of("child")
+    assert any(relation.startswith("label_") for relation in instance.signature.relation_names)
+
+
+def test_to_probabilistic_instance_requires_ind_only():
+    with pytest.raises(InstanceError):
+        _mux_document().to_probabilistic_instance()
+    tid = _simple_ind_document().to_probabilistic_instance()
+    uncertain = [f for f in tid if tid.probability_of(f) != 1]
+    assert len(uncertain) == 2
+
+
+def test_choice_instance_and_root_path_requirements():
+    document = _simple_ind_document()
+    tid = document.choice_instance()
+    assert len(tid.instance) == 2
+    requirement = document.root_path_requirements("nb")
+    assert len(requirement) == 1
+    assert document.root_path_requirements("nr") == frozenset()
+    with pytest.raises(InstanceError):
+        _mux_document().root_path_requirements("nb")
+    with pytest.raises(InstanceError):
+        _mux_document().uncertain_edge_facts()
+
+
+# -- tree patterns -----------------------------------------------------------------------------
+
+
+def test_tree_pattern_construction_and_str():
+    query = pattern("a", (pattern("b"), "child"), (pattern(None), "descendant"))
+    assert query.size() == 3
+    assert "//" in str(query) and "/" in str(query)
+    with pytest.raises(InstanceError):
+        TreePattern("a", ((TreePattern("b"), "sibling"),))
+
+
+def test_pattern_matching_on_deterministic_document():
+    document = PXMLDocument(
+        ordinary("r", "a", [ordinary("x", "b", [ordinary("y", "c")])])
+    )
+    world = next(iter(document.possible_worlds()))[0]
+    assert pattern_matches(world, pattern("a", (pattern("b"), "child")))
+    assert pattern_matches(world, pattern("a", (pattern("c"), "descendant")))
+    assert not pattern_matches(world, pattern("a", (pattern("c"), "child")))
+    assert pattern_matches(world, pattern(None, (pattern("c"), "child")))
+    assert not pattern_matches(world, pattern("z"))
+
+
+def test_pattern_probability_brute_force_simple():
+    document = _simple_ind_document()
+    assert pattern_probability_brute_force(document, pattern("b")) == Fraction(1, 2)
+    assert pattern_probability_brute_force(document, pattern("a")) == 1
+    both = pattern("a", (pattern("b"), "child"), (pattern("c"), "child"))
+    # In the collapsed world, b and c become children of the root.
+    assert pattern_probability_brute_force(document, both) == Fraction(1, 6)
+
+
+def test_pattern_probability_brute_force_mux():
+    document = _mux_document()
+    either = pattern("a", (pattern(None), "descendant"))
+    assert pattern_probability_brute_force(document, either) == Fraction(3, 4)
+
+
+def test_pattern_lineage_and_probability_agree_with_brute_force():
+    document = _simple_ind_document()
+    queries = [
+        pattern("b"),
+        pattern("a"),
+        pattern("a", (pattern("b"), "child"), (pattern("c"), "child")),
+        pattern("z"),
+        pattern(None, (pattern("c"), "descendant")),
+    ]
+    for query in queries:
+        exact = pattern_probability_brute_force(document, query)
+        assert pattern_probability(document, query) == exact
+
+
+def test_pattern_lineage_clauses_are_root_path_requirements():
+    document = _simple_ind_document()
+    lineage = pattern_lineage(document, pattern("b"))
+    assert lineage.clause_count == 1
+    (clause,) = lineage.clauses
+    assert {f.relation for f in clause} == {"choice"}
+    # Pattern on the certain root: a single empty clause (probability 1).
+    certain = pattern_lineage(document, pattern("a"))
+    assert certain.clauses == (frozenset(),)
+    # Unsatisfiable pattern: no clauses.
+    assert pattern_lineage(document, pattern("z")).clause_count == 0
+
+
+def test_pattern_lineage_rejects_mux_documents():
+    with pytest.raises(InstanceError):
+        pattern_lineage(_mux_document(), pattern("b"))
+
+
+# -- generator -----------------------------------------------------------------------------------
+
+
+def test_random_pxml_document_shape_and_determinism():
+    first = random_pxml_document(depth=2, fanout=2, seed=5)
+    second = random_pxml_document(depth=2, fanout=2, seed=5)
+    assert [node.identifier for node in first.nodes()] == [
+        node.identifier for node in second.nodes()
+    ]
+    assert first.uses_only_ind()
+    with pytest.raises(InstanceError):
+        random_pxml_document(depth=-1)
+
+
+def test_random_pxml_document_depth_zero_is_single_node():
+    document = random_pxml_document(depth=0, seed=3)
+    assert len(document) == 1
+    assert document.is_deterministic()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=500))
+def test_lineage_probability_matches_brute_force_on_random_documents(seed):
+    """The lineage/OBDD route and possible-world enumeration agree on random PrXML{ind}."""
+    document = random_pxml_document(depth=2, fanout=2, seed=seed)
+    queries = [
+        pattern("a", (pattern("b"), "descendant")),
+        pattern(None, (pattern("c"), "child")),
+        pattern("b"),
+    ]
+    for query in queries:
+        assert pattern_probability(document, query) == pattern_probability_brute_force(
+            document, query
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=500))
+def test_possible_world_probabilities_sum_to_one(seed):
+    document = random_pxml_document(depth=2, fanout=2, seed=seed)
+    total = sum(probability for _, probability in document.possible_worlds())
+    assert total == 1

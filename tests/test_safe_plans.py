@@ -1,0 +1,71 @@
+"""Tests for lifted inference (safe plans)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.data.instance import Instance, fact
+from repro.data.tid import ProbabilisticInstance
+from repro.generators import random_probabilities, random_rst_instance, rst_chain_instance
+from repro.probability.brute_force import brute_force_probability
+from repro.probability.safe_plans import UnsafeQueryError, is_liftable, safe_plan_probability
+from repro.queries import hierarchical_example, parse_cq, parse_ucq, threshold_two_query, unsafe_rst
+
+
+def test_hierarchical_cq_matches_brute_force():
+    query = hierarchical_example()
+    instance = random_rst_instance(4, 8, seed=21)
+    tid = random_probabilities(instance, seed=21)
+    assert safe_plan_probability(query, tid) == brute_force_probability(query, tid)
+
+
+def test_single_atom_query():
+    query = parse_cq("R(x)")
+    instance = Instance([fact("R", "a"), fact("R", "b")])
+    tid = ProbabilisticInstance(instance, {fact("R", "a"): Fraction(1, 2), fact("R", "b"): Fraction(1, 3)})
+    assert safe_plan_probability(query, tid) == 1 - Fraction(1, 2) * Fraction(2, 3)
+
+
+def test_two_atom_join_hierarchical():
+    query = parse_cq("S(x, y), U(x, z)")
+    instance = Instance(
+        [fact("S", "a", "b"), fact("S", "a", "c"), fact("U", "a", "d"), fact("S", "e", "b"), fact("U", "e", "d")]
+    )
+    tid = random_probabilities(instance, seed=3)
+    assert safe_plan_probability(query, tid) == brute_force_probability(query, tid)
+
+
+def test_unsafe_rst_rejected():
+    instance = rst_chain_instance(2)
+    tid = ProbabilisticInstance.uniform(instance, Fraction(1, 2))
+    with pytest.raises(UnsafeQueryError):
+        safe_plan_probability(unsafe_rst(), tid)
+
+
+def test_disequality_query_rejected():
+    instance = Instance([fact("R", "a"), fact("R", "b")])
+    tid = ProbabilisticInstance.uniform(instance, Fraction(1, 2))
+    with pytest.raises(UnsafeQueryError):
+        safe_plan_probability(threshold_two_query(), tid)
+
+
+def test_union_of_disjoint_relation_disjuncts():
+    query = parse_ucq("R(x) | T(y)")
+    instance = Instance([fact("R", "a"), fact("T", "b")])
+    tid = ProbabilisticInstance.uniform(instance, Fraction(1, 2))
+    assert safe_plan_probability(query, tid) == brute_force_probability(query, tid)
+
+
+def test_is_liftable():
+    assert is_liftable(hierarchical_example())
+    assert is_liftable(parse_ucq("R(x) | T(y)"))
+    assert not is_liftable(unsafe_rst())
+    assert not is_liftable(threshold_two_query())
+    assert not is_liftable(parse_cq("R(x), R(y)"))
+
+
+def test_query_false_on_empty_relation():
+    query = hierarchical_example()
+    instance = Instance([fact("S", "a", "b")], signature=query.signature())
+    tid = ProbabilisticInstance.uniform(instance, Fraction(1, 2))
+    assert safe_plan_probability(query, tid) == 0

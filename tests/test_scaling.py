@@ -1,0 +1,57 @@
+"""Tests for the experiment sweep/report helpers (repro.experiments.scaling)."""
+
+import pytest
+
+from repro.experiments.harness import ScalingSeries
+from repro.experiments.scaling import ExperimentReport, sweep, timed
+
+
+def test_timed_returns_positive_seconds():
+    measure = timed(lambda n: sum(range(n)))
+    value = measure(10_000)
+    assert value >= 0.0
+
+
+def test_sweep_collects_one_series_per_measurement():
+    series = sweep([1, 2, 4], {"square": lambda n: n * n, "double": lambda n: 2 * n})
+    assert set(series) == {"square", "double"}
+    assert series["square"].values == [1.0, 4.0, 16.0]
+    assert series["double"].sizes == [1.0, 2.0, 4.0]
+
+
+def test_report_table_and_growth_summary():
+    report = ExperimentReport("toy", size_label="n")
+    report.run([2, 4, 8], {"linear": lambda n: n, "constant": lambda n: 7})
+    table = report.table()
+    assert "linear" in table and "constant" in table
+    assert table.count("\n") >= 4
+    growth = report.growth_summary()
+    assert growth["constant"] == "constant"
+    assert growth["linear"] == "linear"
+
+
+def test_report_add_and_markdown_output():
+    report = ExperimentReport("markdown check", size_label="size")
+    report.add("values", [(1, 1.0), (2, 4.0)])
+    text = report.to_markdown()
+    assert text.startswith("### markdown check")
+    assert "| size | values |" in text
+    assert "* values:" in text
+    assert "markdown check" in str(report)
+
+
+def test_report_rejects_misaligned_series():
+    report = ExperimentReport("broken")
+    report.add("a", [(1, 1.0), (2, 2.0)])
+    report.add("b", [(1, 1.0), (3, 3.0)])
+    with pytest.raises(ValueError):
+        report.table()
+
+
+def test_report_add_series_object_and_empty_report():
+    report = ExperimentReport("empty")
+    assert report.table() == "n\n-"
+    series = ScalingSeries("direct")
+    series.add(1, 5)
+    report.add_series(series)
+    assert "direct" in report.table()

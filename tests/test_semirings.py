@@ -1,0 +1,307 @@
+"""Tests for the semiring provenance subpackage (repro.semirings)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.booleans.circuit import BooleanCircuit
+from repro.data.instance import Fact, fact
+from repro.errors import LineageError
+from repro.generators.lines import rst_chain_instance, unary_instance
+from repro.provenance.lineage import lineage_of
+from repro.queries.library import threshold_two_query, unsafe_rst
+from repro.queries.parser import parse_cq, parse_ucq
+from repro.semirings import (
+    BOOLEAN,
+    COUNTING,
+    SECURITY,
+    TROPICAL,
+    VITERBI,
+    WHY,
+    Monomial,
+    ProvenancePolynomial,
+    evaluate_circuit_in_semiring,
+    evaluate_lineage_in_semiring,
+    polynomial_semiring,
+    query_provenance_polynomial,
+    query_semiring_annotation,
+    why_provenance,
+)
+from repro.semirings.semirings import Semiring, check_semiring_laws
+
+
+# -- semiring laws ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "semiring,samples",
+    [
+        (BOOLEAN, [False, True]),
+        (COUNTING, [0, 1, 2, 3, 7]),
+        (TROPICAL, [float("inf"), 0.0, 1.0, 2.5, 10.0]),
+        (VITERBI, [0.0, 0.25, 0.5, 1.0]),
+        (SECURITY, [0, 1, 2, 5, 10**9]),
+        (WHY, [frozenset(), why_provenance([["a"]]), why_provenance([["a", "b"], ["c"]])]),
+    ],
+)
+def test_builtin_semirings_satisfy_laws(semiring, samples):
+    check_semiring_laws(semiring, samples)
+
+
+def test_polynomial_semiring_laws_on_small_sample():
+    x = ProvenancePolynomial.variable("x")
+    y = ProvenancePolynomial.variable("y")
+    samples = [ProvenancePolynomial.zero(), ProvenancePolynomial.one(), x, y, x + y, x * y]
+    check_semiring_laws(polynomial_semiring(), samples)
+
+
+def test_check_semiring_laws_catches_violations():
+    broken = Semiring(
+        name="Broken", zero=0, one=1, plus=lambda a, b: a - b, times=lambda a, b: a * b
+    )
+    with pytest.raises(AssertionError):
+        check_semiring_laws(broken, [0, 1, 2])
+
+
+def test_semiring_sum_and_product_helpers():
+    assert COUNTING.sum([1, 2, 3]) == 6
+    assert COUNTING.product([2, 3, 4]) == 24
+    assert COUNTING.sum([]) == 0
+    assert COUNTING.product([]) == 1
+    assert "Counting" in repr(COUNTING)
+
+
+# -- monomials and polynomials ------------------------------------------------------
+
+
+def test_monomial_construction_and_product():
+    m = Monomial.of(["x", "x", "y"])
+    assert m.degree == 3
+    assert m.variables() == frozenset({"x", "y"})
+    assert str(m) in {"x^2*y", "y*x^2"}
+    n = Monomial.of({"y": 1})
+    assert (m * n).degree == 4
+    assert Monomial.unit().degree == 0
+    with pytest.raises(LineageError):
+        Monomial.of({"x": 0})
+
+
+def test_polynomial_basic_algebra():
+    x = ProvenancePolynomial.variable("x")
+    y = ProvenancePolynomial.variable("y")
+    p = (x + y) * (x + y)
+    # (x + y)^2 = x^2 + 2xy + y^2
+    assert p.coefficient_of(Monomial.of(["x", "x"])) == 1
+    assert p.coefficient_of(Monomial.of(["x", "y"])) == 2
+    assert p.coefficient_of(Monomial.of(["y", "y"])) == 1
+    assert p.monomial_count == 3
+    assert p.total_degree() == 2
+    assert p.variables() == frozenset({"x", "y"})
+    assert not p.is_zero()
+    assert ProvenancePolynomial.zero().is_zero()
+    assert "2*" in str(p)
+    assert str(ProvenancePolynomial.zero()) == "0"
+
+
+def test_polynomial_rejects_negative_coefficients():
+    with pytest.raises(LineageError):
+        ProvenancePolynomial.from_terms([(Monomial.unit(), -1)])
+
+
+def test_polynomial_specialisation_counting_and_boolean():
+    x = ProvenancePolynomial.variable("x")
+    y = ProvenancePolynomial.variable("y")
+    p = x * x + x * y + y
+    assert p.specialize(COUNTING, {"x": 2, "y": 3}) == 4 + 6 + 3
+    assert p.to_boolean_lineage({"x": False, "y": True}) is True
+    assert p.to_boolean_lineage({"x": False, "y": False}) is False
+    with pytest.raises(LineageError):
+        p.specialize(COUNTING, {"x": 2})
+
+
+def test_polynomial_images_drop_coefficients_exponents_why():
+    x = ProvenancePolynomial.variable("x")
+    y = ProvenancePolynomial.variable("y")
+    p = x * x + x * y + x * y
+    dropped = p.drop_coefficients()
+    assert all(coefficient == 1 for _, coefficient in dropped.terms)
+    flattened = p.drop_exponents()
+    assert flattened.coefficient_of(Monomial.of(["x"])) == 1
+    assert p.why() == frozenset({frozenset({"x"}), frozenset({"x", "y"})})
+
+
+def test_specialisation_is_homomorphic_into_tropical():
+    x = ProvenancePolynomial.variable("x")
+    y = ProvenancePolynomial.variable("y")
+    p, q = x + y, x * y
+    valuation = {"x": 2.0, "y": 5.0}
+    assert (p + q).specialize(TROPICAL, valuation) == min(
+        p.specialize(TROPICAL, valuation), q.specialize(TROPICAL, valuation)
+    )
+    assert (p * q).specialize(TROPICAL, valuation) == p.specialize(
+        TROPICAL, valuation
+    ) + q.specialize(TROPICAL, valuation)
+
+
+# -- circuit and lineage evaluation ---------------------------------------------------
+
+
+def test_evaluate_circuit_in_counting_semiring():
+    circuit = BooleanCircuit()
+    a, b, c = (circuit.variable(name) for name in "abc")
+    circuit.set_output(circuit.disjunction([circuit.conjunction([a, b]), c]))
+    value = evaluate_circuit_in_semiring(circuit, COUNTING, {"a": 2, "b": 3, "c": 4})
+    assert value == 2 * 3 + 4
+
+
+def test_evaluate_circuit_rejects_negation_and_missing_annotations():
+    circuit = BooleanCircuit()
+    a = circuit.variable("a")
+    circuit.set_output(circuit.negation(a))
+    with pytest.raises(LineageError):
+        evaluate_circuit_in_semiring(circuit, COUNTING, {"a": 1})
+    circuit = BooleanCircuit()
+    circuit.set_output(circuit.variable("a"))
+    with pytest.raises(LineageError):
+        evaluate_circuit_in_semiring(circuit, COUNTING, {})
+    empty = BooleanCircuit()
+    with pytest.raises(LineageError):
+        evaluate_circuit_in_semiring(empty, COUNTING, {})
+
+
+def test_evaluate_circuit_constants():
+    circuit = BooleanCircuit()
+    circuit.set_output(circuit.conjunction([circuit.constant(True), circuit.variable("a")]))
+    assert evaluate_circuit_in_semiring(circuit, COUNTING, {"a": 5}) == 5
+
+
+def test_evaluate_lineage_in_tropical_semiring():
+    instance = rst_chain_instance(3)
+    lineage = lineage_of(unsafe_rst(), instance)
+    costs = {f: 1.0 for f in instance.facts}
+    cheapest = evaluate_lineage_in_semiring(lineage, TROPICAL, costs)
+    assert cheapest == 3.0  # every minimal match uses an R, an S and a T fact
+
+
+def test_lineage_boolean_semiring_matches_lineage_semantics():
+    instance = rst_chain_instance(3)
+    lineage = lineage_of(unsafe_rst(), instance)
+    annotations = {f: True for f in instance.facts}
+    assert evaluate_lineage_in_semiring(lineage, BOOLEAN, annotations) is True
+    annotations = {f: False for f in instance.facts}
+    assert evaluate_lineage_in_semiring(lineage, BOOLEAN, annotations) is False
+
+
+# -- query provenance ------------------------------------------------------------------
+
+
+def test_query_provenance_polynomial_counts_homomorphisms():
+    instance = unary_instance(3)  # R(a1), R(a2), R(a3)
+    query = parse_cq("R(x), R(y), x != y")
+    polynomial = query_provenance_polynomial(query, instance)
+    # Ordered pairs of distinct elements: 6 homomorphisms, each a degree-2 monomial.
+    assert sum(coefficient for _, coefficient in polynomial.terms) == 6
+    assert polynomial.total_degree() == 2
+    assert polynomial.specialize(COUNTING, {f: 1 for f in instance.facts}) == 6
+
+
+def test_query_provenance_polynomial_handles_repeated_atom_images():
+    # R(x), R(y) without disequality: the homomorphism x=y=a uses fact R(a) twice.
+    instance = unary_instance(1)
+    query = parse_cq("R(x), R(y)")
+    polynomial = query_provenance_polynomial(query, instance)
+    only_fact = instance.facts[0]
+    assert polynomial.coefficient_of(Monomial.of([only_fact, only_fact])) == 1
+
+
+def test_query_provenance_polynomial_of_ucq_accumulates_disjuncts():
+    instance = rst_chain_instance(2)
+    query = parse_ucq("R(x) | T(y)")
+    polynomial = query_provenance_polynomial(query, instance)
+    assert polynomial.total_degree() == 1
+    r_facts = instance.facts_of("R")
+    t_facts = instance.facts_of("T")
+    assert sum(coefficient for _, coefficient in polynomial.terms) == len(r_facts) + len(t_facts)
+
+
+def test_query_semiring_annotation_security_level():
+    instance = rst_chain_instance(2)
+    query = unsafe_rst()
+    annotations = {}
+    for f in instance.facts:
+        annotations[f] = 2 if f.relation == "S" else 1
+    clearance = query_semiring_annotation(query, instance, SECURITY, annotations)
+    # Every witness joins an R, an S and a T fact: clearance max(1, 2, 1) = 2,
+    # and + takes the min over witnesses.
+    assert clearance == 2
+
+
+def test_query_semiring_annotation_defaults_to_one():
+    instance = rst_chain_instance(2)
+    query = unsafe_rst()
+    assert query_semiring_annotation(instance=instance, query=query, semiring=COUNTING, annotations={}) >= 1
+
+
+def test_boolean_specialisation_agrees_with_lineage():
+    instance = rst_chain_instance(3)
+    query = unsafe_rst()
+    polynomial = query_provenance_polynomial(query, instance)
+    lineage = lineage_of(query, instance)
+    # Check agreement on a few specific worlds.
+    facts = list(instance.facts)
+    for mask in range(0, 1 << min(len(facts), 10), 7):
+        world = {f: bool(mask >> i & 1) for i, f in enumerate(facts)}
+        assert polynomial.to_boolean_lineage(world) == lineage.evaluate(world)
+
+
+def test_threshold_query_counting_semantics():
+    instance = unary_instance(4)
+    query = threshold_two_query()
+    polynomial = query_provenance_polynomial(query, instance)
+    # 4 * 3 ordered pairs of distinct facts.
+    assert polynomial.specialize(COUNTING, {f: 1 for f in instance.facts}) == 12
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    exponents=st.lists(st.integers(min_value=0, max_value=3), min_size=3, max_size=3),
+    values=st.lists(st.integers(min_value=0, max_value=5), min_size=3, max_size=3),
+)
+def test_counting_specialisation_matches_direct_arithmetic(exponents, values):
+    """Specialising a single monomial to COUNTING is ordinary integer arithmetic."""
+    variables = ["x", "y", "z"]
+    powers = {v: e for v, e in zip(variables, exponents) if e > 0}
+    if powers:
+        polynomial = ProvenancePolynomial.from_terms([(Monomial.of(powers), 2)])
+    else:
+        polynomial = ProvenancePolynomial.from_terms([(Monomial.unit(), 2)])
+    valuation = dict(zip(variables, values))
+    expected = 2
+    for variable, power in powers.items():
+        expected *= valuation[variable] ** power
+    assert polynomial.specialize(COUNTING, valuation) == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    left=st.lists(st.sampled_from(["x", "y", "z"]), min_size=0, max_size=3),
+    right=st.lists(st.sampled_from(["x", "y", "z"]), min_size=0, max_size=3),
+    values=st.lists(st.integers(min_value=0, max_value=4), min_size=3, max_size=3),
+)
+def test_specialisation_is_a_homomorphism(left, right, values):
+    """specialize(p * q) == specialize(p) * specialize(q), and likewise for +."""
+    def poly_of(variables):
+        if not variables:
+            return ProvenancePolynomial.one()
+        return ProvenancePolynomial.from_terms([(Monomial.of(variables), 1)])
+
+    p, q = poly_of(left), poly_of(right)
+    valuation = dict(zip(["x", "y", "z"], values))
+    assert (p * q).specialize(COUNTING, valuation) == p.specialize(
+        COUNTING, valuation
+    ) * q.specialize(COUNTING, valuation)
+    assert (p + q).specialize(COUNTING, valuation) == p.specialize(
+        COUNTING, valuation
+    ) + q.specialize(COUNTING, valuation)

@@ -1,0 +1,78 @@
+"""Tests for repro.data.signature."""
+
+import pytest
+
+from repro.data.signature import GRAPH_SIGNATURE, Relation, Signature
+from repro.errors import SignatureError
+
+
+def test_relation_requires_positive_arity():
+    with pytest.raises(SignatureError):
+        Relation("R", 0)
+
+
+def test_relation_requires_name():
+    with pytest.raises(SignatureError):
+        Relation("", 2)
+
+
+def test_signature_of_keyword_constructor():
+    signature = Signature.of(R=1, S=2)
+    assert signature.arity("R") == 1
+    assert signature.arity("S") == 2
+    assert len(signature) == 2
+
+
+def test_signature_rejects_conflicting_arities():
+    with pytest.raises(SignatureError):
+        Signature([("R", 1), ("R", 2)])
+
+
+def test_signature_duplicate_consistent_declaration_is_fine():
+    signature = Signature([("R", 2), ("R", 2)])
+    assert len(signature) == 1
+
+
+def test_graph_signature():
+    assert GRAPH_SIGNATURE.arity("E") == 2
+    assert GRAPH_SIGNATURE.is_arity_two()
+    assert GRAPH_SIGNATURE.binary_relations()[0].name == "E"
+
+
+def test_max_arity_and_arity_two():
+    signature = Signature.of(R=1, S=2, U=3)
+    assert signature.max_arity == 3
+    assert not signature.is_arity_two()
+
+
+def test_unary_and_binary_partition():
+    signature = Signature.of(R=1, S=2, T=1)
+    assert [r.name for r in signature.unary_relations()] == ["R", "T"]
+    assert [r.name for r in signature.binary_relations()] == ["S"]
+
+
+def test_contains_and_getitem():
+    signature = Signature.of(R=1)
+    assert "R" in signature
+    assert "S" not in signature
+    with pytest.raises(SignatureError):
+        signature["S"]
+
+
+def test_extend_and_restrict():
+    signature = Signature.of(R=1)
+    extended = signature.extend([("S", 2)])
+    assert "S" in extended and "R" in extended
+    restricted = extended.restrict(["S"])
+    assert "R" not in restricted
+    with pytest.raises(SignatureError):
+        extended.restrict(["Z"])
+
+
+def test_equality_and_hash():
+    assert Signature.of(R=1, S=2) == Signature([("S", 2), ("R", 1)])
+    assert hash(Signature.of(R=1)) == hash(Signature.of(R=1))
+
+
+def test_relation_str():
+    assert str(Relation("R", 2)) == "R/2"

@@ -1,0 +1,134 @@
+"""Tests for elimination orderings and tree decompositions."""
+
+import pytest
+
+from repro.errors import DecompositionError
+from repro.structure.elimination import (
+    best_heuristic_ordering,
+    exact_ordering,
+    exists_ordering_of_width,
+    min_degree_ordering,
+    min_fill_ordering,
+    ordering_width,
+)
+from repro.structure.graph import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+)
+from repro.structure.tree_decomposition import (
+    TreeDecomposition,
+    decomposition_from_ordering,
+    tree_decomposition,
+    treewidth,
+    treewidth_lower_bound,
+)
+
+
+def test_ordering_width_on_path():
+    graph = path_graph(6)
+    order = min_degree_ordering(graph)
+    assert ordering_width(graph, order) == 1
+
+
+def test_ordering_width_on_clique():
+    graph = complete_graph(5)
+    for order in (min_degree_ordering(graph), min_fill_ordering(graph)):
+        assert ordering_width(graph, order) == 4
+
+
+def test_treewidth_known_values():
+    assert treewidth(path_graph(8)) == 1
+    assert treewidth(cycle_graph(6)) == 2
+    assert treewidth(complete_graph(6)) == 5
+    assert treewidth(Graph()) == -1
+
+
+def test_treewidth_of_grid_heuristic_close():
+    # Heuristics give an upper bound; for small grids they should be near-tight.
+    assert treewidth(grid_graph(3, 3)) in (3, 4)
+    assert treewidth(grid_graph(4, 4), exact=False) >= 4
+
+
+def test_exact_treewidth_small_graphs():
+    assert treewidth(cycle_graph(5), exact=True) == 2
+    assert treewidth(grid_graph(3, 3), exact=True) == 3
+    assert treewidth(complete_graph(4), exact=True) == 3
+
+
+def test_exists_ordering_of_width():
+    graph = cycle_graph(5)
+    assert exists_ordering_of_width(graph, 2)
+    assert not exists_ordering_of_width(graph, 1)
+
+
+def test_exact_ordering_matches_width():
+    graph = grid_graph(3, 3)
+    order = exact_ordering(graph)
+    assert ordering_width(graph, order) == 3
+
+
+def test_decomposition_from_ordering_is_valid():
+    for graph in (path_graph(6), cycle_graph(7), grid_graph(3, 4)):
+        order = best_heuristic_ordering(graph)
+        decomposition = decomposition_from_ordering(graph, order)
+        decomposition.validate(graph)
+        assert decomposition.width == ordering_width(graph, order)
+
+
+def test_decomposition_from_ordering_requires_all_vertices():
+    graph = path_graph(4)
+    with pytest.raises(DecompositionError):
+        decomposition_from_ordering(graph, [0, 1])
+
+
+def test_tree_decomposition_of_disconnected_graph():
+    graph = Graph([(1, 2), (3, 4)])
+    decomposition = tree_decomposition(graph)
+    decomposition.validate(graph)
+
+
+def test_validate_catches_missing_edge_coverage():
+    graph = Graph([(1, 2), (2, 3)])
+    bad = TreeDecomposition(
+        bags={0: frozenset({1, 2}), 1: frozenset({3})}, children={0: [1], 1: []}, root=0
+    )
+    with pytest.raises(DecompositionError):
+        bad.validate(graph)
+
+
+def test_validate_catches_disconnected_occurrences():
+    graph = Graph([(1, 2), (2, 3)])
+    bad = TreeDecomposition(
+        bags={0: frozenset({1, 2}), 1: frozenset({2, 3}), 2: frozenset({1})},
+        children={0: [1], 1: [2], 2: []},
+        root=0,
+    )
+    with pytest.raises(DecompositionError):
+        bad.validate(graph)
+
+
+def test_traversals_and_relabel():
+    graph = grid_graph(2, 3)
+    decomposition = tree_decomposition(graph)
+    topo = decomposition.topological_order()
+    post = decomposition.post_order()
+    assert set(topo) == set(post) == set(decomposition.nodes())
+    assert topo[0] == decomposition.root
+    assert post[-1] == decomposition.root
+    relabeled = decomposition.relabel()
+    relabeled.validate(graph)
+    assert sorted(relabeled.nodes()) == list(range(len(relabeled)))
+
+
+def test_dfs_vertex_order_covers_all_vertices():
+    graph = grid_graph(2, 4)
+    decomposition = tree_decomposition(graph)
+    assert set(decomposition.dfs_vertex_order()) == set(graph.vertices)
+
+
+def test_treewidth_lower_bound_is_a_lower_bound():
+    for graph in (path_graph(6), cycle_graph(6), grid_graph(3, 3), complete_graph(5)):
+        assert treewidth_lower_bound(graph) <= treewidth(graph, exact=len(graph) <= 9)

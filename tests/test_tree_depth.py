@@ -1,0 +1,80 @@
+"""Tests for tree-depth and elimination forests."""
+
+import pytest
+
+from repro.errors import DecompositionError
+from repro.structure.graph import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+)
+from repro.structure.path_decomposition import pathwidth
+from repro.structure.tree_depth import (
+    EliminationForest,
+    dfs_elimination_forest,
+    optimal_elimination_forest,
+    pathwidth_upper_bound_from_tree_depth,
+    tree_depth,
+)
+
+
+def test_tree_depth_of_clique():
+    assert tree_depth(complete_graph(4)) == 4
+
+
+def test_tree_depth_of_path():
+    # td(P_n) = ceil(log2(n+1)); for 7 vertices that's 3.
+    assert tree_depth(path_graph(7)) == 3
+    assert tree_depth(path_graph(3)) == 2
+
+
+def test_tree_depth_of_star():
+    star = Graph([(0, i) for i in range(1, 6)])
+    assert tree_depth(star) == 2
+
+
+def test_tree_depth_of_cycle():
+    assert tree_depth(cycle_graph(4)) == 3
+
+
+def test_tree_depth_empty_graph():
+    assert tree_depth(Graph()) == 0
+
+
+def test_dfs_forest_is_valid_elimination_forest():
+    for graph in (path_graph(6), cycle_graph(6), grid_graph(3, 3)):
+        forest = dfs_elimination_forest(graph)
+        forest.validate(graph)
+
+
+def test_optimal_forest_height_matches_tree_depth():
+    graph = cycle_graph(5)
+    forest = optimal_elimination_forest(graph)
+    forest.validate(graph)
+    assert forest.height == tree_depth(graph)
+
+
+def test_pathwidth_below_tree_depth():
+    # Lemma 11 of [5]: pw(G) <= td(G) - 1.
+    for graph in (path_graph(7), cycle_graph(6), grid_graph(3, 3)):
+        depth = tree_depth(graph)
+        assert pathwidth(graph) <= pathwidth_upper_bound_from_tree_depth(depth) or pathwidth(
+            graph
+        ) <= depth - 1
+
+
+def test_elimination_forest_validation_rejects_bad_forest():
+    graph = path_graph(3)
+    bad = EliminationForest({0: None, 1: None, 2: None})
+    with pytest.raises(DecompositionError):
+        bad.validate(graph)
+
+
+def test_forest_depth_and_ancestors():
+    forest = EliminationForest({"a": None, "b": "a", "c": "b"})
+    assert forest.height == 3
+    assert forest.depth_of("c") == 3
+    assert forest.ancestors("c") == ["b", "a"]
+    assert forest.roots == ["a"]

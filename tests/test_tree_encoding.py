@@ -1,0 +1,82 @@
+"""Tests for tree encodings of treelike instances."""
+
+import pytest
+
+from repro.data.gaifman import gaifman_graph
+from repro.errors import DecompositionError
+from repro.generators import (
+    balanced_binary_tree_instance,
+    directed_path_instance,
+    grid_instance,
+    labelled_line_instance,
+    rst_chain_instance,
+)
+from repro.provenance.tree_encoding import path_encoding, tree_encoding
+from repro.structure.tree_decomposition import tree_decomposition
+
+
+def test_tree_encoding_attaches_every_fact_once():
+    instance = rst_chain_instance(3)
+    encoding = tree_encoding(instance)
+    attached = [node.fact for node in encoding.iter_nodes() if node.fact is not None]
+    assert sorted(map(str, attached)) == sorted(map(str, instance.facts))
+
+
+def test_tree_encoding_is_binary_and_valid():
+    for instance in (
+        directed_path_instance(6),
+        labelled_line_instance(5),
+        balanced_binary_tree_instance(3),
+        grid_instance(3, 3),
+    ):
+        encoding = tree_encoding(instance)
+        encoding.validate()
+        assert all(len(node.children) <= 2 for node in encoding.iter_nodes())
+
+
+def test_tree_encoding_width_close_to_treewidth():
+    instance = grid_instance(3, 3)
+    decomposition = tree_decomposition(gaifman_graph(instance))
+    encoding = tree_encoding(instance, decomposition)
+    assert encoding.width == decomposition.width
+
+
+def test_facts_in_order_covers_all_facts():
+    instance = labelled_line_instance(5)
+    encoding = tree_encoding(instance)
+    assert set(encoding.facts_in_order()) == set(instance.facts)
+
+
+def test_post_order_children_first():
+    instance = balanced_binary_tree_instance(3)
+    encoding = tree_encoding(instance)
+    seen = set()
+    for identifier in encoding.post_order():
+        for child in encoding.nodes[identifier].children:
+            assert child in seen
+        seen.add(identifier)
+
+
+def test_path_encoding_is_a_path():
+    instance = directed_path_instance(6)
+    encoding = path_encoding(instance)
+    encoding.validate()
+    assert all(len(node.children) <= 1 for node in encoding.iter_nodes())
+
+
+def test_encoding_of_empty_domain_instance():
+    from repro.data.instance import Instance, fact
+
+    instance = Instance([fact("R", "a")])
+    encoding = tree_encoding(instance)
+    encoding.validate()
+    assert len(encoding.facts_in_order()) == 1
+
+
+def test_validation_catches_mismatched_instance():
+    instance = rst_chain_instance(2)
+    other = rst_chain_instance(3)
+    encoding = tree_encoding(instance)
+    encoding.instance = other
+    with pytest.raises(DecompositionError):
+        encoding.validate()

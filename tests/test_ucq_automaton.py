@@ -1,0 +1,107 @@
+"""Tests for the UCQ≠ tree automaton (the bounded-treewidth DP)."""
+
+from fractions import Fraction
+
+from repro.data.instance import Instance, fact
+from repro.data.tid import ProbabilisticInstance
+from repro.generators import (
+    directed_path_instance,
+    grid_instance,
+    labelled_line_instance,
+    random_binary_instance,
+    random_probabilities,
+    random_rst_instance,
+    rst_chain_instance,
+)
+from repro.probability.brute_force import brute_force_probability
+from repro.provenance.automata import accepts
+from repro.provenance.tree_encoding import tree_encoding
+from repro.provenance.ucq_automaton import (
+    ucq_automaton,
+    ucq_lineage_dnnf,
+    ucq_probability_via_automaton,
+)
+from repro.queries import parse_cq, parse_ucq, qd, qp, satisfies, threshold_two_query, unsafe_rst
+
+
+def assert_automaton_matches_semantics(query, instance):
+    encoding = tree_encoding(instance)
+    automaton = ucq_automaton(query)
+    for world in instance.all_subinstances():
+        assert accepts(automaton, encoding, world) == satisfies(world, query), (
+            f"disagreement on world {world} for query {query}"
+        )
+
+
+def test_rst_on_chain():
+    assert_automaton_matches_semantics(unsafe_rst(), rst_chain_instance(2))
+
+
+def test_rst_on_random_instance():
+    assert_automaton_matches_semantics(unsafe_rst(), random_rst_instance(4, 7, seed=1))
+
+
+def test_path_query_on_path():
+    assert_automaton_matches_semantics(parse_cq("E(x, y), E(y, z)"), directed_path_instance(4))
+
+
+def test_qp_on_small_grid():
+    assert_automaton_matches_semantics(qp(), grid_instance(2, 2))
+
+
+def test_qp_on_path():
+    assert_automaton_matches_semantics(qp(), directed_path_instance(4))
+
+
+def test_qd_disconnected_query():
+    assert_automaton_matches_semantics(qd(), directed_path_instance(4))
+
+
+def test_threshold_query_with_disequality():
+    instance = Instance([fact("R", "a"), fact("R", "b"), fact("R", "c")])
+    assert_automaton_matches_semantics(threshold_two_query(), instance)
+
+
+def test_union_query():
+    query = parse_ucq("R(x), S(x, y) | T(y), S(x, y)")
+    assert_automaton_matches_semantics(query, random_rst_instance(4, 6, seed=3))
+
+
+def test_repeated_variable_atom():
+    query = parse_cq("E(x, x)")
+    instance = Instance([fact("E", "a", "a"), fact("E", "a", "b")])
+    assert_automaton_matches_semantics(query, instance)
+
+
+def test_query_with_disequality_on_binary_instance():
+    query = parse_cq("E(x, y), E(y, z), x != z")
+    assert_automaton_matches_semantics(query, random_binary_instance(4, 6, seed=5))
+
+
+def test_ucq_lineage_dnnf_properties_and_probability():
+    instance = rst_chain_instance(2)
+    dnnf = ucq_lineage_dnnf(unsafe_rst(), instance)
+    assert dnnf.check_decomposability()
+    assert dnnf.check_determinism()
+    tid = random_probabilities(instance, seed=9)
+    valuation = {f: tid.probability_of(f) for f in dnnf.variables()}
+    assert dnnf.probability(valuation) == brute_force_probability(unsafe_rst(), tid)
+
+
+def test_ucq_probability_via_automaton_matches_brute_force():
+    instance = random_rst_instance(3, 6, seed=13)
+    tid = random_probabilities(instance, seed=13)
+    assert ucq_probability_via_automaton(unsafe_rst(), tid) == brute_force_probability(
+        unsafe_rst(), tid
+    )
+
+
+def test_ucq_probability_via_automaton_for_qp():
+    instance = grid_instance(2, 2)
+    tid = ProbabilisticInstance.uniform(instance, Fraction(1, 3))
+    assert ucq_probability_via_automaton(qp(), tid) == brute_force_probability(qp(), tid)
+
+
+def test_labelled_line_query():
+    query = parse_cq("L(x), E(x, y), L(y)")
+    assert_automaton_matches_semantics(query, labelled_line_instance(4))
