@@ -1,0 +1,25 @@
+# Development entry points.  The suite is wall-clock guarded twice: every test
+# runs under a per-test timeout (pytest-timeout when installed, the SIGALRM
+# shim in conftest.py otherwise), and the tier-1 target wraps the whole run in
+# a hard `timeout` so a hang fails the build instead of wedging it.
+
+PYTHON ?= python
+PYTHONPATH_PREFIX = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
+TIER1_WALL_CLOCK ?= 300
+
+.PHONY: test tier1 test-slow bench-engine bench
+
+test:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -q
+
+tier1:
+	timeout $(TIER1_WALL_CLOCK) env PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest -x -q
+
+test-slow:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -q --runslow
+
+bench-engine:
+	$(PYTHONPATH_PREFIX) $(PYTHON) benchmarks/bench_engine.py
+
+bench:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -q benchmarks

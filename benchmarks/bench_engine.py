@@ -1,0 +1,128 @@
+"""ENGINE — indexed matching + cached compilation vs the seed path.
+
+Repeated query compilation over a family of labelled partial k-trees
+(treewidth <= 2): the *seed path* recomputes everything per call and joins by
+scanning every fact of each atom's relation (``cq_homomorphisms_naive``); the
+*engine path* goes through one :class:`repro.engine.CompilationEngine`
+session, which joins through the per-relation/per-position hash indexes and
+memoizes decompositions, fact orders, lineages, and OBDDs by content
+fingerprint.
+
+The measured speedup (total seed time / total engine time over ``REPEATS``
+compilations per instance and query) must be at least 3x; results are written
+to ``BENCH_engine.json`` at the repository root.
+"""
+
+import time
+from pathlib import Path
+
+from repro.data.instance import Fact
+from repro.engine import CompilationEngine
+from repro.experiments import ScalingSeries, format_table, speedup, write_benchmark_json
+from repro.generators import labelled_partial_ktree_instance
+from repro.provenance.compile_obdd import compile_lineage_to_obdd
+from repro.provenance.lineage import MonotoneDNFLineage
+from repro.provenance.variable_orders import default_fact_order
+from repro.queries import hierarchical_example, unsafe_rst
+from repro.queries.matching import cq_homomorphisms_naive
+from repro.queries.ucq import as_ucq
+
+SIZES = (10, 14, 18, 22)
+WIDTH = 2
+REPEATS = 5
+QUERIES = (unsafe_rst(), hierarchical_example())
+RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+MINIMUM_SPEEDUP = 3.0
+
+
+def seed_path_compile(query, instance):
+    """The seed pipeline: linear-scan matching, no caching of any artifact."""
+    matches: set[frozenset] = set()
+    for disjunct in as_ucq(query).disjuncts:
+        for assignment in cq_homomorphisms_naive(disjunct, instance):
+            matches.add(
+                frozenset(
+                    Fact(a.relation, tuple(assignment[v] for v in a.arguments))
+                    for a in disjunct.atoms
+                )
+            )
+    minimal = [m for m in matches if not any(other < m for other in matches)]
+    lineage = MonotoneDNFLineage(instance, tuple(sorted(minimal, key=sorted)))
+    return compile_lineage_to_obdd(lineage, default_fact_order(instance))
+
+
+def run_benchmark():
+    seed_series = ScalingSeries("seed path (s)")
+    engine_series = ScalingSeries("engine path (s)")
+    engine = CompilationEngine()
+    for n in SIZES:
+        instance = labelled_partial_ktree_instance(n, WIDTH, seed=n)
+
+        start = time.perf_counter()
+        for _ in range(REPEATS):
+            for query in QUERIES:
+                seed_path_compile(query, instance)
+        seed_series.add(n, time.perf_counter() - start)
+
+        start = time.perf_counter()
+        for _ in range(REPEATS):
+            for query in QUERIES:
+                engine.compile(query, instance)
+        engine_series.add(n, time.perf_counter() - start)
+
+        # The two paths must agree on what they build.
+        for query in QUERIES:
+            reference = seed_path_compile(query, instance)
+            cached = engine.compile(query, instance)
+            assert cached.size == reference.size and cached.width == reference.width
+
+    ratio = speedup(seed_series, engine_series)
+    write_benchmark_json(
+        RESULT_FILE,
+        "Indexed matching + engine caching vs seed compilation path",
+        [seed_series, engine_series],
+        extra={
+            "family": f"labelled partial k-trees, width {WIDTH}",
+            "repeats_per_instance": REPEATS,
+            "queries": [str(q) for q in QUERIES],
+            "speedup": ratio,
+            "minimum_required_speedup": MINIMUM_SPEEDUP,
+            "engine_cache_stats": {
+                name: {"hits": s.hits, "misses": s.misses}
+                for name, s in engine.cache_info().items()
+            },
+        },
+    )
+    return seed_series, engine_series, ratio
+
+
+def report(seed_series, engine_series, ratio):
+    rows = [
+        (int(n), round(s, 5), round(e, 5))
+        for n, s, e in zip(seed_series.sizes, seed_series.values, engine_series.values)
+    ]
+    print()
+    print(format_table(["n", "seed path (s)", "engine path (s)"], rows))
+    print(f"total speedup: {ratio:.1f}x (results in {RESULT_FILE.name})")
+
+
+def test_engine_caching_speedup(benchmark):
+    seed_series, engine_series, ratio = run_benchmark()
+    instance = labelled_partial_ktree_instance(SIZES[-1], WIDTH, seed=SIZES[-1])
+    engine = CompilationEngine()
+    engine.compile(unsafe_rst(), instance)  # warm
+    benchmark(engine.compile, unsafe_rst(), instance)
+    report(seed_series, engine_series, ratio)
+    assert ratio >= MINIMUM_SPEEDUP, (
+        f"engine path only {ratio:.2f}x faster than the seed path; expected >= {MINIMUM_SPEEDUP}x"
+    )
+
+
+if __name__ == "__main__":
+    seed_series, engine_series, ratio = run_benchmark()
+    report(seed_series, engine_series, ratio)
+    if ratio < MINIMUM_SPEEDUP:
+        raise SystemExit(
+            f"engine path only {ratio:.2f}x faster than the seed path; "
+            f"expected >= {MINIMUM_SPEEDUP}x"
+        )

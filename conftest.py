@@ -1,14 +1,130 @@
-"""Pytest bootstrap: make ``src/`` importable even without installation.
+"""Pytest bootstrap: ``src/`` importability, the ``slow`` marker, and timeouts.
 
 The project is normally installed with ``pip install -e .`` (or
 ``python setup.py develop`` in offline environments without the ``wheel``
-package); this fallback lets the test and benchmark suites run directly from
-a source checkout.
+package); the ``sys.path`` fallback lets the test and benchmark suites run
+directly from a source checkout.
+
+Two suite-wide policies also live here:
+
+* tests marked ``@pytest.mark.slow`` (the brute-force oracles) are skipped
+  unless ``--runslow`` is given, keeping the default tier-1 run fast;
+* every test runs under a per-test timeout so a hang fails the build instead
+  of wedging it.  When the ``pytest-timeout`` plugin is installed it is used
+  as-is; otherwise a minimal SIGALRM-based fallback implements the same
+  ``--timeout`` option / ``timeout`` ini / ``@pytest.mark.timeout(N)`` marker
+  surface (main thread, POSIX only — elsewhere the fallback is a no-op).
 """
 
+import signal
 import sys
+import threading
 from pathlib import Path
+
+import pytest
 
 _SRC = Path(__file__).parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+try:
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+_DEFAULT_TIMEOUT = 120.0
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="also run tests marked slow (brute-force oracle cross-checks)",
+    )
+    if not _HAVE_PYTEST_TIMEOUT:
+        parser.addoption(
+            "--timeout",
+            type=float,
+            default=None,
+            help="per-test timeout in seconds (fallback shim; 0 disables)",
+        )
+        parser.addini(
+            "timeout",
+            f"per-test timeout in seconds (fallback shim; default {_DEFAULT_TIMEOUT})",
+            default=str(_DEFAULT_TIMEOUT),
+        )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: brute-force oracle test, skipped unless --runslow is given"
+    )
+    if not _HAVE_PYTEST_TIMEOUT:
+        config.addinivalue_line(
+            "markers", "timeout(seconds): per-test timeout (fallback shim)"
+        )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow oracle test; use --runslow to include")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
+def _timeout_for(item) -> float:
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        return float(marker.args[0])
+    option = item.config.getoption("--timeout")
+    if option is not None:
+        return float(option)
+    try:
+        return float(item.config.getini("timeout"))
+    except (TypeError, ValueError):
+        return _DEFAULT_TIMEOUT
+
+
+if not _HAVE_PYTEST_TIMEOUT:
+
+    def _alarm_guard(item, phase):
+        """Run the wrapped phase under a SIGALRM deadline (generator helper)."""
+        limit = _timeout_for(item)
+        usable = (
+            limit > 0
+            and hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread()
+        )
+        if not usable:
+            return (yield)
+
+        def on_alarm(signum, frame):
+            raise pytest.fail.Exception(f"test {phase} exceeded the {limit:g}s timeout")
+
+        previous = signal.signal(signal.SIGALRM, on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, limit)
+        try:
+            return (yield)
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
+
+    # Each phase is guarded separately — a hang in fixture setup or teardown
+    # must fail the run just like a hang in the test body.
+
+    @pytest.hookimpl(wrapper=True)
+    def pytest_runtest_setup(item):
+        return (yield from _alarm_guard(item, "setup"))
+
+    @pytest.hookimpl(wrapper=True)
+    def pytest_runtest_call(item):
+        return (yield from _alarm_guard(item, "call"))
+
+    @pytest.hookimpl(wrapper=True)
+    def pytest_runtest_teardown(item, nextitem):
+        return (yield from _alarm_guard(item, "teardown"))

@@ -8,6 +8,14 @@ OBDDs, d-DNNFs), provenance constructions on tree encodings via deterministic
 tree automata, exact probability evaluation, the intricacy meta-dichotomy, and
 the unfolding technique for inversion-free (safe) queries.
 
+For repeated workloads, :mod:`repro.engine` provides the
+:class:`CompilationEngine` session object: per-instance structural artifacts
+(Gaifman graph, decompositions, fact orders) and per-(query, instance)
+lineages/OBDDs/probabilities are memoized behind content fingerprints, with
+batched entry points ``compile_many`` and ``probability_many`` (see the
+``repro.engine`` package docstring for the caching keys and invalidation
+rules).
+
 Quickstart::
 
     from repro import (
@@ -38,6 +46,7 @@ from repro.data import (
     random_pxml_document,
 )
 from repro.data.io import load_instance, load_tid, save_instance
+from repro.engine import CacheStats, CompilationEngine, default_engine
 from repro.generators import (
     grid_instance,
     labelled_line_instance,
@@ -88,6 +97,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BooleanCircuit",
+    "CacheStats",
+    "CompilationEngine",
     "ConjunctiveQuery",
     "ConjunctiveRPQ",
     "DNNF",
@@ -105,6 +116,7 @@ __all__ = [
     "clique_expression",
     "compile_query_to_dnnf",
     "compile_query_to_obdd",
+    "default_engine",
     "dissociation_bounds",
     "fact",
     "gaifman_graph",

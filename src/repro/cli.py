@@ -12,8 +12,16 @@ Four subcommands cover the everyday workflow on files produced by
     d-DNNF sizes, optionally emitting Graphviz DOT.
 ``probability``
     Exact (or approximate) probability evaluation of a UCQ≠ on a TID file.
+``batch``
+    Probabilities of several queries on one TID file through a single
+    :class:`repro.engine.CompilationEngine` session, so decompositions and
+    lineage artifacts are shared across the whole workload.
 ``convert``
     Convert between the JSON and CSV instance formats.
+
+The ``lineage`` and ``probability`` subcommands route their compilations
+through the process-wide default engine as well, which makes repeated
+invocations within one process (e.g. from tests) benefit from the cache.
 
 Run ``python -m repro.cli --help`` (or the ``repro`` console script) for
 details; every subcommand prints to stdout and returns a conventional exit
@@ -78,15 +86,17 @@ def _command_info(arguments: argparse.Namespace) -> int:
 
 
 def _command_lineage(arguments: argparse.Namespace) -> int:
+    from repro.engine import default_engine
     from repro.provenance.compile_obdd import compile_query_to_obdd
     from repro.provenance.lineage import lineage_of
     from repro.queries.parser import parse_ucq
 
+    engine = default_engine()
     tid = _load(arguments.instance)
     query = parse_ucq(arguments.query)
-    lineage = lineage_of(query, tid.instance)
+    lineage = lineage_of(query, tid.instance, engine=engine)
     circuit = lineage.to_circuit()
-    compiled = compile_query_to_obdd(query, tid.instance)
+    compiled = compile_query_to_obdd(query, tid.instance, engine=engine)
     dnnf = compiled.to_dnnf()
     print(f"query: {query}")
     print(f"minimal matches (DNF clauses): {lineage.clause_count}")
@@ -103,6 +113,7 @@ def _command_lineage(arguments: argparse.Namespace) -> int:
 
 
 def _command_probability(arguments: argparse.Namespace) -> int:
+    from repro.engine import default_engine
     from repro.probability.approximation import approximate_probability
     from repro.probability.evaluation import probability
     from repro.queries.parser import parse_ucq
@@ -115,8 +126,24 @@ def _command_probability(arguments: argparse.Namespace) -> int:
         )
         print(f"estimate: {result.estimate:.6f} ({result.method}, {result.samples} samples)")
         return 0
-    value = probability(query, tid, method=arguments.method)
+    value = probability(query, tid, method=arguments.method, engine=default_engine())
     print(f"probability: {value} (= {float(value):.6f})")
+    return 0
+
+
+def _command_batch(arguments: argparse.Namespace) -> int:
+    from repro.engine import CompilationEngine
+    from repro.queries.parser import parse_ucq
+
+    engine = CompilationEngine()
+    tid = _load(arguments.instance)
+    queries = [parse_ucq(text) for text in arguments.query]
+    values = engine.probability_many(queries, tid, method=arguments.method)
+    for text, value in zip(arguments.query, values):
+        print(f"{text}: {value} (= {float(value):.6f})")
+    if arguments.stats:
+        for name, stats in engine.cache_info().items():
+            print(f"cache[{name}]: {stats}")
     return 0
 
 
@@ -177,6 +204,27 @@ def build_parser() -> argparse.ArgumentParser:
     prob.add_argument("--epsilon", type=float, default=0.05)
     prob.add_argument("--delta", type=float, default=0.05)
     prob.set_defaults(handler=_command_probability)
+
+    batch = subparsers.add_parser(
+        "batch",
+        help="probabilities of several UCQ≠ on one TID file through a shared engine session",
+    )
+    _add_instance_argument(batch)
+    batch.add_argument(
+        "--query",
+        action="append",
+        required=True,
+        help="UCQ≠ in textual syntax (repeatable; all queries share one compilation session)",
+    )
+    batch.add_argument(
+        "--method",
+        default="auto",
+        choices=["auto", "obdd", "dnnf", "automaton", "brute_force", "safe_plan", "read_once"],
+    )
+    batch.add_argument(
+        "--stats", action="store_true", help="also print the engine's cache hit/miss statistics"
+    )
+    batch.set_defaults(handler=_command_batch)
 
     convert = subparsers.add_parser("convert", help="convert between JSON and CSV formats")
     _add_instance_argument(convert)

@@ -7,6 +7,7 @@ facts.  Instances over arity-2 signatures can be viewed as (labeled) graphs.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
@@ -63,7 +64,7 @@ class Instance:
     generated lineages are reproducible.
     """
 
-    __slots__ = ("_facts", "_signature", "_domain", "_by_relation")
+    __slots__ = ("_facts", "_signature", "_domain", "_by_relation", "_fingerprint", "_position_index")
 
     def __init__(
         self,
@@ -106,6 +107,8 @@ class Instance:
             by_relation.setdefault(f.relation, []).append(f)
         self._domain = tuple(sorted(domain, key=_element_key))
         self._by_relation = {rel: tuple(fs) for rel, fs in by_relation.items()}
+        self._fingerprint: str | None = None
+        self._position_index: dict[str, dict[tuple[int, Any], tuple[Fact, ...]]] = {}
 
     # -- basic protocol -----------------------------------------------------
 
@@ -159,6 +162,86 @@ class Instance:
     def facts_containing(self, element: Any) -> tuple[Fact, ...]:
         """All facts in which ``element`` occurs."""
         return tuple(f for f in self._facts if element in f.arguments)
+
+    # -- content fingerprint and hash indexes --------------------------------
+
+    @property
+    def fingerprint(self) -> str:
+        """A content fingerprint of the instance (SHA-256 hex digest).
+
+        Two instances have the same fingerprint exactly when they have the
+        same facts and the same signature; unlike :func:`hash` it is stable
+        across processes, which makes it usable as a persistent cache key.
+        :class:`repro.engine.CompilationEngine` keys all of its per-instance
+        caches on this value, so any derived instance (``with_facts``,
+        ``rename``, ``subinstance``, ...) naturally invalidates them.
+
+        Domain elements enter the digest as ``(type name, repr)`` — the same
+        rendering that orders facts deterministically.  This requires ``repr``
+        to be faithful to equality for domain elements (equal iff equal
+        repr), which holds for the strings, ints, and tuples used throughout
+        the library; custom element types with identity-based equality and a
+        non-injective ``repr`` would alias fingerprints and must not be used
+        as cache-keyed domain elements.
+        """
+        if self._fingerprint is None:
+            hasher = hashlib.sha256()
+            for relation in self._signature:
+                hasher.update(f"{relation.name}/{relation.arity};".encode())
+            hasher.update(b"|")
+            for f in self._facts:
+                hasher.update(f.relation.encode())
+                for argument in f.arguments:
+                    kind, rendering = _element_key(argument)
+                    hasher.update(b"\x00" + kind.encode() + b"\x1f" + rendering.encode())
+                hasher.update(b"\x01")
+            self._fingerprint = hasher.hexdigest()
+        return self._fingerprint
+
+    def facts_with_value(self, relation: str, position: int, value: Any) -> tuple[Fact, ...]:
+        """All facts of ``relation`` whose argument at ``position`` is ``value``.
+
+        Backed by a per-relation, per-position hash index built lazily on
+        first use (the instance is immutable, so the index never goes stale).
+        """
+        return self._index_for(relation).get((position, value), ())
+
+    def facts_matching(self, relation: str, bindings: Mapping[int, Any]) -> tuple[Fact, ...]:
+        """Facts of ``relation`` agreeing with ``bindings`` (position -> value).
+
+        With an empty binding this is :meth:`facts_of`; otherwise the most
+        selective bound position is probed through the hash index and only its
+        bucket is filtered on the remaining positions, so enumeration joins on
+        already-bound variables cost O(bucket) rather than O(|relation|).
+        """
+        if not bindings:
+            return self.facts_of(relation)
+        index = self._index_for(relation)
+        best: tuple[Fact, ...] | None = None
+        for position, value in bindings.items():
+            bucket = index.get((position, value), ())
+            if not bucket:
+                return ()
+            if best is None or len(bucket) < len(best):
+                best = bucket
+        if len(bindings) == 1:
+            return best
+        return tuple(
+            f
+            for f in best
+            if all(f.arguments[position] == value for position, value in bindings.items())
+        )
+
+    def _index_for(self, relation: str) -> dict[tuple[int, Any], tuple[Fact, ...]]:
+        table = self._position_index.get(relation)
+        if table is None:
+            buckets: dict[tuple[int, Any], list[Fact]] = {}
+            for f in self._by_relation.get(relation, ()):
+                for position, value in enumerate(f.arguments):
+                    buckets.setdefault((position, value), []).append(f)
+            table = {key: tuple(fs) for key, fs in buckets.items()}
+            self._position_index[relation] = table
+        return table
 
     # -- construction -------------------------------------------------------
 

@@ -53,7 +53,7 @@ class ProbabilisticInstance:
         Probability assigned to unmentioned facts.
     """
 
-    __slots__ = ("_instance", "_valuation")
+    __slots__ = ("_instance", "_valuation", "_fingerprint")
 
     def __init__(
         self,
@@ -72,6 +72,7 @@ class ProbabilisticInstance:
         self._valuation: dict[Fact, Fraction] = {
             f: as_probability(valuation.get(f, default_prob)) for f in instance
         }
+        self._fingerprint: str | None = None
 
     # -- constructors ---------------------------------------------------------
 
@@ -103,6 +104,26 @@ class ProbabilisticInstance:
     @property
     def signature(self):
         return self._instance.signature
+
+    @property
+    def fingerprint(self) -> str:
+        """A content fingerprint of the TID instance (SHA-256 hex digest).
+
+        Extends the underlying instance's fingerprint with the probability
+        valuation (in the instance's deterministic fact order), so two TID
+        instances share a fingerprint exactly when they have the same facts,
+        signature, and probabilities.  Used by
+        :class:`repro.engine.CompilationEngine` to cache probability results.
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            hasher = hashlib.sha256(self._instance.fingerprint.encode())
+            for f in self._instance:
+                p = self._valuation[f]
+                hasher.update(f"{p.numerator}/{p.denominator};".encode())
+            self._fingerprint = hasher.hexdigest()
+        return self._fingerprint
 
     def probability_of(self, f: Fact) -> Fraction:
         try:

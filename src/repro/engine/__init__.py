@@ -1,0 +1,46 @@
+"""repro.engine — an indexed, cached compilation engine for lineage workloads.
+
+This package is the session layer of the library: where the one-shot helpers
+(:func:`repro.provenance.lineage.lineage_of`,
+:func:`repro.provenance.compile_obdd.compile_query_to_obdd`,
+:func:`repro.probability.evaluation.probability`) recompute every structural
+artifact on each call, a :class:`CompilationEngine` memoizes them across calls
+and serves batched workloads.
+
+Caching keys
+------------
+Every cache is keyed on *content fingerprints*, never on object identity:
+
+* per-instance structural artifacts (Gaifman graph, tree and path
+  decompositions, fact orders) are keyed on
+  :attr:`repro.data.instance.Instance.fingerprint` — a SHA-256 digest of the
+  signature and the sorted fact list;
+* per-(query, instance) lineages and compiled OBDDs are keyed on the
+  (hashable) query together with the instance fingerprint and the compilation
+  options;
+* probability results are keyed on the query, the evaluation method, and
+  :attr:`repro.data.tid.ProbabilisticInstance.fingerprint`, which extends the
+  instance fingerprint with the probability valuation.
+
+Invalidation
+------------
+Instances are immutable: every mutation-like operation (``with_facts``,
+``subinstance``, ``rename``, ``condition`` ...) builds a new object whose
+fingerprint differs, so stale entries are never *served* — they are merely
+unreachable, and are eventually dropped by the engine's LRU bound
+(``max_instances`` live instances; oldest evicted first).  ``clear()`` resets
+everything, including the hit/miss statistics.
+
+Batching
+--------
+``compile_many(queries, instance)`` and ``probability_many(queries, tid)``
+evaluate a whole workload against one instance in a single session, so the
+Gaifman graph, decompositions, and fact order are computed once and shared;
+repeated queries in the batch are served from cache.  The CLI ``batch``
+subcommand, the examples, and ``benchmarks/bench_engine.py`` all go through
+these entry points.
+"""
+
+from repro.engine.session import CacheStats, CompilationEngine, default_engine
+
+__all__ = ["CacheStats", "CompilationEngine", "default_engine"]

@@ -1,0 +1,330 @@
+"""The :class:`CompilationEngine` session object (see the package docstring).
+
+The engine is deliberately a plain in-process object: it owns ordinary
+dictionaries behind content fingerprints, so a web worker, a benchmark, or a
+CLI invocation can hold one engine per process (or one per tenant) and get
+memoization without any global state.  A module-level :func:`default_engine`
+is provided for the common single-session case.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from repro.booleans.dnnf import DNNF
+from repro.data.gaifman import gaifman_graph
+from repro.data.instance import Fact, Instance
+from repro.data.tid import ProbabilisticInstance
+from repro.errors import CompilationError, ProbabilityError
+from repro.provenance.compile_obdd import CompiledOBDD, compile_lineage_to_obdd
+from repro.provenance.lineage import MonotoneDNFLineage, lineage_of
+from repro.provenance.variable_orders import (
+    default_fact_order,
+    fact_order_from_path_decomposition,
+    fact_order_from_tree_decomposition,
+)
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq
+from repro.structure.graph import Graph
+from repro.structure.path_decomposition import PathDecomposition, path_decomposition
+from repro.structure.tree_decomposition import TreeDecomposition, tree_decomposition
+
+Query = UnionOfConjunctiveQueries | ConjunctiveQuery
+
+_ORDER_KINDS = ("default", "path", "tree")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one engine cache."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.total if self.total else 0.0
+
+    def record(self, hit: bool) -> None:
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+
+    def __str__(self) -> str:
+        return f"{self.hits} hits / {self.misses} misses"
+
+
+@dataclass
+class _InstanceArtifacts:
+    """Everything the engine has derived from one instance (by fingerprint).
+
+    The per-query maps are LRU-trimmed by the engine (``max_queries_per_instance``)
+    so a long-lived session evaluating many distinct queries against one hot
+    instance cannot accumulate lineages and OBDDs without bound.
+    """
+
+    graph: Graph | None = None
+    tree: TreeDecomposition | None = None
+    path: PathDecomposition | None = None
+    orders: dict[str, tuple[Fact, ...]] = field(default_factory=dict)
+    lineages: OrderedDict[UnionOfConjunctiveQueries, MonotoneDNFLineage] = field(
+        default_factory=OrderedDict
+    )
+    compiled: OrderedDict[tuple[UnionOfConjunctiveQueries, bool], CompiledOBDD] = field(
+        default_factory=OrderedDict
+    )
+    dnnfs: OrderedDict[UnionOfConjunctiveQueries, DNNF] = field(default_factory=OrderedDict)
+
+
+class CompilationEngine:
+    """A memoizing session for lineage compilation and probability evaluation.
+
+    Parameters
+    ----------
+    max_instances:
+        How many distinct instances (by fingerprint) to keep artifacts for;
+        the least recently used instance is evicted beyond this bound.
+    max_queries_per_instance:
+        How many distinct (query, options) lineages/OBDDs to keep per
+        instance; least recently used entries are evicted beyond this bound.
+    max_probability_entries:
+        Bound on the (query, TID fingerprint, method) -> probability cache.
+    """
+
+    def __init__(
+        self,
+        max_instances: int = 256,
+        max_queries_per_instance: int = 1024,
+        max_probability_entries: int = 65536,
+    ) -> None:
+        if max_instances < 1:
+            raise CompilationError("max_instances must be at least 1")
+        if max_queries_per_instance < 1:
+            raise CompilationError("max_queries_per_instance must be at least 1")
+        if max_probability_entries < 1:
+            raise CompilationError("max_probability_entries must be at least 1")
+        self._max_instances = max_instances
+        self._max_queries_per_instance = max_queries_per_instance
+        self._max_probability_entries = max_probability_entries
+        self._artifacts: OrderedDict[str, _InstanceArtifacts] = OrderedDict()
+        self._probabilities: OrderedDict[tuple, Fraction] = OrderedDict()
+        self.stats: dict[str, CacheStats] = {
+            "structure": CacheStats(),
+            "lineage": CacheStats(),
+            "obdd": CacheStats(),
+            "dnnf": CacheStats(),
+            "probability": CacheStats(),
+        }
+
+    # -- cache plumbing -------------------------------------------------------
+
+    def _slot(self, instance: Instance) -> _InstanceArtifacts:
+        key = instance.fingerprint
+        slot = self._artifacts.get(key)
+        if slot is None:
+            slot = _InstanceArtifacts()
+            self._artifacts[key] = slot
+            while len(self._artifacts) > self._max_instances:
+                self._artifacts.popitem(last=False)
+        else:
+            self._artifacts.move_to_end(key)
+        return slot
+
+    def clear(self) -> None:
+        """Drop every cached artifact and reset the statistics."""
+        self._artifacts.clear()
+        self._probabilities.clear()
+        for stats in self.stats.values():
+            stats.hits = stats.misses = 0
+
+    def cache_info(self) -> dict[str, CacheStats]:
+        """The per-cache hit/miss statistics (live objects, not copies)."""
+        return dict(self.stats)
+
+    # -- structural artifacts -------------------------------------------------
+
+    def gaifman(self, instance: Instance) -> Graph:
+        """The (cached) Gaifman graph of the instance."""
+        slot = self._slot(instance)
+        self.stats["structure"].record(slot.graph is not None)
+        if slot.graph is None:
+            slot.graph = gaifman_graph(instance)
+        return slot.graph
+
+    def tree_decomposition_of(self, instance: Instance) -> TreeDecomposition:
+        """A (cached) tree decomposition of the instance's Gaifman graph."""
+        slot = self._slot(instance)
+        self.stats["structure"].record(slot.tree is not None)
+        if slot.tree is None:
+            slot.tree = tree_decomposition(self.gaifman(instance))
+        return slot.tree
+
+    def path_decomposition_of(self, instance: Instance) -> PathDecomposition:
+        """A (cached) path decomposition of the instance's Gaifman graph."""
+        slot = self._slot(instance)
+        self.stats["structure"].record(slot.path is not None)
+        if slot.path is None:
+            slot.path = path_decomposition(self.gaifman(instance))
+        return slot.path
+
+    def fact_order(self, instance: Instance, kind: str = "default") -> tuple[Fact, ...]:
+        """A (cached) fact order: ``"default"``, ``"path"``, or ``"tree"``."""
+        if kind not in _ORDER_KINDS:
+            raise CompilationError(f"unknown fact order kind {kind!r}; use one of {_ORDER_KINDS}")
+        slot = self._slot(instance)
+        self.stats["structure"].record(kind in slot.orders)
+        if kind not in slot.orders:
+            if kind == "path":
+                order = fact_order_from_path_decomposition(
+                    instance, self.path_decomposition_of(instance)
+                )
+            elif kind == "tree":
+                order = fact_order_from_tree_decomposition(
+                    instance, self.tree_decomposition_of(instance)
+                )
+            else:
+                order = default_fact_order(
+                    instance,
+                    path=self.path_decomposition_of(instance),
+                    tree=self.tree_decomposition_of(instance),
+                )
+            slot.orders[kind] = tuple(order)
+        return slot.orders[kind]
+
+    # -- lineages and OBDDs ---------------------------------------------------
+
+    def lineage(self, query: Query, instance: Instance) -> MonotoneDNFLineage:
+        """The (cached) minimal-match DNF lineage of the query on the instance."""
+        key = as_ucq(query)
+        slot = self._slot(instance)
+        hit = key in slot.lineages
+        self.stats["lineage"].record(hit)
+        if hit:
+            slot.lineages.move_to_end(key)
+        else:
+            slot.lineages[key] = lineage_of(key, instance)
+            while len(slot.lineages) > self._max_queries_per_instance:
+                slot.lineages.popitem(last=False)
+        return slot.lineages[key]
+
+    def compile(
+        self, query: Query, instance: Instance, use_path_decomposition: bool = False
+    ) -> CompiledOBDD:
+        """The (cached) OBDD compilation of the query's lineage on the instance."""
+        key = (as_ucq(query), bool(use_path_decomposition))
+        slot = self._slot(instance)
+        hit = key in slot.compiled
+        self.stats["obdd"].record(hit)
+        if hit:
+            slot.compiled.move_to_end(key)
+        else:
+            lineage = self.lineage(query, instance)
+            order = self.fact_order(instance, "path" if use_path_decomposition else "default")
+            slot.compiled[key] = compile_lineage_to_obdd(lineage, order)
+            while len(slot.compiled) > self._max_queries_per_instance:
+                slot.compiled.popitem(last=False)
+        return slot.compiled[key]
+
+    def compile_many(
+        self,
+        queries: Iterable[Query],
+        instance: Instance,
+        use_path_decomposition: bool = False,
+    ) -> list[CompiledOBDD]:
+        """Compile a batch of queries against one instance in one session.
+
+        The structural artifacts (Gaifman graph, decompositions, fact order)
+        are computed once and shared by the whole batch.
+        """
+        return [self.compile(q, instance, use_path_decomposition) for q in queries]
+
+    def dnnf(self, query: Query, instance: Instance) -> DNNF:
+        """A (cached) d-DNNF for the query's lineage, through the OBDD route."""
+        key = as_ucq(query)
+        slot = self._slot(instance)
+        hit = key in slot.dnnfs
+        self.stats["dnnf"].record(hit)
+        if hit:
+            slot.dnnfs.move_to_end(key)
+        else:
+            slot.dnnfs[key] = self.compile(query, instance).to_dnnf()
+            while len(slot.dnnfs) > self._max_queries_per_instance:
+                slot.dnnfs.popitem(last=False)
+        return slot.dnnfs[key]
+
+    # -- probability evaluation -----------------------------------------------
+
+    def probability(
+        self, query: Query, tid: ProbabilisticInstance, method: str = "auto"
+    ) -> Fraction:
+        """The (cached) probability of the query on a TID instance.
+
+        Methods mirror :func:`repro.probability.evaluation.probability`: the
+        ``auto``/``read_once``/``obdd``/``dnnf`` routes run on the engine's
+        cached lineages and OBDDs; the remaining methods (``brute_force``,
+        ``safe_plan``, ``automaton``) have no reusable artifacts and are
+        delegated, with only their final value cached.
+        """
+        key = (as_ucq(query), tid.fingerprint, method)
+        cached = self._probabilities.get(key)
+        self.stats["probability"].record(cached is not None)
+        if cached is not None:
+            self._probabilities.move_to_end(key)
+            return cached
+        value = self._evaluate_probability(as_ucq(query), tid, method)
+        self._probabilities[key] = value
+        while len(self._probabilities) > self._max_probability_entries:
+            self._probabilities.popitem(last=False)
+        return value
+
+    def probability_many(
+        self,
+        queries: Sequence[Query],
+        tid: ProbabilisticInstance,
+        method: str = "auto",
+    ) -> list[Fraction]:
+        """Probabilities of a batch of queries on one TID instance."""
+        return [self.probability(q, tid, method) for q in queries]
+
+    def _evaluate_probability(
+        self, query: UnionOfConjunctiveQueries, tid: ProbabilisticInstance, method: str
+    ) -> Fraction:
+        from repro.probability.evaluation import (
+            _probability_of_read_once,
+            probability as one_shot_probability,
+        )
+
+        if method in ("auto", "read_once"):
+            lineage = self.lineage(query, tid.instance)
+            if lineage.is_read_once_shaped():
+                return _probability_of_read_once(lineage, tid)
+            if method == "read_once":
+                raise ProbabilityError("lineage is not read-once shaped; use another method")
+            return self.compile(query, tid.instance).probability(tid.valuation())
+        if method == "obdd":
+            return self.compile(query, tid.instance).probability(tid.valuation())
+        if method == "dnnf":
+            dnnf = self.dnnf(query, tid.instance)
+            valuation = {fact: tid.probability_of(fact) for fact in dnnf.variables()}
+            return dnnf.probability(valuation)
+        # brute_force / safe_plan / automaton: no cross-call artifacts to reuse.
+        return one_shot_probability(query, tid, method=method)
+
+
+_DEFAULT_ENGINE: CompilationEngine | None = None
+
+
+def default_engine() -> CompilationEngine:
+    """The process-wide default engine (created lazily on first use)."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = CompilationEngine()
+    return _DEFAULT_ENGINE

@@ -5,6 +5,9 @@ from repro.experiments.harness import (
     classify_growth,
     format_table,
     run_series,
+    series_to_dict,
+    speedup,
+    write_benchmark_json,
 )
 from repro.experiments.scaling import ExperimentReport, sweep, timed
 
@@ -14,6 +17,9 @@ __all__ = [
     "classify_growth",
     "format_table",
     "run_series",
+    "series_to_dict",
+    "speedup",
     "sweep",
     "timed",
+    "write_benchmark_json",
 ]

@@ -10,9 +10,11 @@ paper's Tables 1 and 2 that the reproduction targets.
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from pathlib import Path
+from typing import Callable, Iterable, Mapping, Sequence
 
 
 @dataclass
@@ -102,6 +104,68 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
     for row in text_rows:
         lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
     return "\n".join(lines)
+
+
+def series_to_dict(series: ScalingSeries) -> dict:
+    """A JSON-ready representation of a series, with growth diagnostics."""
+    return {
+        "name": series.name,
+        "sizes": list(series.sizes),
+        "values": list(series.values),
+        "loglog_slope": series.loglog_slope(),
+        "growth": classify_growth(series),
+    }
+
+
+def speedup(baseline: ScalingSeries, improved: ScalingSeries) -> float:
+    """Total-time speedup of ``improved`` over ``baseline`` (ratio of sums).
+
+    Both series must measure the same quantity over the same sizes; a ratio
+    above 1 means ``improved`` is faster.  Returns ``inf`` when the improved
+    total is zero (degenerate timer resolution on trivial workloads).
+    """
+    base_total = sum(baseline.values)
+    improved_total = sum(improved.values)
+    if improved_total == 0:
+        return math.inf
+    return base_total / improved_total
+
+
+def write_benchmark_json(
+    path: str | Path,
+    title: str,
+    series: Iterable[ScalingSeries],
+    extra: Mapping[str, object] | None = None,
+) -> Path:
+    """Write a benchmark result file: named series plus free-form metadata.
+
+    This is the exchange format of the ``BENCH_*.json`` files at the repo
+    root; the driver and later sessions read them to track performance
+    regressions across PRs.
+    """
+    payload: dict[str, object] = {
+        "title": title,
+        "series": [series_to_dict(s) for s in series],
+    }
+    if extra:
+        payload.update(extra)
+    target = Path(path)
+    # NaN/inf (e.g. a :func:`speedup` of ``inf`` on a degenerate workload)
+    # would serialize as the non-standard tokens ``NaN``/``Infinity`` and break
+    # strict JSON consumers; map them to null instead.
+    sanitized = _drop_non_finite(payload)
+    target.write_text(json.dumps(sanitized, indent=2, sort_keys=True, allow_nan=False) + "\n")
+    return target
+
+
+def _drop_non_finite(value):
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, Mapping):
+        return {key: _drop_non_finite(inner) for key, inner in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_drop_non_finite(inner) for inner in value]
+    return value
 
 
 def classify_growth(series: ScalingSeries) -> str:

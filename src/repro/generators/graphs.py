@@ -73,15 +73,21 @@ def random_partial_ktree_instance(
 ) -> Instance:
     """A random partial k-tree instance: treewidth <= ``width`` by construction.
 
-    We grow a k-tree (every new vertex is attached to a random existing
-    k-clique) and keep each edge independently with ``edge_probability``; the
-    result is a connected-ish instance of treewidth at most ``width`` used as
-    the generic "treelike instance" in scaling experiments.
+    We grow a k-tree for k = ``width``: the seed is a (k+1)-clique and every
+    new vertex is attached to all k members of a random existing *k*-clique
+    (never to k+1 vertices at once, which would build a (k+1)-tree of
+    treewidth ``width + 1``).  Each edge is then kept independently with
+    ``edge_probability``; the result is a connected-ish instance of treewidth
+    at most ``width`` used as the generic "treelike instance" in scaling
+    experiments.
     """
     if n <= width:
         raise ValueError("need more vertices than the width")
     generator = random.Random(seed)
-    cliques: list[tuple[int, ...]] = [tuple(range(width + 1))]
+    seed_clique = tuple(range(width + 1))
+    cliques: list[tuple[int, ...]] = [
+        seed_clique[:drop] + seed_clique[drop + 1 :] for drop in range(width + 1)
+    ]
     edges: set[tuple[int, int]] = set()
     for i in range(width + 1):
         for j in range(i + 1, width + 1):

@@ -29,9 +29,18 @@ def probability(
     query: UnionOfConjunctiveQueries | ConjunctiveQuery,
     probabilistic_instance: ProbabilisticInstance,
     method: Method = "auto",
+    engine=None,
 ) -> Fraction:
-    """The probability that the TID instance satisfies the UCQ≠ (Definition 3.1)."""
+    """The probability that the TID instance satisfies the UCQ≠ (Definition 3.1).
+
+    Passing a :class:`repro.engine.CompilationEngine` routes the evaluation
+    through the engine's caches (lineages, OBDDs, and probability results are
+    memoized across calls by content fingerprint); without one, everything is
+    recomputed from scratch.
+    """
     query = as_ucq(query)
+    if engine is not None:
+        return engine.probability(query, probabilistic_instance, method)
     if method == "auto":
         return _auto_probability(query, probabilistic_instance)
     if method == "brute_force":

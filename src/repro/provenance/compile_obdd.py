@@ -80,13 +80,20 @@ def compile_query_to_obdd(
     instance: Instance,
     order: Sequence[Fact] | None = None,
     use_path_decomposition: bool = False,
+    engine=None,
 ) -> CompiledOBDD:
     """Compile the lineage of a UCQ≠ on an instance into an OBDD.
 
     ``use_path_decomposition=True`` forces the variable order derived from a
     path decomposition (the Theorem 6.7 regime); otherwise the default order
     is used (path order when the instance is thin, tree order otherwise).
+
+    Passing a :class:`repro.engine.CompilationEngine` (and no explicit
+    ``order``) serves the compilation from the engine's cache, reusing the
+    instance's decompositions and fact orders across calls.
     """
+    if engine is not None and order is None:
+        return engine.compile(query, instance, use_path_decomposition)
     lineage = lineage_of(query, instance)
     if order is None:
         if use_path_decomposition:

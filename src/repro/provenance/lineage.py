@@ -79,13 +79,18 @@ def lineage_of(
     query: UnionOfConjunctiveQueries | ConjunctiveQuery,
     instance: Instance,
     minimal: bool = True,
+    engine=None,
 ) -> MonotoneDNFLineage:
     """The lineage of a UCQ≠ on an instance, as a monotone DNF of matches.
 
     With ``minimal=True`` only inclusion-minimal matches are kept (the Boolean
-    function is unchanged; the representation is smaller).
+    function is unchanged; the representation is smaller).  Passing a
+    :class:`repro.engine.CompilationEngine` serves the minimal lineage from
+    the engine's cache.
     """
     query = as_ucq(query)
+    if engine is not None and minimal:
+        return engine.lineage(query, instance)
     matches = minimal_matches(query, instance) if minimal else ucq_matches(query, instance)
     return MonotoneDNFLineage(instance, tuple(matches))
 

@@ -55,12 +55,24 @@ def fact_order_from_path_decomposition(
     return sorted(instance.facts, key=lambda f: (placement[f], _fact_key(f)))
 
 
-def default_fact_order(instance: Instance) -> list[Fact]:
+def default_fact_order(
+    instance: Instance,
+    path: PathDecomposition | None = None,
+    tree: TreeDecomposition | None = None,
+) -> list[Fact]:
     """The library's default order: along a path decomposition when it is thin,
-    otherwise along a tree decomposition."""
-    graph = gaifman_graph(instance)
-    path = path_decomposition(graph)
-    tree = tree_decomposition(graph)
+    otherwise along a tree decomposition.
+
+    Precomputed decompositions may be passed to avoid recomputing them; this
+    is how :class:`repro.engine.CompilationEngine` reuses its cached
+    structural artifacts.
+    """
+    if path is None or tree is None:
+        graph = gaifman_graph(instance)
+        if path is None:
+            path = path_decomposition(graph)
+        if tree is None:
+            tree = tree_decomposition(graph)
     if path.width <= max(tree.width * 2, tree.width + 1):
         return fact_order_from_path_decomposition(instance, path)
     return fact_order_from_tree_decomposition(instance, tree)

@@ -85,27 +85,46 @@ def is_n_intricate(
     query: UnionOfConjunctiveQueries | ConjunctiveQuery,
     n: int,
     signature: Signature | None = None,
+    max_line_instances: int | None = None,
 ) -> bool:
-    """Decide n-intricacy (Definition 8.5)."""
-    return find_intricacy_counterexample(query, n, signature) is None
+    """Decide n-intricacy (Definition 8.5).
+
+    ``max_line_instances`` bounds the enumeration as in
+    :func:`find_intricacy_counterexample`; ``None`` means unbounded.
+    """
+    return find_intricacy_counterexample(query, n, signature, max_line_instances) is None
 
 
 def find_intricacy_counterexample(
     query: UnionOfConjunctiveQueries | ConjunctiveQuery,
     n: int,
     signature: Signature | None = None,
+    max_line_instances: int | None = None,
 ) -> IntricacyWitness | None:
     """Return a witness line instance violating n-intricacy, or None.
 
     The signature defaults to the query's own signature; note that intricacy
     depends on the ambient signature since line instances range over all its
     binary relations.
+
+    The check must enumerate ``(2B)^(2n+2)`` line instances (B binary
+    relations), with a ``minimal_matches`` call on each; when
+    ``max_line_instances`` is given and the enumeration is larger, a
+    :class:`QueryError` is raised up front instead of silently running for
+    hours.
     """
     query = as_ucq(query)
     signature = signature or query.signature()
     if not signature.is_arity_two():
         raise QueryError("intricacy is defined over arity-2 signatures")
     length = 2 * n + 2
+    binary_count = len(signature.binary_relations())
+    instance_count = (2 * binary_count) ** length
+    if max_line_instances is not None and instance_count > max_line_instances:
+        raise QueryError(
+            f"intricacy check at level {n} needs {instance_count} line instances; "
+            f"raise max_line_instances to force it"
+        )
     for line in all_line_instances(length, signature):
         first, second = middle_facts(line)
         found = False
@@ -144,13 +163,7 @@ def is_intricate(
         # never intricate (Section 8.2).
         return False
     for level in range(query.size + 1):
-        instance_count = (2 * binary_count) ** (2 * level + 2)
-        if instance_count > max_line_instances:
-            raise QueryError(
-                f"intricacy check at level {level} needs {instance_count} line instances; "
-                f"raise max_line_instances to force it"
-            )
-        if is_n_intricate(query, level, signature):
+        if is_n_intricate(query, level, signature, max_line_instances):
             return True
     return False
 
@@ -159,6 +172,7 @@ def non_intricate_counterexample_family(
     query: UnionOfConjunctiveQueries | ConjunctiveQuery,
     signature: Signature | None = None,
     sizes: tuple[int, ...] = (2, 3, 4),
+    max_line_instances: int = 200_000,
 ):
     """For a non-intricate query, the unbounded-treewidth family on which it has
     constant-width OBDDs (the grid family built from a counterexample line,
@@ -167,12 +181,24 @@ def non_intricate_counterexample_family(
     Returns a list of instances (grids of growing size built by replicating
     the counterexample line instance horizontally and stacking disconnected
     copies vertically, which keeps matches local).
+
+    Intricate queries are rejected *before* the level-|q| witness search: the
+    positive intricacy check is cheap (q_p is already 0-intricate), whereas
+    confirming the absence of a witness at level |q| would enumerate
+    ``(2B)^(2|q|+2)`` line instances.  The ``max_line_instances`` budget
+    guards every enumeration, raising :class:`QueryError` when exceeded.
     """
     from repro.generators.grids import grid_of_lines
 
     query = as_ucq(query)
     signature = signature or query.signature()
-    witness = find_intricacy_counterexample(query, query.size, signature)
-    if witness is None:
-        raise QueryError("query is intricate; no counterexample family exists")
+    # Mirror the level loop of is_intricate: a counterexample-free level means
+    # the query is intricate (n-intricacy implies m-intricacy for m > n), and
+    # the last iteration leaves the level-|q| witness in hand — without
+    # repeating its (dominant) enumeration just to retrieve it.
+    witness = None
+    for level in range(query.size + 1):
+        witness = find_intricacy_counterexample(query, level, signature, max_line_instances)
+        if witness is None:
+            raise QueryError("query is intricate; no counterexample family exists")
     return [grid_of_lines(witness.line, size, size) for size in sizes]

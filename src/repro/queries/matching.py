@@ -19,22 +19,33 @@ from repro.queries.cq import ConjunctiveQuery
 from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq
 
 
-def cq_homomorphisms(query: ConjunctiveQuery, instance: Instance) -> Iterator[dict[Variable, Any]]:
-    """Enumerate all homomorphisms from ``query`` to ``instance``.
+# Sentinel for "variable not bound yet": domain elements may legitimately be
+# None ("any hashable, orderable values"), so None cannot mark unboundness.
+_UNBOUND = object()
 
-    Backtracking over the query atoms, in an order chosen to maximize joins
-    with already-bound variables (reduces branching).
-    """
-    atoms = list(query.atoms)
+
+def _atom_order(query: ConjunctiveQuery) -> list:
+    """Atoms ordered to maximize joins with already-bound variables."""
     ordered: list = []
     bound: set[Variable] = set()
-    remaining = atoms[:]
+    remaining = list(query.atoms)
     while remaining:
         remaining.sort(key=lambda a: (-len(set(a.variables()) & bound), -a.arity))
         chosen = remaining.pop(0)
         ordered.append(chosen)
         bound.update(chosen.variables())
+    return ordered
 
+
+def _enumerate_homomorphisms(query: ConjunctiveQuery, fetch) -> Iterator[dict[Variable, Any]]:
+    """Shared backtracking core: ``fetch(atom, bindings)`` supplies candidates.
+
+    ``bindings`` maps argument positions of the atom to the values their
+    variables are already bound to; the fetcher may use them (index lookup) or
+    ignore them (full scan) — the consistency and disequality checks below
+    hold either way.
+    """
+    ordered = _atom_order(query)
     disequalities = [d.normalized() for d in query.disequalities]
 
     def violates_disequalities(assignment: dict[Variable, Any]) -> bool:
@@ -49,12 +60,16 @@ def cq_homomorphisms(query: ConjunctiveQuery, instance: Instance) -> Iterator[di
             yield dict(assignment)
             return
         current = ordered[index]
-        for candidate in instance.facts_of(current.relation):
+        bindings: dict[int, Any] = {}
+        for position, variable in enumerate(current.arguments):
+            if variable in assignment:
+                bindings[position] = assignment[variable]
+        for candidate in fetch(current, bindings):
             additions: dict[Variable, Any] = {}
             consistent = True
             for variable, value in zip(current.arguments, candidate.arguments):
-                expected = assignment.get(variable, additions.get(variable))
-                if expected is None:
+                expected = assignment.get(variable, additions.get(variable, _UNBOUND))
+                if expected is _UNBOUND:
                     additions[variable] = value
                 elif expected != value:
                     consistent = False
@@ -68,6 +83,36 @@ def cq_homomorphisms(query: ConjunctiveQuery, instance: Instance) -> Iterator[di
                 del assignment[variable]
 
     yield from extend(0, {})
+
+
+def cq_homomorphisms(query: ConjunctiveQuery, instance: Instance) -> Iterator[dict[Variable, Any]]:
+    """Enumerate all homomorphisms from ``query`` to ``instance``.
+
+    Backtracking over the query atoms, in an order chosen to maximize joins
+    with already-bound variables.  Candidate facts for each atom are fetched
+    through the instance's per-relation, per-position hash indexes
+    (:meth:`repro.data.instance.Instance.facts_matching`), so a join on a
+    bound variable costs one bucket lookup instead of a scan over every fact
+    of the relation.
+    """
+    return _enumerate_homomorphisms(
+        query, lambda atom, bindings: instance.facts_matching(atom.relation, bindings)
+    )
+
+
+def cq_homomorphisms_naive(
+    query: ConjunctiveQuery, instance: Instance
+) -> Iterator[dict[Variable, Any]]:
+    """Reference enumeration scanning every fact of each atom's relation.
+
+    Semantically identical to :func:`cq_homomorphisms` but with the seed
+    linear-scan candidate fetcher instead of the hash indexes; kept as the
+    cross-check oracle for the indexing layer and as the baseline of
+    ``benchmarks/bench_engine.py``.
+    """
+    return _enumerate_homomorphisms(
+        query, lambda atom, bindings: instance.facts_of(atom.relation)
+    )
 
 
 def cq_matches(query: ConjunctiveQuery, instance: Instance) -> Iterator[frozenset[Fact]]:

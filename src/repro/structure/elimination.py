@@ -112,6 +112,71 @@ def exists_ordering_of_width(graph: Graph, target: int) -> bool:
     return recurse({v: graph.neighbors(v) for v in graph.vertices})
 
 
+def treewidth_dp_oracle(graph: Graph) -> int:
+    """Exact treewidth by the Held–Karp-style dynamic program over vertex sets.
+
+    ``f(S)`` is the least width of an elimination prefix that eliminates
+    exactly the vertices of ``S``:
+
+        f(∅) = 0,
+        f(S) = min over v in S of max(f(S - v), q(S - v, v)),
+
+    where ``q(S, v)`` counts the vertices outside ``S ∪ {v}`` reachable from
+    ``v`` through ``S`` — the degree of ``v`` at elimination time, since
+    eliminating ``S`` connects exactly such pairs.  The treewidth is ``f(V)``.
+
+    This is a fully independent computation from the branch-and-bound search
+    of :func:`exists_ordering_of_width` (no shared elimination machinery), so
+    the test suite uses it as a cross-check oracle.  O(2^n · poly(n)): only
+    for graphs of at most ~14 vertices.
+    """
+    vertices = sorted(graph.vertices, key=_stable_key)
+    n = len(vertices)
+    if n == 0:
+        return -1
+    index = {v: i for i, v in enumerate(vertices)}
+    adjacency = [0] * n
+    for v in vertices:
+        for u in graph.neighbors(v):
+            adjacency[index[v]] |= 1 << index[u]
+
+    def elimination_degree(inside: int, v: int) -> int:
+        """q(inside, v): neighbors of v outside ``inside`` via paths through it."""
+        visited = 1 << v
+        stack = [v]
+        outside = 0
+        while stack:
+            u = stack.pop()
+            fresh = adjacency[u] & ~visited
+            visited |= fresh
+            while fresh:
+                w = (fresh & -fresh).bit_length() - 1
+                fresh &= fresh - 1
+                if inside >> w & 1:
+                    stack.append(w)
+                else:
+                    outside |= 1 << w
+        return outside.bit_count()
+
+    memo: dict[int, int] = {0: 0}
+
+    def best_width(subset: int) -> int:
+        cached = memo.get(subset)
+        if cached is not None:
+            return cached
+        result = n
+        remaining = subset
+        while remaining:
+            v = (remaining & -remaining).bit_length() - 1
+            remaining &= remaining - 1
+            rest = subset & ~(1 << v)
+            result = min(result, max(best_width(rest), elimination_degree(rest, v)))
+        memo[subset] = result
+        return result
+
+    return best_width((1 << n) - 1)
+
+
 def _is_clique(candidate: set[Vertex], adjacency: dict[Vertex, set[Vertex]]) -> bool:
     candidates = list(candidate)
     for i, a in enumerate(candidates):

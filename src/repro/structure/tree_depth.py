@@ -103,16 +103,19 @@ def dfs_elimination_forest(graph: Graph) -> EliminationForest:
     for start in sorted(graph.vertices, key=_stable_key):
         if start in visited:
             continue
-        parent[start] = None
-        visited.add(start)
-        stack = [start]
+        # Parents are assigned when a vertex is *entered* (popped), not when it
+        # is first seen: marking at push time yields a traversal with cross
+        # edges, which is not a DFS tree and not an elimination forest.
+        stack: list[tuple[Vertex, Vertex | None]] = [(start, None)]
         while stack:
-            current = stack.pop()
-            for neighbor in sorted(graph.neighbors(current), key=_stable_key):
+            current, predecessor = stack.pop()
+            if current in visited:
+                continue
+            visited.add(current)
+            parent[current] = predecessor
+            for neighbor in sorted(graph.neighbors(current), key=_stable_key, reverse=True):
                 if neighbor not in visited:
-                    visited.add(neighbor)
-                    parent[neighbor] = current
-                    stack.append(neighbor)
+                    stack.append((neighbor, current))
     forest = EliminationForest(parent)
     forest.validate(graph)
     return forest

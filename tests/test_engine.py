@@ -1,0 +1,161 @@
+"""Tests for the indexed, cached compilation engine (repro.engine)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.data.instance import Instance, fact
+from repro.data.tid import ProbabilisticInstance
+from repro.engine import CacheStats, CompilationEngine, default_engine
+from repro.errors import CompilationError, ProbabilityError
+from repro.generators import labelled_partial_ktree_instance, rst_bipartite_instance
+from repro.probability.evaluation import probability
+from repro.provenance.compile_obdd import compile_query_to_obdd
+from repro.provenance.lineage import lineage_of
+from repro.queries import parse_ucq, qp, unsafe_rst
+
+
+@pytest.fixture()
+def ktree_tid():
+    instance = labelled_partial_ktree_instance(12, 2, seed=3)
+    return ProbabilisticInstance.uniform(instance, Fraction(1, 2))
+
+
+def test_cached_compilation_identical_to_cold(ktree_tid):
+    engine = CompilationEngine()
+    instance = ktree_tid.instance
+    cold = compile_query_to_obdd(unsafe_rst(), instance)
+    warm_first = engine.compile(unsafe_rst(), instance)
+    warm_second = engine.compile(unsafe_rst(), instance)
+    assert warm_second is warm_first
+    assert warm_first.size == cold.size
+    assert warm_first.width == cold.width
+    assert warm_first.order == cold.order
+    valuation = ktree_tid.valuation()
+    assert warm_first.probability(valuation) == cold.probability(valuation)
+
+
+def test_cached_probability_identical_to_cold(ktree_tid):
+    engine = CompilationEngine()
+    for method in ("auto", "obdd", "dnnf"):
+        cold = probability(unsafe_rst(), ktree_tid, method=method)
+        warm = engine.probability(unsafe_rst(), ktree_tid, method=method)
+        again = engine.probability(unsafe_rst(), ktree_tid, method=method)
+        assert warm == cold == again, method
+    assert engine.stats["probability"].hits > 0
+
+
+def test_probability_entry_point_accepts_engine(ktree_tid):
+    engine = CompilationEngine()
+    value = probability(unsafe_rst(), ktree_tid, engine=engine)
+    assert value == probability(unsafe_rst(), ktree_tid)
+    assert engine.stats["probability"].misses == 1
+    probability(unsafe_rst(), ktree_tid, engine=engine)
+    assert engine.stats["probability"].hits == 1
+
+
+def test_lineage_and_compile_entry_points_accept_engine(ktree_tid):
+    engine = CompilationEngine()
+    instance = ktree_tid.instance
+    first = lineage_of(unsafe_rst(), instance, engine=engine)
+    second = lineage_of(unsafe_rst(), instance, engine=engine)
+    assert second is first
+    compiled = compile_query_to_obdd(unsafe_rst(), instance, engine=engine)
+    assert compile_query_to_obdd(unsafe_rst(), instance, engine=engine) is compiled
+
+
+def test_fingerprint_is_content_based():
+    left = Instance([fact("E", "a", "b")])
+    right = Instance([fact("E", "a", "b")])
+    assert left.fingerprint == right.fingerprint
+    grown = left.with_facts([fact("E", "b", "c")])
+    assert grown.fingerprint != left.fingerprint
+    # TID fingerprints also depend on the probabilities.
+    half = ProbabilisticInstance.uniform(left, Fraction(1, 2))
+    third = ProbabilisticInstance.uniform(left, Fraction(1, 3))
+    assert half.fingerprint != third.fingerprint
+    assert half.fingerprint == ProbabilisticInstance.uniform(right, Fraction(1, 2)).fingerprint
+
+
+def test_derived_instance_does_not_reuse_cache(ktree_tid):
+    engine = CompilationEngine()
+    instance = ktree_tid.instance
+    engine.compile(unsafe_rst(), instance)
+    grown = instance.with_facts([fact("S", "fresh-a", "fresh-b")])
+    compiled = engine.compile(unsafe_rst(), grown)
+    assert engine.stats["obdd"].misses == 2
+    assert set(compiled.order) == set(grown.facts)
+
+
+def test_structural_artifacts_cached(ktree_tid):
+    engine = CompilationEngine()
+    instance = ktree_tid.instance
+    assert engine.gaifman(instance) is engine.gaifman(instance)
+    assert engine.tree_decomposition_of(instance) is engine.tree_decomposition_of(instance)
+    assert engine.path_decomposition_of(instance) is engine.path_decomposition_of(instance)
+    assert engine.fact_order(instance) == engine.fact_order(instance)
+    assert engine.stats["structure"].hits > 0
+    with pytest.raises(CompilationError):
+        engine.fact_order(instance, kind="zigzag")
+
+
+def test_compile_many_and_probability_many(ktree_tid):
+    engine = CompilationEngine()
+    instance = ktree_tid.instance
+    queries = [unsafe_rst(), qp(instance.signature), unsafe_rst()]
+    compiled = engine.compile_many(queries, instance)
+    assert len(compiled) == 3
+    assert compiled[0] is compiled[2]
+    values = engine.probability_many(queries, ktree_tid)
+    assert values[0] == values[2] == probability(unsafe_rst(), ktree_tid)
+    assert values[1] == probability(qp(instance.signature), ktree_tid)
+
+
+def test_read_once_method_still_rejects_shared_facts():
+    instance = rst_bipartite_instance(2)
+    tid = ProbabilisticInstance.uniform(instance, Fraction(1, 2))
+    engine = CompilationEngine()
+    with pytest.raises(ProbabilityError):
+        engine.probability(unsafe_rst(), tid, method="read_once")
+
+
+def test_lru_eviction_bounds_live_instances():
+    engine = CompilationEngine(max_instances=2)
+    instances = [Instance([fact("E", f"a{i}", f"b{i}")]) for i in range(4)]
+    for instance in instances:
+        engine.gaifman(instance)
+    assert len(engine._artifacts) == 2
+    engine.clear()
+    assert len(engine._artifacts) == 0
+    assert engine.stats["structure"].total == 0
+    with pytest.raises(CompilationError):
+        CompilationEngine(max_instances=0)
+
+
+def test_lru_eviction_bounds_queries_per_instance():
+    engine = CompilationEngine(max_queries_per_instance=2)
+    instance = Instance([fact("E", "a", "b"), fact("E", "b", "c"), fact("R", "a")])
+    queries = [parse_ucq(text) for text in ("E(x, y)", "R(x)", "E(x, y), E(y, z)")]
+    for query in queries:
+        engine.compile(query, instance)
+    slot = engine._artifacts[instance.fingerprint]
+    assert len(slot.compiled) == 2
+    assert len(slot.lineages) == 2
+    # The evicted (oldest) query simply recompiles and stays correct.
+    recompiled = engine.compile(queries[0], instance)
+    assert engine.stats["obdd"].misses == 4
+    assert recompiled.size == engine.compile(queries[0], instance).size
+    with pytest.raises(CompilationError):
+        CompilationEngine(max_queries_per_instance=0)
+
+
+def test_cache_stats_formatting():
+    stats = CacheStats(hits=3, misses=1)
+    assert stats.total == 4
+    assert stats.hit_rate == 0.75
+    assert "3 hits" in str(stats)
+
+
+def test_default_engine_is_a_singleton():
+    assert default_engine() is default_engine()
+    assert isinstance(default_engine(), CompilationEngine)

@@ -137,6 +137,35 @@ def test_wall_instance_and_partial_ktrees():
     assert "R" in labelled.signature
 
 
+@pytest.mark.parametrize(
+    "n,width,seed",
+    [(8, 1, 0), (10, 2, 1), (12, 2, 4), (12, 3, 0), (11, 3, 7), (13, 4, 2)],
+)
+def test_partial_ktree_treewidth_never_exceeds_width(n, width, seed):
+    # Regression for the (k+1)-tree bug: the generator used to attach each new
+    # vertex to all width+1 members of a stored clique, producing exact
+    # treewidth width+1.
+    instance = random_partial_ktree_instance(n, width, seed=seed, edge_probability=1.0)
+    assert instance_treewidth(instance, exact=True) <= width
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_labelled_partial_ktree_treewidth_bound(seed):
+    labelled = labelled_partial_ktree_instance(10, 2, seed=seed)
+    assert instance_treewidth(labelled, exact=True) <= 2
+
+
+@pytest.mark.slow
+def test_partial_ktree_treewidth_oracle_cross_check():
+    # Exact treewidth via the independent subset-DP oracle on the Gaifman graph.
+    from repro.data.gaifman import gaifman_graph
+    from repro.structure.elimination import treewidth_dp_oracle
+
+    for n, width, seed in [(10, 2, 3), (11, 3, 5), (12, 2, 8)]:
+        instance = random_partial_ktree_instance(n, width, seed=seed, edge_probability=1.0)
+        assert treewidth_dp_oracle(gaifman_graph(instance)) <= width
+
+
 def test_random_instance_and_probabilities():
     signature = Signature([("R", 1), ("S", 2)])
     instance = random_instance(signature, 4, 8, seed=5)

@@ -116,3 +116,41 @@ def test_instance_equality_and_ordering_stability():
     b = Instance([fact("R", "b"), fact("R", "a")])
     assert a == b
     assert a.facts == b.facts
+
+
+def test_fingerprint_stability_and_sensitivity():
+    instance = make_instance()
+    # Stable across construction order and processes (pure content digest).
+    shuffled = Instance([fact("T", "b"), fact("R", "a"), fact("S", "a", "b")])
+    assert instance.fingerprint == shuffled.fingerprint
+    assert len(instance.fingerprint) == 64
+    # Sensitive to facts and to the signature.
+    assert instance.with_facts([fact("R", "b")]).fingerprint != instance.fingerprint
+    wider = Instance(instance.facts, instance.signature.extend(Signature.of(U=1)))
+    assert wider.fingerprint != instance.fingerprint
+
+
+def test_facts_with_value_index():
+    instance = Instance(
+        [fact("S", "a", "b"), fact("S", "a", "c"), fact("S", "b", "c"), fact("R", "a")]
+    )
+    assert set(instance.facts_with_value("S", 0, "a")) == {
+        fact("S", "a", "b"),
+        fact("S", "a", "c"),
+    }
+    assert instance.facts_with_value("S", 1, "a") == ()
+    assert instance.facts_with_value("missing", 0, "a") == ()
+
+
+def test_facts_matching_joins_on_bound_positions():
+    instance = Instance(
+        [fact("S", "a", "b"), fact("S", "a", "c"), fact("S", "b", "c"), fact("R", "a")]
+    )
+    assert instance.facts_matching("S", {}) == instance.facts_of("S")
+    assert set(instance.facts_matching("S", {0: "a"})) == {
+        fact("S", "a", "b"),
+        fact("S", "a", "c"),
+    }
+    assert instance.facts_matching("S", {0: "a", 1: "c"}) == (fact("S", "a", "c"),)
+    assert instance.facts_matching("S", {0: "a", 1: "z"}) == ()
+    assert instance.facts_matching("missing", {0: "a"}) == ()

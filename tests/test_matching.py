@@ -1,18 +1,23 @@
 """Tests for query matching (homomorphisms, matches, minimal matches)."""
 
 from repro.data.instance import Instance, fact
+from repro.data.signature import Signature
 from repro.generators import rst_bipartite_instance, rst_chain_instance
+from repro.generators.random_instances import random_instance
 from repro.queries import (
     cq_homomorphisms,
     cq_matches,
     minimal_matches,
     parse_cq,
     parse_ucq,
+    qd,
     satisfies,
     threshold_two_query,
     ucq_matches,
     unsafe_rst,
 )
+from repro.queries.library import path_query, qp
+from repro.queries.matching import cq_homomorphisms_naive
 
 
 def test_homomorphisms_of_rst_on_chain():
@@ -85,3 +90,42 @@ def test_match_on_larger_instance_counts():
     instance = rst_bipartite_instance(3)
     assert len(ucq_matches(unsafe_rst(), instance)) == 9
     assert len(minimal_matches(unsafe_rst(), instance)) == 9
+
+
+def _canonical(homomorphisms):
+    return sorted(sorted((v.name, value) for v, value in h.items()) for h in homomorphisms)
+
+
+def test_none_is_a_legal_domain_element():
+    # Regression: None used to double as the "unbound" sentinel, silently
+    # rebinding variables already mapped to a None element.
+    instance = Instance([fact("E", None, "a")])
+    query = parse_cq("E(x, x)")
+    assert list(cq_homomorphisms(query, instance)) == []
+    assert list(cq_homomorphisms_naive(query, instance)) == []
+    loop = Instance([fact("E", None, None)])
+    assert list(cq_homomorphisms(query, loop)) == [
+        {v: None for v in query.variables()}
+    ]
+
+
+def test_indexed_homomorphisms_agree_with_naive_scan():
+    # The indexed join path must enumerate exactly the homomorphisms of the
+    # seed linear-scan path, on queries with self-joins, disequalities,
+    # repeated variables, and across random instances.
+    signature = Signature([("R", 1), ("S", 2), ("T", 1), ("E", 2)])
+    queries = [
+        unsafe_rst(),
+        qd(),
+        path_query(3),
+        threshold_two_query(),
+        parse_cq("E(x, x)"),
+        parse_cq("E(x, y), E(y, x)"),
+        *qp().disjuncts,
+    ]
+    for seed in range(12):
+        instance = random_instance(signature, 6, 16, seed=seed)
+        for query in queries:
+            indexed = _canonical(cq_homomorphisms(query, instance))
+            naive = _canonical(cq_homomorphisms_naive(query, instance))
+            assert indexed == naive, (seed, str(query))

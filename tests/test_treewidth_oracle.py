@@ -1,0 +1,63 @@
+"""Cross-checks of the subset-DP treewidth oracle against the exact solver.
+
+The DP oracle (:func:`repro.structure.elimination.treewidth_dp_oracle`) shares
+no elimination machinery with the branch-and-bound search of
+:func:`exists_ordering_of_width`, so agreement between the two is strong
+evidence both are correct — this is the oracle that pinned down the k-tree
+generator bug (width-(k+1) graphs from a generator documenting width k).
+"""
+
+import random
+
+import pytest
+
+from repro.structure.elimination import exists_ordering_of_width, treewidth_dp_oracle
+from repro.structure.graph import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+)
+from repro.structure.tree_decomposition import treewidth
+
+
+def random_graph(n: int, edge_probability: float, seed: int) -> Graph:
+    generator = random.Random(seed)
+    graph = Graph()
+    for i in range(n):
+        graph.add_vertex(i)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if generator.random() < edge_probability:
+                graph.add_edge(i, j)
+    return graph
+
+
+def test_dp_oracle_on_known_families():
+    assert treewidth_dp_oracle(Graph()) == -1
+    assert treewidth_dp_oracle(path_graph(1)) == 0
+    assert treewidth_dp_oracle(path_graph(6)) == 1
+    assert treewidth_dp_oracle(cycle_graph(6)) == 2
+    assert treewidth_dp_oracle(complete_graph(5)) == 4
+    assert treewidth_dp_oracle(grid_graph(3, 3)) == 3
+
+
+def test_dp_oracle_agrees_with_exists_ordering_on_small_random_graphs():
+    for seed in range(25):
+        generator = random.Random(1000 + seed)
+        n = generator.randint(1, 8)
+        graph = random_graph(n, generator.uniform(0.15, 0.6), seed)
+        width = treewidth_dp_oracle(graph)
+        assert exists_ordering_of_width(graph, width), (seed, width)
+        assert width == 0 or not exists_ordering_of_width(graph, width - 1), (seed, width)
+        assert width == treewidth(graph, exact=True), (seed, width)
+
+
+@pytest.mark.slow
+def test_dp_oracle_agrees_with_exact_solver_on_larger_graphs():
+    for seed in range(10):
+        generator = random.Random(2000 + seed)
+        n = generator.randint(9, 12)
+        graph = random_graph(n, generator.uniform(0.2, 0.5), seed)
+        assert treewidth_dp_oracle(graph) == treewidth(graph, exact=True), seed
