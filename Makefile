@@ -7,7 +7,7 @@ PYTHON ?= python
 PYTHONPATH_PREFIX = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 TIER1_WALL_CLOCK ?= 300
 
-.PHONY: test tier1 test-slow bench-engine bench
+.PHONY: test tier1 test-slow test-differential bench-engine bench-parallel bench
 
 test:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -q
@@ -18,8 +18,14 @@ tier1:
 test-slow:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -q --runslow
 
+test-differential:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -q --runslow tests/test_differential.py tests/test_structure_oracle.py
+
 bench-engine:
 	$(PYTHONPATH_PREFIX) $(PYTHON) benchmarks/bench_engine.py
+
+bench-parallel:
+	$(PYTHONPATH_PREFIX) $(PYTHON) benchmarks/bench_parallel.py
 
 bench:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -q benchmarks

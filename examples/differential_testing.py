@@ -1,0 +1,56 @@
+"""Differential testing and sharded parallel evaluation, end to end.
+
+The paper proves that many independent routes compute the same query
+probability on treelike instances; this example turns that redundancy into a
+correctness harness and then scales the same workload across processes:
+
+1. build a seeded random workload of (query, TID instance) cases over the
+   treelike generator families;
+2. push every case through the :class:`repro.testing.ProbabilityOracle`,
+   which cross-checks brute force, OBDD, d-DNNF, the auto dispatcher, lifted
+   inference (when the query is safe), dissociation bounds, and the seeded
+   Karp-Luby estimator;
+3. evaluate the same workload through a :class:`repro.engine.ParallelEngine`
+   and compare against the oracle-approved values, reporting the merged
+   per-worker cache statistics.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.engine import ParallelEngine
+from repro.testing import ProbabilityOracle, random_workload, workload_pairs
+
+
+def main() -> None:
+    cases = random_workload(30, seed=42)
+    print(f"workload: {len(cases)} seeded cases over families "
+          f"{sorted({case.name for case in cases})}")
+
+    oracle = ProbabilityOracle()
+    reports = oracle.check_many(cases)
+    lifted = sum(1 for r in reports if "safe_plan" in r.exact_values)
+    print(f"oracle: all exact routes agree on every case "
+          f"(safe plans ran on {lifted}/{len(cases)}; "
+          f"Karp-Luby stayed within tolerance on all)")
+
+    sample = reports[0]
+    print(f"example case {sample.name}:")
+    for method, value in sample.exact_values.items():
+        print(f"  {method:>12}: {value}")
+    print(f"  dissociation bounds: [{sample.bounds.lower}, {sample.bounds.upper}]")
+
+    with ParallelEngine(workers=2) as parallel:
+        values = parallel.map_probability(workload_pairs(cases)).values
+        report = parallel.last_report
+    agreed = sum(1 for value, report_ in zip(values, reports) if value == report_.reference)
+    print(f"parallel engine (2 workers): {agreed}/{len(cases)} values match the oracle")
+    print(f"  shards: {list(report.shard_sizes)}")
+    for name, stats in report.stats.items():
+        print(f"  cache[{name}]: {stats}")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,7 +14,10 @@ For repeated workloads, :mod:`repro.engine` provides the
 lineages/OBDDs/probabilities are memoized behind content fingerprints, with
 batched entry points ``compile_many`` and ``probability_many`` (see the
 ``repro.engine`` package docstring for the caching keys and invalidation
-rules).
+rules).  :class:`ParallelEngine` shards those batched workloads across
+``multiprocessing`` workers, and :mod:`repro.testing` provides the
+differential oracle (:class:`~repro.testing.ProbabilityOracle`) that
+cross-checks every probability backend on seeded random workloads.
 
 Quickstart::
 
@@ -46,7 +49,7 @@ from repro.data import (
     random_pxml_document,
 )
 from repro.data.io import load_instance, load_tid, save_instance
-from repro.engine import CacheStats, CompilationEngine, default_engine
+from repro.engine import CacheStats, CompilationEngine, ParallelEngine, default_engine
 from repro.generators import (
     grid_instance,
     labelled_line_instance,
@@ -108,6 +111,7 @@ __all__ = [
     "Instance",
     "OBDD",
     "PXMLDocument",
+    "ParallelEngine",
     "ProbabilisticInstance",
     "Signature",
     "UnionOfConjunctiveQueries",

@@ -132,17 +132,33 @@ def _command_probability(arguments: argparse.Namespace) -> int:
 
 
 def _command_batch(arguments: argparse.Namespace) -> int:
-    from repro.engine import CompilationEngine
+    from repro.engine import CompilationEngine, ParallelEngine
     from repro.queries.parser import parse_ucq
 
-    engine = CompilationEngine()
+    if arguments.workers < 1:
+        raise ReproError(f"--workers must be at least 1, got {arguments.workers}")
     tid = _load(arguments.instance)
     queries = [parse_ucq(text) for text in arguments.query]
-    values = engine.probability_many(queries, tid, method=arguments.method)
+    if arguments.workers > 1:
+        with ParallelEngine(workers=arguments.workers) as parallel:
+            values = parallel.probability_many(queries, tid, method=arguments.method)
+            report = parallel.last_report
+    else:
+        engine = CompilationEngine()
+        values = engine.probability_many(queries, tid, method=arguments.method)
+        report = None
     for text, value in zip(arguments.query, values):
         print(f"{text}: {value} (= {float(value):.6f})")
     if arguments.stats:
-        for name, stats in engine.cache_info().items():
+        if report is not None:
+            print(f"workers: {report.workers}  shard sizes: {list(report.shard_sizes)}")
+            for worker, stats in enumerate(report.worker_stats):
+                summary = ", ".join(f"{name}: {value}" for name, value in stats.items())
+                print(f"worker[{worker}]: {summary}")
+            merged = report.stats
+        else:
+            merged = engine.cache_info()
+        for name, stats in merged.items():
             print(f"cache[{name}]: {stats}")
     return 0
 
@@ -223,6 +239,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--stats", action="store_true", help="also print the engine's cache hit/miss statistics"
+    )
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the batch (>1 shards the workload through ParallelEngine)",
     )
     batch.set_defaults(handler=_command_batch)
 

@@ -39,8 +39,39 @@ Gaifman graph, decompositions, and fact order are computed once and shared;
 repeated queries in the batch are served from cache.  The CLI ``batch``
 subcommand, the examples, and ``benchmarks/bench_engine.py`` all go through
 these entry points.
+
+Parallelism
+-----------
+:class:`repro.engine.parallel.ParallelEngine` scales the same batched entry
+points past one core: ``(query, instance)`` workloads are partitioned into
+shards (grouped by instance fingerprint for cache affinity, split when a
+single instance dominates), each shard runs in a ``multiprocessing`` worker
+owning a private :class:`CompilationEngine`, and the values plus per-worker
+``CacheStats`` are merged back into one :class:`ParallelReport`.  The CLI
+``batch --workers N`` flag and ``benchmarks/bench_parallel.py`` go through
+it.
 """
 
-from repro.engine.session import CacheStats, CompilationEngine, default_engine
+from repro.engine.parallel import (
+    ParallelEngine,
+    ParallelReport,
+    available_workers,
+    shard_workload,
+)
+from repro.engine.session import (
+    CacheStats,
+    CompilationEngine,
+    default_engine,
+    merge_cache_stats,
+)
 
-__all__ = ["CacheStats", "CompilationEngine", "default_engine"]
+__all__ = [
+    "CacheStats",
+    "CompilationEngine",
+    "ParallelEngine",
+    "ParallelReport",
+    "available_workers",
+    "default_engine",
+    "merge_cache_stats",
+    "shard_workload",
+]

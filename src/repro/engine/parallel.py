@@ -1,0 +1,338 @@
+"""Sharded parallel evaluation on top of :class:`CompilationEngine`.
+
+The single-process engine memoizes structural artifacts per instance, so the
+natural unit of parallelism is not the individual ``(query, instance)`` pair
+but the *instance group*: all items touching one instance should land in the
+same worker, where they share that worker's cached Gaifman graph,
+decompositions, fact orders, and lineages.  :func:`shard_workload` partitions
+a workload accordingly (greedy least-loaded assignment of instance groups),
+and :class:`ParallelEngine` runs each shard in a ``multiprocessing`` worker
+that owns a private :class:`CompilationEngine`, then merges the values (in
+the original workload order) and the per-worker :class:`CacheStats` into a
+single :class:`ParallelReport`.
+
+Two execution regimes:
+
+* ``workers == 1`` runs inline in the calling process on a local engine — no
+  subprocess, no pickling; semantics are identical, which keeps debugging and
+  single-core environments honest;
+* ``workers > 1`` uses a lazily created, persistent pool (``fork`` start
+  method when the platform has it, ``spawn`` otherwise): the workers — and
+  their engines' caches — survive across calls, so repeated workloads
+  against hot instances keep their artifacts warm.  ``close()`` (or use as
+  a context manager) releases the pool.
+
+Everything crossing the process boundary is plain picklable data: instances
+and TID instances (content-fingerprinted, so worker-side caching behaves
+exactly as in-process caching), queries (frozen dataclasses), ``Fraction``
+results, :class:`CompiledOBDD` artifacts, and ``CacheStats`` counters.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Sequence
+
+from repro.data.instance import Instance
+from repro.data.tid import ProbabilisticInstance
+from repro.engine.session import (
+    CacheStats,
+    CompilationEngine,
+    Query,
+    merge_cache_stats,
+)
+from repro.errors import CompilationError
+from repro.provenance.compile_obdd import CompiledOBDD
+
+ProbabilityItem = tuple[Query, ProbabilisticInstance]
+CompileItem = tuple[Query, Instance]
+
+
+def available_workers() -> int:
+    """How many workers the host can actually run in parallel.
+
+    Prefers the scheduling affinity mask (which honors cgroup/container
+    limits) over the raw CPU count.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def shard_workload(
+    items: Sequence[tuple],
+    shard_count: int,
+    group_key: Callable[[tuple], str] | None = None,
+) -> list[list[tuple[int, tuple]]]:
+    """Partition indexed work items into at most ``shard_count`` shards.
+
+    Items are grouped by the fingerprint of their instance (the second
+    element of each pair by default) so that one instance's structural
+    artifacts are computed by as few workers as possible; a group larger than
+    the balanced shard size ``ceil(len(items) / shard_count)`` is split into
+    chunks of that size, so a batch against a *single* instance still spreads
+    over all shards (each worker then recomputes that instance's artifacts
+    once — duplicated structural work, parallelized compilation work).  The
+    chunks are assigned largest-first to the currently least-loaded shard.
+    Each shard entry keeps the item's index in the original workload so
+    results can be merged back in order.  Empty shards are dropped.
+    """
+    if shard_count < 1:
+        raise CompilationError("shard_count must be at least 1")
+    if group_key is None:
+        group_key = lambda item: item[1].fingerprint  # noqa: E731
+    groups: dict[str, list[tuple[int, tuple]]] = {}
+    for index, item in enumerate(items):
+        groups.setdefault(group_key(item), []).append((index, item))
+    target = -(-len(items) // shard_count)  # ceil division
+    chunks: list[list[tuple[int, tuple]]] = []
+    for group in groups.values():
+        for start in range(0, len(group), target):
+            chunks.append(group[start : start + target])
+    shards: list[list[tuple[int, tuple]]] = [[] for _ in range(shard_count)]
+    for chunk in sorted(chunks, key=len, reverse=True):
+        least_loaded = min(shards, key=len)
+        least_loaded.extend(chunk)
+    return [shard for shard in shards if shard]
+
+
+@dataclass(frozen=True)
+class ParallelReport:
+    """The merged outcome of one sharded run.
+
+    ``values`` follow the original workload order; ``workers`` is the
+    engine's configured worker count (``shard_count`` is how many shards the
+    workload actually produced — it can be smaller); ``worker_stats`` holds
+    one ``CacheStats`` dictionary per shard (in shard order), and ``stats``
+    is their pointwise sum.
+    """
+
+    values: tuple
+    workers: int
+    shard_sizes: tuple[int, ...]
+    worker_stats: tuple[dict[str, CacheStats], ...]
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shard_sizes)
+
+    @property
+    def stats(self) -> dict[str, CacheStats]:
+        return merge_cache_stats(self.worker_stats)
+
+    @property
+    def items(self) -> int:
+        return sum(self.shard_sizes)
+
+
+# -- worker-side plumbing -----------------------------------------------------
+#
+# The pool initializer builds one CompilationEngine per worker process; the
+# shard runners look it up through a module global.  Under the ``fork`` start
+# method the workload shards themselves are the only data pickled per task.
+
+_WORKER_ENGINE: CompilationEngine | None = None
+
+
+def _init_worker(engine_options: dict) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = CompilationEngine(**engine_options)
+
+
+def _worker_engine() -> CompilationEngine:
+    if _WORKER_ENGINE is None:  # pragma: no cover - initializer always ran
+        raise CompilationError("parallel worker used before initialization")
+    return _WORKER_ENGINE
+
+
+def _stats_snapshot(engine: CompilationEngine) -> dict[str, CacheStats]:
+    return {name: stats.copy() for name, stats in engine.stats.items()}
+
+
+def _reset_stats(engine: CompilationEngine) -> None:
+    """Zero the counters (keeping the caches) so a shard reports its own work.
+
+    One pool process may execute several shards; without the reset, a later
+    shard's snapshot would re-count the earlier shards' hits and misses and
+    the merged report would no longer be the exact sum over the workload.
+    """
+    for stats in engine.stats.values():
+        stats.hits = stats.misses = 0
+
+
+def _run_probability_shard(payload):
+    shard, method = payload
+    engine = _worker_engine()
+    _reset_stats(engine)
+    results = [(index, engine.probability(query, tid, method)) for index, (query, tid) in shard]
+    return results, _stats_snapshot(engine)
+
+
+def _run_compile_shard(payload):
+    shard, use_path_decomposition = payload
+    engine = _worker_engine()
+    _reset_stats(engine)
+    results = [
+        (index, engine.compile(query, instance, use_path_decomposition))
+        for index, (query, instance) in shard
+    ]
+    return results, _stats_snapshot(engine)
+
+
+class ParallelEngine:
+    """Shard ``(query, instance)`` workloads across engine-owning workers.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; defaults to the host's available parallelism.
+        ``workers=1`` executes inline (no subprocess).
+    engine_options:
+        Keyword arguments forwarded to each worker's
+        :class:`CompilationEngine` (cache bounds).
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` when the
+        platform offers it (cheap on Linux), else the platform default.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        engine_options: dict | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise CompilationError("workers must be at least 1")
+        self.workers = workers if workers is not None else available_workers()
+        self.engine_options = dict(engine_options or {})
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.start_method = start_method
+        self.last_report: ParallelReport | None = None
+        self._pool = None
+        self._inline_engine: CompilationEngine | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the worker pool (and the inline engine's caches).
+
+        The pool is created lazily on first use and kept alive across calls
+        so worker-side engine caches persist between workloads; ``close()``
+        (or use as a context manager) tears it down.  A garbage-collected
+        unclosed pool is reclaimed by ``multiprocessing``'s own finalizer.
+        """
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self._inline_engine = None
+
+    def __enter__(self) -> "ParallelEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- generic sharded execution -------------------------------------------
+
+    def _run(self, items: Sequence[tuple], runner, extra) -> ParallelReport:
+        if not items:
+            report = ParallelReport(
+                values=(), workers=self.workers, shard_sizes=(), worker_stats=()
+            )
+            self.last_report = report
+            return report
+        shards = shard_workload(items, self.workers)
+        if self.workers == 1 or len(shards) == 1:
+            report = self._run_inline(shards, runner, extra)
+        else:
+            report = self._run_pool(shards, runner, extra)
+        self.last_report = report
+        return report
+
+    def _run_inline(self, shards, runner, extra) -> ParallelReport:
+        global _WORKER_ENGINE
+        if self._inline_engine is None:
+            self._inline_engine = CompilationEngine(**self.engine_options)
+        previous = _WORKER_ENGINE
+        _WORKER_ENGINE = self._inline_engine
+        try:
+            outcomes = [runner((shard, extra)) for shard in shards]
+        finally:
+            _WORKER_ENGINE = previous
+        return self._merge(shards, outcomes)
+
+    def _run_pool(self, shards, runner, extra) -> ParallelReport:
+        if self._pool is None:
+            context = multiprocessing.get_context(self.start_method)
+            self._pool = context.Pool(
+                processes=self.workers,
+                initializer=_init_worker,
+                initargs=(self.engine_options,),
+            )
+        outcomes = self._pool.map(runner, [(shard, extra) for shard in shards])
+        return self._merge(shards, outcomes)
+
+    def _merge(self, shards, outcomes) -> ParallelReport:
+        total = sum(len(shard) for shard in shards)
+        values: list = [None] * total
+        worker_stats = []
+        for results, stats in outcomes:
+            for index, value in results:
+                values[index] = value
+            worker_stats.append(stats)
+        return ParallelReport(
+            values=tuple(values),
+            workers=self.workers,
+            shard_sizes=tuple(len(shard) for shard in shards),
+            worker_stats=tuple(worker_stats),
+        )
+
+    # -- probability workloads ------------------------------------------------
+
+    def map_probability(
+        self, pairs: Sequence[ProbabilityItem], method: str = "auto"
+    ) -> ParallelReport:
+        """Evaluate a workload of ``(query, tid)`` pairs; full report."""
+        return self._run(pairs, _run_probability_shard, method)
+
+    def probability_many(
+        self,
+        queries: Sequence[Query],
+        tid: ProbabilisticInstance,
+        method: str = "auto",
+    ) -> list[Fraction]:
+        """Probabilities of a batch of queries on one TID instance.
+
+        Mirrors :meth:`CompilationEngine.probability_many`; the detailed
+        :class:`ParallelReport` (shard sizes, per-worker cache statistics) is
+        kept in :attr:`last_report`.
+        """
+        report = self.map_probability([(query, tid) for query in queries], method)
+        return list(report.values)
+
+    # -- compilation workloads -------------------------------------------------
+
+    def map_compile(
+        self, pairs: Sequence[CompileItem], use_path_decomposition: bool = False
+    ) -> ParallelReport:
+        """Compile a workload of ``(query, instance)`` pairs; full report."""
+        return self._run(pairs, _run_compile_shard, bool(use_path_decomposition))
+
+    def compile_many(
+        self,
+        queries: Sequence[Query],
+        instance: Instance,
+        use_path_decomposition: bool = False,
+    ) -> list[CompiledOBDD]:
+        """OBDD compilations of a batch of queries against one instance."""
+        report = self.map_compile(
+            [(query, instance) for query in queries], use_path_decomposition
+        )
+        return list(report.values)

@@ -58,8 +58,35 @@ class CacheStats:
         else:
             self.misses += 1
 
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        if not isinstance(other, CacheStats):
+            return NotImplemented
+        return CacheStats(self.hits + other.hits, self.misses + other.misses)
+
+    def copy(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses)
+
     def __str__(self) -> str:
         return f"{self.hits} hits / {self.misses} misses"
+
+
+def merge_cache_stats(
+    per_worker: Iterable[dict[str, CacheStats]],
+) -> dict[str, CacheStats]:
+    """Pointwise sum of several engines' ``stats`` dictionaries.
+
+    Used by :class:`repro.engine.parallel.ParallelEngine` to aggregate the
+    per-worker statistics into one report; the merged counters are exactly the
+    sums of the worker counters, cache by cache.
+    """
+    merged: dict[str, CacheStats] = {}
+    for stats in per_worker:
+        for name, value in stats.items():
+            if name in merged:
+                merged[name] = merged[name] + value
+            else:
+                merged[name] = value.copy()
+    return merged
 
 
 @dataclass

@@ -7,6 +7,7 @@ from repro.experiments.harness import (
     run_series,
     series_to_dict,
     speedup,
+    speedup_trajectory,
     write_benchmark_json,
 )
 from repro.experiments.scaling import ExperimentReport, sweep, timed
@@ -19,6 +20,7 @@ __all__ = [
     "run_series",
     "series_to_dict",
     "speedup",
+    "speedup_trajectory",
     "sweep",
     "timed",
     "write_benchmark_json",

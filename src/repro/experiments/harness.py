@@ -131,6 +131,20 @@ def speedup(baseline: ScalingSeries, improved: ScalingSeries) -> float:
     return base_total / improved_total
 
 
+def speedup_trajectory(baseline_total: float, trajectory: ScalingSeries) -> dict[str, float]:
+    """Per-point speedups of a resource-scaling series over a fixed baseline.
+
+    ``trajectory`` measures the same workload at increasing resource levels
+    (worker counts, cache sizes, ...); the result maps each level (as a
+    string, JSON-object friendly) to ``baseline_total / time_at_level``.
+    Degenerate zero times map to ``inf`` like :func:`speedup`.
+    """
+    return {
+        ("%g" % size): (baseline_total / value if value else math.inf)
+        for size, value in zip(trajectory.sizes, trajectory.values)
+    }
+
+
 def write_benchmark_json(
     path: str | Path,
     title: str,

@@ -21,7 +21,10 @@ implements both, for the monotone-DNF lineages produced by
 
 All estimators accept a ``random.Random`` seed for reproducibility and report
 their estimates as floats (the exact engines elsewhere in the library return
-:class:`fractions.Fraction`).
+:class:`fractions.Fraction`).  Exactness policy: everything that *scales or
+bounds* a result (clause weights, union bounds, dissociation bounds, interval
+membership of exact values) is computed in exact rational arithmetic; floats
+appear only in the sampled estimates themselves, where they are irreducible.
 """
 
 from __future__ import annotations
@@ -42,11 +45,18 @@ from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq
 
 @dataclass(frozen=True)
 class ApproximationResult:
-    """An estimate together with the sampling effort that produced it."""
+    """An estimate together with the sampling effort that produced it.
+
+    ``union_bound`` is the exact sum of clause probabilities when the
+    estimator computed one (Karp–Luby scales its indicator mean by it);
+    consumers that bound the estimator's error (the differential oracle)
+    read it from here instead of re-deriving it.
+    """
 
     estimate: float
     samples: int
     method: str
+    union_bound: Fraction | None = None
 
     def absolute_error(self, exact: Fraction | float) -> float:
         return abs(self.estimate - float(exact))
@@ -72,12 +82,30 @@ def _lineage_for(
     )
 
 
+def _sampling_thresholds(
+    valuation: Mapping[Fact, Fraction],
+) -> dict[Fact, Fraction | float]:
+    """Per-fact inclusion thresholds for the samplers.
+
+    Exactness without the ~100x cost of a Fraction rich comparison in the
+    inner sampling loop: probabilities whose float image is exact (every
+    dyadic value the workloads generate) compare on the float fast path;
+    the rest keep the exact Fraction (float-vs-Fraction comparison is exact
+    in Python), so no threshold is ever silently rounded.
+    """
+    thresholds: dict[Fact, Fraction | float] = {}
+    for f, p in valuation.items():
+        image = float(p)
+        thresholds[f] = image if Fraction(image) == p else p
+    return thresholds
+
+
 def _sample_world(
     facts: Iterable[Fact],
-    valuation: Mapping[Fact, Fraction],
+    thresholds: Mapping[Fact, Fraction | float],
     generator: random.Random,
 ) -> set[Fact]:
-    return {f for f in facts if generator.random() < float(valuation[f])}
+    return {f for f in facts if generator.random() < thresholds[f]}
 
 
 def monte_carlo_probability(
@@ -95,12 +123,12 @@ def monte_carlo_probability(
     if samples <= 0:
         raise ProbabilityError("the sample count must be positive")
     lineage = _lineage_for(query_or_lineage, probabilistic_instance)
-    valuation = probabilistic_instance.valuation()
+    thresholds = _sampling_thresholds(probabilistic_instance.valuation())
     generator = random.Random(seed)
     facts = list(probabilistic_instance.instance.facts)
     hits = 0
     for _ in range(samples):
-        world = _sample_world(facts, valuation, generator)
+        world = _sample_world(facts, thresholds, generator)
         if lineage.evaluate(world):
             hits += 1
     return ApproximationResult(hits / samples, samples, "monte_carlo")
@@ -128,24 +156,35 @@ def karp_luby_probability(
     lineage = _lineage_for(query_or_lineage, probabilistic_instance)
     clauses = list(lineage.clauses)
     if not clauses:
-        return ApproximationResult(0.0, samples, "karp_luby")
+        return ApproximationResult(0.0, samples, "karp_luby", union_bound=Fraction(0))
     valuation = probabilistic_instance.valuation()
-    clause_probability = []
+    # Clause weights and the union bound stay exact Fractions: the union bound
+    # scales every returned estimate, so rounding it through float would bias
+    # the estimator beyond its sampling error.  Floats appear only where the
+    # sampler genuinely needs them (the ``choices`` weights).
+    clause_probability: list[Fraction] = []
     for clause in clauses:
-        weight = 1.0
+        weight = Fraction(1)
         for f in clause:
-            weight *= float(valuation[f])
+            weight *= valuation[f]
         clause_probability.append(weight)
-    union_bound = sum(clause_probability)
+    union_bound = sum(clause_probability, Fraction(0))
     if union_bound == 0:
-        return ApproximationResult(0.0, samples, "karp_luby")
+        return ApproximationResult(0.0, samples, "karp_luby", union_bound=union_bound)
     generator = random.Random(seed)
     facts = list(probabilistic_instance.instance.facts)
+    sampling_weights = [float(w) for w in clause_probability]
+    if not any(sampling_weights):
+        # Every clause weight underflowed to 0.0 although the exact union
+        # bound is positive: the sampler cannot pick a clause, and the true
+        # probability is below the smallest positive float anyway.
+        return ApproximationResult(0.0, samples, "karp_luby", union_bound=union_bound)
+    thresholds = _sampling_thresholds(valuation)
     counted = 0
     for _ in range(samples):
-        picked_index = generator.choices(range(len(clauses)), weights=clause_probability)[0]
+        picked_index = generator.choices(range(len(clauses)), weights=sampling_weights)[0]
         picked = clauses[picked_index]
-        world = {f for f in facts if f in picked or generator.random() < float(valuation[f])}
+        world = {f for f in facts if f in picked or generator.random() < thresholds[f]}
         # Count the sample iff the picked clause is the first satisfied one.
         first_satisfied = None
         for index, clause in enumerate(clauses):
@@ -154,7 +193,12 @@ def karp_luby_probability(
                 break
         if first_satisfied == picked_index:
             counted += 1
-    return ApproximationResult(union_bound * counted / samples, samples, "karp_luby")
+    return ApproximationResult(
+        float(union_bound * Fraction(counted, samples)),
+        samples,
+        "karp_luby",
+        union_bound=union_bound,
+    )
 
 
 @dataclass(frozen=True)
@@ -165,7 +209,16 @@ class DissociationBounds:
     upper: Fraction
 
     def contains(self, value: Fraction | float) -> bool:
-        return float(self.lower) <= float(value) <= float(self.upper) + 1e-12
+        """Whether ``value`` lies in the interval.
+
+        Exact values (``Fraction``/``int``) are compared exactly — the bounds
+        are theorems, so an exact probability outside them is a bug, however
+        close.  Float estimates keep a tiny slack for their representation
+        error.
+        """
+        if isinstance(value, float):
+            return float(self.lower) - 1e-12 <= value <= float(self.upper) + 1e-12
+        return self.lower <= value <= self.upper
 
     @property
     def gap(self) -> Fraction:
@@ -243,12 +296,12 @@ def estimate_property_probability(
     """
     if samples <= 0:
         raise ProbabilityError("the sample count must be positive")
-    valuation = probabilistic_instance.valuation()
+    thresholds = _sampling_thresholds(probabilistic_instance.valuation())
     generator = random.Random(seed)
     facts = list(probabilistic_instance.instance.facts)
     hits = 0
     for _ in range(samples):
-        world_facts = _sample_world(facts, valuation, generator)
+        world_facts = _sample_world(facts, thresholds, generator)
         if property_check(probabilistic_instance.instance.subinstance(world_facts)):
             hits += 1
     return ApproximationResult(hits / samples, samples, "monte_carlo_property")

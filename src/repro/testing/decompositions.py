@@ -1,0 +1,114 @@
+"""An independent validity checker for tree and path decompositions.
+
+The production classes carry their own ``validate`` methods, but an oracle
+that shares code with the thing it checks is no oracle at all.  This module
+re-derives the three defining conditions of a tree decomposition (Section 2
+of the paper) from scratch, on a neutral representation:
+
+* **vertex coverage** — every graph vertex occurs in some bag;
+* **edge coverage** — both endpoints of every graph edge share some bag;
+* **connectivity** — for each vertex, the bags containing it induce a
+  connected subtree (for paths: a contiguous interval);
+
+plus the structural sanity of the tree itself (the bag graph is acyclic and
+connected).  :func:`decomposition_errors` reports every violated condition;
+:func:`is_valid_decomposition` is the boolean view used by the test suites.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.structure.graph import Graph
+from repro.structure.path_decomposition import PathDecomposition
+from repro.structure.tree_decomposition import TreeDecomposition
+
+
+def _as_bag_tree(decomposition) -> tuple[dict[Hashable, frozenset], list[tuple]]:
+    """Normalize either decomposition kind into (bags, undirected tree edges)."""
+    if isinstance(decomposition, PathDecomposition):
+        bags = {i: bag for i, bag in enumerate(decomposition.bags)}
+        edges = [(i, i + 1) for i in range(len(bags) - 1)]
+        return bags, edges
+    if isinstance(decomposition, TreeDecomposition):
+        bags = dict(decomposition.bags)
+        edges = [
+            (node, kid) for node, kids in decomposition.children.items() for kid in kids
+        ]
+        return bags, edges
+    raise TypeError(
+        f"expected a TreeDecomposition or PathDecomposition, got {type(decomposition).__name__}"
+    )
+
+
+def decomposition_errors(decomposition, graph: Graph) -> list[str]:
+    """Every violated decomposition condition, as human-readable strings.
+
+    An empty list means the decomposition is valid for ``graph``.
+    """
+    bags, edges = _as_bag_tree(decomposition)
+    errors: list[str] = []
+    if not bags:
+        if len(graph) == 0:
+            return []
+        return ["decomposition has no bags but the graph has vertices"]
+
+    # Structural sanity: the bag graph is a tree (connected and acyclic).
+    adjacency: dict[Hashable, set] = {node: set() for node in bags}
+    usable_edges = 0
+    for a, b in edges:
+        if a not in bags or b not in bags:
+            errors.append(f"tree edge ({a!r}, {b!r}) mentions an unknown bag")
+            continue
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+        usable_edges += 1
+    start = next(iter(bags))
+    seen = {start}
+    stack = [start]
+    while stack:
+        for other in adjacency[stack.pop()]:
+            if other not in seen:
+                seen.add(other)
+                stack.append(other)
+    if seen != set(bags):
+        errors.append("bag graph is not connected")
+    elif usable_edges != len(bags) - 1:
+        errors.append("bag graph has a cycle (|edges| != |bags| - 1)")
+
+    # Vertex coverage.
+    covered = set()
+    for bag in bags.values():
+        covered |= bag
+    for vertex in graph.vertices:
+        if vertex not in covered:
+            errors.append(f"vertex {vertex!r} is in no bag")
+
+    # Edge coverage.
+    for u, v in graph.edges():
+        if not any(u in bag and v in bag for bag in bags.values()):
+            errors.append(f"edge ({u!r}, {v!r}) is covered by no bag")
+
+    # Connectivity of occurrences: the bags containing each vertex must form
+    # a connected subgraph of the bag tree.
+    for vertex in graph.vertices:
+        occurrences = {node for node, bag in bags.items() if vertex in bag}
+        if not occurrences:
+            continue  # already reported as a coverage error
+        start = next(iter(occurrences))
+        seen = {start}
+        stack = [start]
+        while stack:
+            for other in adjacency[stack.pop()]:
+                if other in occurrences and other not in seen:
+                    seen.add(other)
+                    stack.append(other)
+        if seen != occurrences:
+            errors.append(f"occurrences of vertex {vertex!r} are not connected")
+
+    return errors
+
+
+def is_valid_decomposition(decomposition, graph: Graph) -> bool:
+    """True when the decomposition satisfies all conditions for ``graph``."""
+    return not decomposition_errors(decomposition, graph)

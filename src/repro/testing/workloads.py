@@ -1,0 +1,167 @@
+"""Seeded random workloads for differential testing.
+
+Builds ``(query, probabilistic instance)`` cases on top of the library's own
+generators — labelled partial k-trees (treewidth ≤ 2), labelled lines, small
+grids, and random trees — paired with random conjunctive queries (and small
+unions) over the instance's signature, and random dyadic probabilities.
+Everything is driven by one ``random.Random(seed)``, so a workload is fully
+reproducible from its seed and every case carries the seed that produced it.
+
+Instances are deliberately tiny (the brute-force route of the oracle
+enumerates all ``2^n`` possible worlds); the ``max_facts`` knob trades
+coverage for time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from repro.data.instance import Instance
+from repro.data.signature import Signature
+from repro.data.tid import ProbabilisticInstance
+from repro.generators import (
+    grid_instance,
+    labelled_line_instance,
+    labelled_partial_ktree_instance,
+    random_tree_instance,
+    rst_chain_instance,
+)
+from repro.queries.atoms import Atom, Disequality, Variable
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq, ucq
+
+DEFAULT_FAMILIES = ("ktree", "line", "grid", "tree", "rst_chain")
+
+
+@dataclass(frozen=True)
+class WorkloadCase:
+    """One differential-testing case: a query on a TID instance."""
+
+    name: str
+    query: UnionOfConjunctiveQueries
+    tid: ProbabilisticInstance
+    seed: int
+
+    def __str__(self) -> str:
+        return f"{self.name}[seed={self.seed}]: {self.query}"
+
+
+def random_cq(
+    signature: Signature,
+    generator: random.Random,
+    max_atoms: int = 3,
+    max_variables: int = 3,
+    disequality_probability: float = 0.15,
+) -> ConjunctiveQuery:
+    """A random Boolean CQ≠ over ``signature``.
+
+    Atom count and variable pool sizes are drawn uniformly; arguments are
+    drawn uniformly from the pool, so self-joins, repeated variables, and
+    disconnected queries all occur.  With ``disequality_probability`` a
+    disequality between two distinct used variables is added.
+    """
+    relations = list(signature)
+    variables = [Variable(f"x{i}") for i in range(1, max_variables + 1)]
+    atom_count = generator.randint(1, max_atoms)
+    atoms = []
+    for _ in range(atom_count):
+        relation = generator.choice(relations)
+        arguments = tuple(generator.choice(variables) for _ in range(relation.arity))
+        atoms.append(Atom(relation.name, arguments))
+    used = sorted({v for a in atoms for v in a.variables()})
+    disequalities: tuple[Disequality, ...] = ()
+    if len(used) >= 2 and generator.random() < disequality_probability:
+        left, right = generator.sample(used, 2)
+        disequalities = (Disequality(left, right),)
+    return ConjunctiveQuery(tuple(atoms), disequalities)
+
+
+def random_query(
+    signature: Signature,
+    generator: random.Random,
+    max_atoms: int = 3,
+    max_variables: int = 3,
+    union_probability: float = 0.3,
+) -> UnionOfConjunctiveQueries:
+    """A random UCQ≠: one CQ≠, or (with ``union_probability``) a union of two."""
+    first = random_cq(signature, generator, max_atoms, max_variables)
+    if generator.random() < union_probability:
+        second = random_cq(signature, generator, max_atoms, max_variables)
+        return ucq([first, second])
+    return as_ucq(first)
+
+
+def random_dyadic_probabilities(
+    instance: Instance,
+    generator: random.Random,
+    denominator: int = 8,
+) -> ProbabilisticInstance:
+    """Random probabilities ``k/denominator`` (including 0 and 1) on each fact."""
+    valuation = {
+        f: Fraction(generator.randint(0, denominator), denominator) for f in instance
+    }
+    return ProbabilisticInstance(instance, valuation)
+
+
+def _family_instance(family: str, generator: random.Random, max_facts: int) -> Instance:
+    """A small instance from the named family, trimmed to ``max_facts`` facts."""
+    if family == "ktree":
+        instance = labelled_partial_ktree_instance(
+            generator.randint(3, 6), generator.choice((1, 2)), seed=generator.randrange(10**6)
+        )
+    elif family == "line":
+        n = generator.randint(2, 5)
+        labelled = [generator.random() < 0.7 for _ in range(n)]
+        instance = labelled_line_instance(n, labelled)
+    elif family == "grid":
+        instance = grid_instance(2, generator.randint(2, 3))
+    elif family == "tree":
+        instance = random_tree_instance(
+            generator.randint(3, 7), seed=generator.randrange(10**6)
+        )
+    elif family == "rst_chain":
+        instance = rst_chain_instance(generator.randint(1, 3))
+    else:
+        raise ValueError(f"unknown workload family {family!r}")
+    if len(instance) > max_facts:
+        facts = sorted(instance.facts, key=str)
+        generator.shuffle(facts)
+        instance = Instance(facts[:max_facts], instance.signature)
+    return instance
+
+
+def random_workload(
+    count: int,
+    seed: int = 0,
+    families: Sequence[str] = DEFAULT_FAMILIES,
+    max_facts: int = 8,
+    max_atoms: int = 3,
+    max_variables: int = 3,
+) -> list[WorkloadCase]:
+    """``count`` seeded random cases cycling through the instance families.
+
+    Each case pairs a family instance (at most ``max_facts`` facts, so the
+    brute-force oracle stays cheap) with a random UCQ≠ over that instance's
+    signature and random dyadic probabilities.
+    """
+    master = random.Random(seed)
+    cases: list[WorkloadCase] = []
+    for index in range(count):
+        case_seed = master.randrange(10**9)
+        generator = random.Random(case_seed)
+        family = families[index % len(families)]
+        instance = _family_instance(family, generator, max_facts)
+        query = random_query(instance.signature, generator, max_atoms, max_variables)
+        tid = random_dyadic_probabilities(instance, generator)
+        cases.append(WorkloadCase(name=family, query=query, tid=tid, seed=case_seed))
+    return cases
+
+
+def workload_pairs(
+    cases: Iterable[WorkloadCase],
+) -> list[tuple[UnionOfConjunctiveQueries, ProbabilisticInstance]]:
+    """The ``(query, tid)`` view of a workload, as consumed by the engines."""
+    return [(case.query, case.tid) for case in cases]

@@ -52,6 +52,46 @@ def test_dissociation_bounds_container():
     assert bounds.gap == Fraction(1, 4)
 
 
+def test_dissociation_bounds_exact_membership_for_fractions():
+    """Regression: exact values are compared exactly, never through float.
+
+    1/3 + 1/10**30 rounds to the same float as 1/3, so a float round-trip
+    would wrongly accept a value strictly above the upper bound."""
+    upper = Fraction(1, 3)
+    bounds = DissociationBounds(Fraction(0), upper)
+    assert bounds.contains(upper)
+    assert not bounds.contains(upper + Fraction(1, 10**30))
+    assert float(upper + Fraction(1, 10**30)) == float(upper)
+    # Float estimates keep their representation slack.
+    assert bounds.contains(float(upper))
+
+
+def test_karp_luby_underflowing_weights_degrade_gracefully():
+    """Exact clause weights below float's smallest positive value must not
+    crash the sampler (regression: choices() rejects all-zero weights)."""
+    instance = rst_chain_instance(1)
+    tiny = ProbabilisticInstance.uniform(instance, Fraction(1, 10**400))
+    result = karp_luby_probability(unsafe_rst(), tiny, samples=20, seed=0)
+    assert result.estimate == 0.0
+    assert result.union_bound == Fraction(1, 10**400) ** 3
+
+
+def test_karp_luby_union_bound_scaling_is_exact():
+    """Regression: the union-bound scale factor stays an exact Fraction.
+
+    With every clause weight 1/3 the union bound is not float-representable;
+    the estimate must be (exact union bound) * counted/samples, not a float
+    accumulation of rounded weights."""
+    instance = rst_chain_instance(1)
+    tid = ProbabilisticInstance.uniform(instance, Fraction(1, 3))
+    result = karp_luby_probability(unsafe_rst(), tid, samples=50, seed=0)
+    union_bound = Fraction(1, 3) ** 3  # one clause: R(a), S(a, b), T(b)
+    assert any(
+        result.estimate == float(union_bound * Fraction(counted, 50))
+        for counted in range(51)
+    )
+
+
 def test_hoeffding_sample_size_monotone_in_parameters():
     loose = hoeffding_sample_size(0.2, 0.2)
     tight = hoeffding_sample_size(0.05, 0.05)

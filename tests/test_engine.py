@@ -149,11 +149,74 @@ def test_lru_eviction_bounds_queries_per_instance():
         CompilationEngine(max_queries_per_instance=0)
 
 
+def test_lru_eviction_bounds_probability_entries(ktree_tid):
+    engine = CompilationEngine(max_probability_entries=2)
+    queries = [parse_ucq(text) for text in ("R(x)", "T(x)", "R(x), S(x, y)")]
+    values = [engine.probability(q, ktree_tid) for q in queries]
+    assert len(engine._probabilities) == 2
+    # The evicted (oldest) entry recomputes to the same value: a miss, not a bug.
+    assert engine.probability(queries[0], ktree_tid) == values[0]
+    assert engine.stats["probability"].misses == 4
+    with pytest.raises(CompilationError):
+        CompilationEngine(max_probability_entries=0)
+
+
+def test_lru_eviction_respects_recency(ktree_tid):
+    engine = CompilationEngine(max_probability_entries=2)
+    queries = [parse_ucq(text) for text in ("R(x)", "T(x)", "R(x), S(x, y)")]
+    engine.probability(queries[0], ktree_tid)
+    engine.probability(queries[1], ktree_tid)
+    engine.probability(queries[0], ktree_tid)  # touch: [0] becomes most recent
+    engine.probability(queries[2], ktree_tid)  # evicts [1], not [0]
+    hits_before = engine.stats["probability"].hits
+    engine.probability(queries[0], ktree_tid)
+    assert engine.stats["probability"].hits == hits_before + 1
+
+
+def test_clear_mid_batch_keeps_results_correct(ktree_tid):
+    engine = CompilationEngine()
+    queries = [unsafe_rst(), qp(ktree_tid.instance.signature)]
+    before = engine.probability_many(queries, ktree_tid)
+    engine.clear()
+    assert len(engine._artifacts) == 0 and len(engine._probabilities) == 0
+    assert all(stats.total == 0 for stats in engine.stats.values())
+    after = engine.probability_many(queries, ktree_tid)
+    assert after == before
+    # The rerun was all misses (nothing survived the clear)...
+    assert engine.stats["probability"].hits == 0
+    # ...and the caches warmed back up.
+    assert engine.probability_many(queries, ktree_tid) == before
+    assert engine.stats["probability"].hits == len(queries)
+
+
+def test_merged_parallel_stats_equal_sum_of_worker_stats(ktree_tid):
+    from repro.engine import ParallelEngine, merge_cache_stats
+
+    queries = [unsafe_rst(), qp(ktree_tid.instance.signature), unsafe_rst(), unsafe_rst()]
+    parallel = ParallelEngine(workers=2)
+    parallel.probability_many(queries, ktree_tid)
+    report = parallel.last_report
+    assert report.items == len(queries)
+    merged = report.stats
+    for name in merged:
+        assert merged[name].hits == sum(stats[name].hits for stats in report.worker_stats)
+        assert merged[name].misses == sum(
+            stats[name].misses for stats in report.worker_stats
+        )
+    # Every item was evaluated exactly once across the fleet.
+    assert merged["probability"].total == len(queries)
+    assert merge_cache_stats(report.worker_stats)["probability"].total == len(queries)
+
+
 def test_cache_stats_formatting():
     stats = CacheStats(hits=3, misses=1)
     assert stats.total == 4
     assert stats.hit_rate == 0.75
     assert "3 hits" in str(stats)
+    assert (CacheStats(1, 2) + CacheStats(3, 4)) == CacheStats(4, 6)
+    copied = stats.copy()
+    copied.record(hit=True)
+    assert stats.hits == 3 and copied.hits == 4
 
 
 def test_default_engine_is_a_singleton():

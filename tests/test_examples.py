@@ -16,7 +16,13 @@ EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
 @pytest.mark.parametrize(
     "script",
-    ["quickstart.py", "provenance_semirings.py", "regular_path_queries.py", "engine_sessions.py"],
+    [
+        "quickstart.py",
+        "provenance_semirings.py",
+        "regular_path_queries.py",
+        "engine_sessions.py",
+        "differential_testing.py",
+    ],
 )
 def test_example_runs_to_completion(script, capsys):
     runpy.run_path(str(EXAMPLES / script), run_name="__main__")

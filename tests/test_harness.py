@@ -57,3 +57,16 @@ def test_degenerate_series():
     empty = ScalingSeries("empty")
     assert empty.loglog_slope() == 0.0
     assert empty.is_roughly_constant()
+
+
+def test_speedup_trajectory():
+    from repro.experiments import speedup_trajectory
+
+    trajectory = ScalingSeries("parallel time (s)")
+    trajectory.add(1, 4.0)
+    trajectory.add(2, 2.0)
+    trajectory.add(4, 0.0)
+    result = speedup_trajectory(4.0, trajectory)
+    assert result["1"] == 1.0
+    assert result["2"] == 2.0
+    assert result["4"] == float("inf")

@@ -1,0 +1,220 @@
+"""Tests for the sharded parallel evaluation engine (repro.engine.parallel)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cli import main
+from repro.data.io import save_instance
+from repro.data.tid import ProbabilisticInstance
+from repro.engine import (
+    CompilationEngine,
+    ParallelEngine,
+    available_workers,
+    shard_workload,
+)
+from repro.errors import CompilationError
+from repro.generators import labelled_partial_ktree_instance
+from repro.queries import hierarchical_example, parse_ucq, qp, unsafe_rst
+
+
+@pytest.fixture(scope="module")
+def workload():
+    tids = [
+        ProbabilisticInstance.uniform(
+            labelled_partial_ktree_instance(8, 2, seed=seed), Fraction(1, 2)
+        )
+        for seed in range(4)
+    ]
+    queries = [unsafe_rst(), hierarchical_example()]
+    return [(query, tid) for tid in tids for query in queries]
+
+
+@pytest.fixture(scope="module")
+def expected(workload):
+    engine = CompilationEngine()
+    return [engine.probability(query, tid) for query, tid in workload]
+
+
+# -- sharding ------------------------------------------------------------------
+
+
+def test_shard_workload_preserves_every_item(workload):
+    for shard_count in (1, 2, 3, 5, 100):
+        shards = shard_workload(workload, shard_count)
+        assert len(shards) <= shard_count
+        indices = sorted(index for shard in shards for index, _ in shard)
+        assert indices == list(range(len(workload)))
+
+
+def test_shard_workload_groups_by_instance(workload):
+    # 4 instances, 2 shards: each instance's items stay in one shard.
+    shards = shard_workload(workload, 2)
+    for shard in shards:
+        fingerprints = {}
+        for _, (query, tid) in shard:
+            fingerprints.setdefault(tid.fingerprint, 0)
+            fingerprints[tid.fingerprint] += 1
+        assert all(count == 2 for count in fingerprints.values())
+
+
+def test_shard_workload_splits_a_single_dominant_group(workload):
+    tid = workload[0][1]
+    single = [(unsafe_rst(), tid)] * 8
+    shards = shard_workload(single, 4)
+    assert len(shards) == 4
+    assert sorted(len(shard) for shard in shards) == [2, 2, 2, 2]
+
+
+def test_shard_workload_balances_load(workload):
+    shards = shard_workload(workload, 3)
+    sizes = sorted(len(shard) for shard in shards)
+    assert sum(sizes) == len(workload)
+    assert sizes[-1] - sizes[0] <= 2
+
+
+def test_shard_workload_rejects_zero_shards(workload):
+    with pytest.raises(CompilationError):
+        shard_workload(workload, 0)
+
+
+# -- execution ------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_map_probability_matches_serial_engine(workers, workload, expected):
+    parallel = ParallelEngine(workers=workers)
+    report = parallel.map_probability(workload)
+    assert list(report.values) == expected
+    assert report.workers == workers
+    assert report.shard_count <= workers
+    assert report.items == len(workload)
+    assert report.stats["probability"].total == len(workload)
+
+
+def test_probability_many_single_instance(workload, expected):
+    query, tid = workload[0]
+    queries = [unsafe_rst(), hierarchical_example(), qp(tid.instance.signature)]
+    serial = CompilationEngine().probability_many(queries, tid)
+    parallel = ParallelEngine(workers=2)
+    assert parallel.probability_many(queries, tid) == serial
+    assert parallel.last_report is not None
+    assert parallel.last_report.items == len(queries)
+
+
+def test_compile_many_matches_serial_engine(workload):
+    _, tid = workload[0]
+    queries = [unsafe_rst(), hierarchical_example()]
+    serial = CompilationEngine().compile_many(queries, tid.instance)
+    parallel = ParallelEngine(workers=2).compile_many(queries, tid.instance)
+    for mine, reference in zip(parallel, serial):
+        assert mine.size == reference.size
+        assert mine.width == reference.width
+        assert mine.order == reference.order
+        assert mine.probability(tid.valuation()) == reference.probability(tid.valuation())
+
+
+def test_map_compile_report_carries_worker_stats(workload):
+    pairs = [(query, tid.instance) for query, tid in workload]
+    report = ParallelEngine(workers=2).map_compile(pairs)
+    assert report.items == len(pairs)
+    assert report.stats["obdd"].total == len(pairs)
+    # Repeated (query, instance) pairs hit the owning worker's cache.
+    doubled = ParallelEngine(workers=2).map_compile(pairs + pairs)
+    assert doubled.stats["obdd"].hits >= len(pairs)
+
+
+def test_pool_persists_across_calls(workload, expected):
+    with ParallelEngine(workers=2) as parallel:
+        cold = parallel.map_probability(workload)
+        assert cold.stats["probability"].hits == 0
+        pool = parallel._pool
+        assert pool is not None
+        warm = parallel.map_probability(workload)
+        assert list(warm.values) == expected
+        # Same pool object: the worker processes (and their engine caches)
+        # survived the first call.  Which worker picks up which shard is up
+        # to the pool, so hit counts are not asserted here — the inline test
+        # below pins the cache-persistence semantics deterministically.
+        assert parallel._pool is pool
+        assert warm.stats["probability"].total == len(workload)
+    assert parallel._pool is None  # context exit closed it
+
+
+def test_inline_engine_persists_across_calls(workload, expected):
+    parallel = ParallelEngine(workers=1)
+    parallel.map_probability(workload)
+    warm = parallel.map_probability(workload)
+    assert list(warm.values) == expected
+    assert warm.stats["probability"].hits == len(workload)
+    parallel.close()
+    assert parallel._inline_engine is None
+    # Still usable after close: state is rebuilt lazily.
+    assert list(parallel.map_probability(workload).values) == expected
+
+
+def test_empty_workload(workload):
+    parallel = ParallelEngine(workers=3)
+    report = parallel.map_probability([])
+    assert report.values == () and report.shard_count == 0
+    assert report.workers == 3
+    assert parallel.probability_many([], workload[0][1]) == []
+
+
+def test_inline_regime_spawns_no_pool(workload, expected, monkeypatch):
+    import multiprocessing
+
+    def forbidden(*args, **kwargs):  # pragma: no cover - only on regression
+        raise AssertionError("workers=1 must not create a multiprocessing context")
+
+    monkeypatch.setattr(multiprocessing, "get_context", forbidden)
+    parallel = ParallelEngine(workers=1)
+    assert list(parallel.map_probability(workload).values) == expected
+
+
+def test_worker_errors_propagate(workload):
+    parallel = ParallelEngine(workers=2)
+    bad = [(unsafe_rst(), workload[0][1])] + [("not a query", workload[1][1])]
+    with pytest.raises(Exception):
+        parallel.map_probability(bad)
+
+
+def test_available_workers_positive():
+    assert available_workers() >= 1
+    with pytest.raises(CompilationError):
+        ParallelEngine(workers=0)
+
+
+def test_parallel_engine_default_worker_count():
+    assert ParallelEngine().workers == available_workers()
+
+
+# -- CLI ------------------------------------------------------------------------
+
+
+def test_cli_batch_workers_flag(tmp_path, capsys, workload):
+    _, tid = workload[0]
+    target = tmp_path / "instance.json"
+    save_instance(tid, target)
+    code = main(
+        [
+            "batch",
+            str(target),
+            "--query",
+            "R(x), S(x, y), T(y)",
+            "--query",
+            "R(x)",
+            "--workers",
+            "2",
+            "--stats",
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "R(x), S(x, y), T(y):" in output
+    assert "workers:" in output and "worker[0]:" in output
+    assert "cache[probability]" in output
+    # The values match the single-process CLI path.
+    serial = CompilationEngine()
+    expected_value = serial.probability(parse_ucq("R(x)"), tid)
+    assert f"R(x): {expected_value}" in output
