@@ -7,7 +7,7 @@ PYTHON ?= python
 PYTHONPATH_PREFIX = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 TIER1_WALL_CLOCK ?= 300
 
-.PHONY: test tier1 test-slow test-differential bench-engine bench-parallel bench
+.PHONY: test tier1 test-slow test-differential bench-engine bench-parallel bench-compile bench
 
 test:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -q
@@ -26,6 +26,9 @@ bench-engine:
 
 bench-parallel:
 	$(PYTHONPATH_PREFIX) $(PYTHON) benchmarks/bench_parallel.py
+
+bench-compile:
+	$(PYTHONPATH_PREFIX) $(PYTHON) benchmarks/bench_compile.py
 
 bench:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -q benchmarks

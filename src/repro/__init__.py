@@ -31,7 +31,7 @@ Quickstart::
     print(probability(query, tid))
 """
 
-from repro.booleans import FBDD, OBDD, BooleanCircuit, DNNF, Formula
+from repro.booleans import FBDD, OBDD, BooleanCircuit, DNNF, Formula, SweepResult
 from repro.data import (
     Fact,
     Instance,
@@ -114,6 +114,7 @@ __all__ = [
     "ParallelEngine",
     "ProbabilisticInstance",
     "Signature",
+    "SweepResult",
     "UnionOfConjunctiveQueries",
     "__version__",
     "c2rpq_lineage",

@@ -1,4 +1,11 @@
-"""Lineage representations: circuits, formulas, OBDDs, FBDDs, d-DNNFs."""
+"""Lineage representations: circuits, formulas, OBDDs, FBDDs, d-DNNFs.
+
+The compilation and evaluation hot paths are iterative, array-oriented
+kernels: the trie-driven DNF compilation and fused topological sweep live in
+:mod:`repro.booleans.obdd` (see :meth:`~repro.booleans.obdd.OBDD.sweep`);
+the seed recursive algorithms are preserved as differential references in
+:mod:`repro.booleans.reference`.
+"""
 
 from repro.booleans.circuit import BooleanCircuit, Gate, GateKind, circuit_from_function
 from repro.booleans.dnnf import DNNF, DNNFNode, dnnf_from_obdd
@@ -17,7 +24,13 @@ from repro.booleans.formula import (
     threshold_2_circuit,
     threshold_2_formula,
 )
-from repro.booleans.obdd import FALSE_NODE, OBDD, TRUE_NODE, minimal_obdd_width
+from repro.booleans.obdd import FALSE_NODE, OBDD, TRUE_NODE, SweepResult, minimal_obdd_width
+from repro.booleans.reference import (
+    build_from_clauses_fold,
+    model_count_recursive,
+    probability_recursive,
+    width_by_cuts,
+)
 
 __all__ = [
     "BooleanCircuit",
@@ -29,7 +42,9 @@ __all__ = [
     "Gate",
     "GateKind",
     "OBDD",
+    "SweepResult",
     "TRUE_NODE",
+    "build_from_clauses_fold",
     "circuit_from_function",
     "circuit_to_formula",
     "compile_circuit_to_fbdd",
@@ -38,8 +53,11 @@ __all__ = [
     "fbdd_from_obdd",
     "minimal_formula_size",
     "minimal_obdd_width",
+    "model_count_recursive",
     "parity_circuit",
     "parity_formula",
+    "probability_recursive",
     "threshold_2_circuit",
     "threshold_2_formula",
+    "width_by_cuts",
 ]

@@ -25,12 +25,13 @@ class GateKind(Enum):
     OR = "or"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Gate:
     """A single gate: its kind, inputs (gate ids), and payload.
 
     ``payload`` is the variable name for VAR gates and the Boolean value for
-    CONST gates; it is ``None`` otherwise.
+    CONST gates; it is ``None`` otherwise (``__slots__`` keeps the per-gate
+    footprint small on large lineage circuits).
     """
 
     kind: GateKind

@@ -14,6 +14,12 @@ We provide:
   counts account for unmentioned variables explicitly;
 * conversion from OBDDs (an OBDD is an FBDD, which converts node-by-node);
 * conversion to a plain :class:`BooleanCircuit`.
+
+Node ids are created children-before-parents, so ascending id order is a
+topological order: every semantic walk (evaluation, probability, model
+counting) is a single iterative pass over the reachable node array — the
+d-DNNF face of the sweep kernel of :mod:`repro.booleans.obdd` — and depth is
+never limited by the interpreter recursion limit.
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ from repro.booleans.circuit import BooleanCircuit
 from repro.errors import LineageError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DNNFNode:
     """A node of a d-DNNF: 'lit' (payload = (variable, polarity)), 'const',
     'and', or 'or'."""
@@ -121,11 +127,10 @@ class DNNF:
             raise LineageError("d-DNNF has no output")
         return self._variables[self.output]
 
-    def reachable(self) -> list[int]:
-        if self.output is None:
-            raise LineageError("d-DNNF has no output")
+    def _reachable_from(self, root: int) -> list[int]:
+        """Reachable node ids in ascending (= topological) order."""
         seen: set[int] = set()
-        stack = [self.output]
+        stack = [root]
         while stack:
             current = stack.pop()
             if current in seen:
@@ -134,35 +139,92 @@ class DNNF:
             stack.extend(self._nodes[current].children)
         return sorted(seen)
 
+    def reachable(self) -> list[int]:
+        if self.output is None:
+            raise LineageError("d-DNNF has no output")
+        return self._reachable_from(self.output)
+
     def __repr__(self) -> str:
         return f"DNNF({len(self)} nodes)"
 
     # -- semantics ----------------------------------------------------------------
 
     def evaluate(self, valuation: Mapping[Hashable, bool], node: int | None = None) -> bool:
+        """Evaluate under a (possibly partial) valuation, demand-driven.
+
+        Children are examined left to right and only as far as needed, like
+        the short-circuiting ``all``/``any`` of the recursive original —
+        literals the outcome never depends on may be absent from
+        ``valuation`` — but on an explicit stack, so depth is unbounded.
+        """
         root = self.output if node is None else node
         if root is None:
             raise LineageError("d-DNNF has no output")
-        cache: dict[int, bool] = {}
-
-        def walk(current: int) -> bool:
-            if current in cache:
-                return cache[current]
+        values: dict[int, bool] = {}
+        stack = [root]
+        while stack:
+            current = stack[-1]
+            if current in values:
+                stack.pop()
+                continue
             data = self._nodes[current]
             if data.kind == "lit":
                 variable, positive = data.payload
                 value = bool(valuation[variable])
-                result = value if positive else not value
-            elif data.kind == "const":
-                result = bool(data.payload)
-            elif data.kind == "and":
-                result = all(walk(child) for child in data.children)
-            else:
-                result = any(walk(child) for child in data.children)
-            cache[current] = result
-            return result
+                values[current] = value if positive else not value
+                stack.pop()
+                continue
+            if data.kind == "const":
+                values[current] = bool(data.payload)
+                stack.pop()
+                continue
+            # AND stops at the first False child, OR at the first True one;
+            # an unknown child encountered first must be evaluated before
+            # looking any further (left-to-right demand order).
+            deciding = data.kind != "and"
+            result: bool | None = None
+            pending: int | None = None
+            for child in data.children:
+                known = values.get(child)
+                if known is None:
+                    pending = child
+                    break
+                if known == deciding:
+                    result = deciding
+                    break
+            if result is None and pending is not None:
+                stack.append(pending)
+                continue
+            values[current] = deciding if result is not None else not deciding
+            stack.pop()
+        return values[root]
 
-        return walk(root)
+    def _probability_sweep(
+        self, probs: Mapping[Hashable, Fraction | float], exact: bool
+    ) -> Fraction | float:
+        """One iterative pass computing the probability of the output node."""
+        one = Fraction(1) if exact else 1.0
+        zero = Fraction(0) if exact else 0.0
+        values: dict[int, Fraction | float] = {}
+        for current in self.reachable():
+            data = self._nodes[current]
+            if data.kind == "lit":
+                variable, positive = data.payload
+                p = probs[variable]
+                values[current] = p if positive else 1 - p
+            elif data.kind == "const":
+                values[current] = one if data.payload else zero
+            elif data.kind == "and":
+                result = one
+                for child in data.children:
+                    result *= values[child]
+                values[current] = result
+            else:
+                result = zero
+                for child in data.children:
+                    result += values[child]
+                values[current] = result
+        return values[self.output]
 
     def probability(self, probabilities: Mapping[Hashable, Fraction | float]) -> Fraction:
         """Exact probability under independent variables (linear time).
@@ -176,34 +238,28 @@ class DNNF:
         missing = self.variables() - set(probs)
         if missing:
             raise LineageError(f"missing probabilities for {sorted(map(repr, missing))[:3]}")
-        cache: dict[int, Fraction] = {}
-
-        def walk(current: int) -> Fraction:
-            if current in cache:
-                return cache[current]
-            data = self._nodes[current]
-            if data.kind == "lit":
-                variable, positive = data.payload
-                result = probs[variable] if positive else 1 - probs[variable]
-            elif data.kind == "const":
-                result = Fraction(1) if data.payload else Fraction(0)
-            elif data.kind == "and":
-                result = Fraction(1)
-                for child in data.children:
-                    result *= walk(child)
-            else:
-                result = Fraction(0)
-                for child in data.children:
-                    result += walk(child)
-            cache[current] = result
-            return result
-
-        result = walk(self.output)
+        result = self._probability_sweep(probs, exact=True)
         if not 0 <= result <= 1:
             raise LineageError(
                 "probability outside [0, 1]; the circuit is not deterministic/decomposable"
             )
         return result
+
+    def probability_float(self, probabilities: Mapping[Hashable, Fraction | float]) -> float:
+        """The float fast path: one float sweep, exact fallback on degeneracy."""
+        import math
+
+        if self.output is None:
+            raise LineageError("d-DNNF has no output")
+        probs = {v: float(p) for v, p in probabilities.items()}
+        missing = self.variables() - set(probs)
+        if missing:
+            raise LineageError(f"missing probabilities for {sorted(map(repr, missing))[:3]}")
+        result = self._probability_sweep(probs, exact=False)
+        if not (math.isfinite(result) and -1e-9 <= result <= 1 + 1e-9):
+            return float(self.probability(probabilities))
+        # Sub-tolerance float rounding: keep the reported value inside [0, 1].
+        return min(max(result, 0.0), 1.0)
 
     def model_count(self, all_variables: Iterable[Hashable] | None = None) -> int:
         """Number of satisfying assignments over ``all_variables``.
@@ -279,29 +335,38 @@ def dnnf_from_obdd(obdd, root: int) -> DNNF:
     Each decision node on variable x with children (low, high) becomes
     ``(x AND high') OR (NOT x AND low')``: the OR is deterministic because the
     two disjuncts disagree on x, and the ANDs are decomposable because x does
-    not occur below itself in an ordered BDD.
+    not occur below itself in an ordered BDD.  The conversion is a single
+    iterative pass over the reachable OBDD nodes, deepest level first, so
+    diagrams of any depth convert without recursion.
     """
     from repro.booleans.obdd import FALSE_NODE, TRUE_NODE
 
     dnnf = DNNF()
-    cache: dict[int, int] = {}
+    if root == FALSE_NODE:
+        dnnf.set_output(dnnf.constant(False))
+        return dnnf
+    if root == TRUE_NODE:
+        dnnf.set_output(dnnf.constant(True))
+        return dnnf
 
-    def convert(node: int) -> int:
-        if node == FALSE_NODE:
-            return dnnf.constant(False)
-        if node == TRUE_NODE:
-            return dnnf.constant(True)
-        if node in cache:
-            return cache[node]
-        level, low, high = obdd._nodes[node]
+    reachable = obdd._reachable_list(root)
+    reachable.sort(key=lambda current: obdd._nodes[current][0], reverse=True)
+    false_id = dnnf.constant(False)
+    true_id = dnnf.constant(True)
+    mapping: dict[int, int] = {FALSE_NODE: false_id, TRUE_NODE: true_id}
+    for current in reachable:
+        level, low, high = obdd._nodes[current]
         variable = obdd.variable_order[level]
-        low_node = convert(low)
-        high_node = convert(high)
-        positive = dnnf.conjunction([dnnf.literal(variable, True), high_node]) if high != FALSE_NODE else dnnf.constant(False)
-        negative = dnnf.conjunction([dnnf.literal(variable, False), low_node]) if low != FALSE_NODE else dnnf.constant(False)
-        result = dnnf.disjunction([positive, negative])
-        cache[node] = result
-        return result
-
-    dnnf.set_output(convert(root))
+        positive = (
+            dnnf.conjunction([dnnf.literal(variable, True), mapping[high]])
+            if high != FALSE_NODE
+            else false_id
+        )
+        negative = (
+            dnnf.conjunction([dnnf.literal(variable, False), mapping[low]])
+            if low != FALSE_NODE
+            else false_id
+        )
+        mapping[current] = dnnf.disjunction([positive, negative])
+    dnnf.set_output(mapping[root])
     return dnnf

@@ -16,13 +16,16 @@ choice, probability evaluation, model counting, and structural checks
 (read-once validation, orderedness testing).
 
 Terminal nodes are the integers ``0`` (false) and ``1`` (true), as in
-:mod:`repro.booleans.obdd`.
+:mod:`repro.booleans.obdd`.  Like the OBDD sweep kernel
+(:meth:`repro.booleans.obdd.OBDD.sweep`), every measurement here is an
+iterative pass over the reachable nodes in topological (ascending-id)
+order, so diagram depth is bounded by memory, not the recursion limit.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Callable, Hashable, Iterable, Mapping, Sequence
+from typing import Callable, Hashable, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import CompilationError, LineageError
 
@@ -42,6 +45,10 @@ class FBDD:
     order; instead the *read-once* property (no variable tested twice on a
     path) is maintained by the construction methods and can be re-checked
     with :meth:`check_read_once`.
+
+    Decision nodes are interned children-first, so ascending node ids are a
+    topological order of the DAG; every measurement below is an iterative
+    pass over the reachable ids in that order (no recursion, any depth).
     """
 
     def __init__(self) -> None:
@@ -111,6 +118,10 @@ class FBDD:
             stack.extend((low, high))
         return seen
 
+    def _reachable_ascending(self, node: int | None = None) -> list[int]:
+        """Reachable decision nodes in ascending id (= topological) order."""
+        return sorted(self.reachable_nodes(node))
+
     def size(self, node: int | None = None) -> int:
         """Number of decision nodes reachable from ``node`` (terminals excluded)."""
         return len(self.reachable_nodes(node))
@@ -137,31 +148,23 @@ class FBDD:
         :meth:`make_node` may violate it.
         """
         start = self.root if node is None else node
-        # memoize, per node, the set of "safe above" variable sets is exponential;
-        # instead check that for every node, its variable does not occur in the
-        # sub-DAG below it only when shared... The correct check: along each
-        # path.  We do a DFS carrying the set of variables seen so far, with
-        # memoization on (node, frozenset) pruned by the observation that a
-        # node's sub-DAG is path-independent: it suffices that, for every
-        # reachable node v testing x, x is not tested again anywhere strictly
-        # below v.
-        below_cache: dict[int, frozenset] = {}
-
-        def tested_below(current: int) -> frozenset:
-            if current <= TRUE_NODE:
-                return frozenset()
-            if current in below_cache:
-                return below_cache[current]
-            variable, low, high = self._nodes[current]
-            result = frozenset({variable}) | tested_below(low) | tested_below(high)
-            below_cache[current] = result
-            return result
-
+        # It suffices that, for every reachable node v testing x, x is not
+        # tested again anywhere strictly below v; the tested-below sets are
+        # computed in one ascending (topological) pass.
+        below = self._tested_below(start)
         for current in self.reachable_nodes(start):
             variable, low, high = self._nodes[current]
-            if variable in tested_below(low) or variable in tested_below(high):
+            if variable in below[low] or variable in below[high]:
                 return False
         return True
+
+    def _tested_below(self, start: int) -> dict[int, frozenset]:
+        """Per reachable node, the set of variables tested at or below it."""
+        below: dict[int, frozenset] = {FALSE_NODE: frozenset(), TRUE_NODE: frozenset()}
+        for current in self._reachable_ascending(start):
+            variable, low, high = self._nodes[current]
+            below[current] = frozenset({variable}) | below[low] | below[high]
+        return below
 
     def is_ordered(self, node: int | None = None) -> bool:
         """True if some global variable order is consistent with every path.
@@ -172,43 +175,39 @@ class FBDD:
         test the resulting precedence relation for acyclicity.
         """
         start = self.root if node is None else node
-        below_cache: dict[int, frozenset] = {}
-
-        def tested_below(current: int) -> frozenset:
-            if current <= TRUE_NODE:
-                return frozenset()
-            if current in below_cache:
-                return below_cache[current]
-            variable, low, high = self._nodes[current]
-            result = frozenset({variable}) | tested_below(low) | tested_below(high)
-            below_cache[current] = result
-            return result
-
+        below = self._tested_below(start)
         precedence: dict[Hashable, set[Hashable]] = {}
         for current in self.reachable_nodes(start):
             variable, low, high = self._nodes[current]
             successors = precedence.setdefault(variable, set())
             for child in (low, high):
-                successors.update(tested_below(child))
+                successors.update(below[child])
             successors.discard(variable)
-        # Cycle detection over the precedence relation.
+        # Iterative cycle detection over the precedence relation.
         visiting: set[Hashable] = set()
         done: set[Hashable] = set()
-
-        def has_cycle(variable: Hashable) -> bool:
-            if variable in done:
-                return False
-            if variable in visiting:
-                return True
-            visiting.add(variable)
-            for successor in precedence.get(variable, ()):
-                if has_cycle(successor):
-                    return True
-            visiting.discard(variable)
-            done.add(variable)
-            return False
-
-        return not any(has_cycle(variable) for variable in list(precedence))
+        for origin in list(precedence):
+            if origin in done:
+                continue
+            stack: list[tuple[Hashable, Iterator]] = [(origin, iter(precedence.get(origin, ())))]
+            visiting.add(origin)
+            while stack:
+                variable, successors_iter = stack[-1]
+                advanced = False
+                for successor in successors_iter:
+                    if successor in done:
+                        continue
+                    if successor in visiting:
+                        return False
+                    visiting.add(successor)
+                    stack.append((successor, iter(precedence.get(successor, ()))))
+                    advanced = True
+                    break
+                if not advanced:
+                    visiting.discard(variable)
+                    done.add(variable)
+                    stack.pop()
+        return True
 
     # -- semantics --------------------------------------------------------------
 
@@ -230,20 +229,14 @@ class FBDD:
             variable: value if isinstance(value, Fraction) else Fraction(value)
             for variable, value in probabilities.items()
         }
-        cache: dict[int, Fraction] = {FALSE_NODE: Fraction(0), TRUE_NODE: Fraction(1)}
-
-        def walk(current: int) -> Fraction:
-            if current in cache:
-                return cache[current]
+        values: dict[int, Fraction] = {FALSE_NODE: Fraction(0), TRUE_NODE: Fraction(1)}
+        for current in self._reachable_ascending(start):
             variable, low, high = self._nodes[current]
             if variable not in probs:
                 raise LineageError(f"missing probability for variable {variable!r}")
             p = probs[variable]
-            result = p * walk(high) + (1 - p) * walk(low)
-            cache[current] = result
-            return result
-
-        return walk(start)
+            values[current] = p * values[high] + (1 - p) * values[low]
+        return values[start]
 
     def model_count(
         self,
@@ -265,64 +258,39 @@ class FBDD:
             universe = frozenset(all_variables)
             if not tested <= universe:
                 raise LineageError("diagram tests variables outside the given universe")
-        vars_cache: dict[int, frozenset] = {FALSE_NODE: frozenset(), TRUE_NODE: frozenset()}
-        count_cache: dict[int, int] = {FALSE_NODE: 0, TRUE_NODE: 1}
-
-        def variables_of(current: int) -> frozenset:
-            if current in vars_cache:
-                return vars_cache[current]
+        # One ascending pass computes, per node, both its variable set and its
+        # model count over exactly that set ("count" below).
+        vars_below: dict[int, frozenset] = {FALSE_NODE: frozenset(), TRUE_NODE: frozenset()}
+        counts: dict[int, int] = {FALSE_NODE: 0, TRUE_NODE: 1}
+        for current in self._reachable_ascending(start):
             variable, low, high = self._nodes[current]
-            result = frozenset({variable}) | variables_of(low) | variables_of(high)
-            vars_cache[current] = result
-            return result
-
-        def count(current: int) -> int:
-            """Models of the subfunction over exactly ``variables_of(current)``."""
-            if current in count_cache:
-                return count_cache[current]
-            variable, low, high = self._nodes[current]
-            here = variables_of(current)
-            low_models = count(low) << (len(here) - 1 - len(variables_of(low)))
-            high_models = count(high) << (len(here) - 1 - len(variables_of(high)))
-            result = low_models + high_models
-            count_cache[current] = result
-            return result
-
-        return count(start) << (len(universe) - len(variables_of(start)))
+            here = frozenset({variable}) | vars_below[low] | vars_below[high]
+            vars_below[current] = here
+            low_models = counts[low] << (len(here) - 1 - len(vars_below[low]))
+            high_models = counts[high] << (len(here) - 1 - len(vars_below[high]))
+            counts[current] = low_models + high_models
+        start_vars = vars_below.get(start, frozenset())
+        return counts[start] << (len(universe) - len(start_vars))
 
     def restrict(self, node: int, variable: Hashable, value: bool) -> int:
         """The cofactor of ``node`` with ``variable`` fixed to ``value``."""
-        cache: dict[int, int] = {}
-
-        def walk(current: int) -> int:
-            if current <= TRUE_NODE:
-                return current
-            if current in cache:
-                return cache[current]
+        mapping: dict[int, int] = {FALSE_NODE: FALSE_NODE, TRUE_NODE: TRUE_NODE}
+        for current in self._reachable_ascending(node):
             tested, low, high = self._nodes[current]
             if tested == variable:
-                result = walk(high if value else low)
+                mapping[current] = mapping[high] if value else mapping[low]
             else:
-                result = self.make_node(tested, walk(low), walk(high))
-            cache[current] = result
-            return result
-
-        return walk(node)
+                mapping[current] = self.make_node(tested, mapping[low], mapping[high])
+        return mapping[node]
 
     def negate(self, node: int | None = None) -> int:
         """The complement of the function (swap the terminals)."""
         start = self.root if node is None else node
-        cache: dict[int, int] = {FALSE_NODE: TRUE_NODE, TRUE_NODE: FALSE_NODE}
-
-        def walk(current: int) -> int:
-            if current in cache:
-                return cache[current]
+        mapping: dict[int, int] = {FALSE_NODE: TRUE_NODE, TRUE_NODE: FALSE_NODE}
+        for current in self._reachable_ascending(start):
             variable, low, high = self._nodes[current]
-            result = self.make_node(variable, walk(low), walk(high))
-            cache[current] = result
-            return result
-
-        return walk(start)
+            mapping[current] = self.make_node(variable, mapping[low], mapping[high])
+        return mapping[start]
 
     # -- conversions -------------------------------------------------------------
 
@@ -332,27 +300,20 @@ class FBDD:
 
         start = self.root if node is None else node
         dnnf = DNNF()
-        cache: dict[int, int] = {}
-
-        def convert(current: int) -> int:
-            if current == FALSE_NODE:
-                return dnnf.constant(False)
-            if current == TRUE_NODE:
-                return dnnf.constant(True)
-            if current in cache:
-                return cache[current]
+        mapping: dict[int, int] = {
+            FALSE_NODE: dnnf.constant(False),
+            TRUE_NODE: dnnf.constant(True),
+        }
+        for current in self._reachable_ascending(start):
             variable, low, high = self._nodes[current]
             low_branch = dnnf.conjunction(
-                [dnnf.literal(variable, positive=False), convert(low)]
+                [dnnf.literal(variable, positive=False), mapping[low]]
             )
             high_branch = dnnf.conjunction(
-                [dnnf.literal(variable, positive=True), convert(high)]
+                [dnnf.literal(variable, positive=True), mapping[high]]
             )
-            result = dnnf.disjunction([low_branch, high_branch])
-            cache[current] = result
-            return result
-
-        dnnf.set_output(convert(start))
+            mapping[current] = dnnf.disjunction([low_branch, high_branch])
+        dnnf.set_output(mapping[start])
         return dnnf
 
     def node_table(self, node: int | None = None) -> list[tuple[int, Hashable, int, int]]:
@@ -365,20 +326,20 @@ class FBDD:
 
 
 def fbdd_from_obdd(obdd, root: int) -> FBDD:
-    """Copy an OBDD into a (necessarily ordered) FBDD."""
+    """Copy an OBDD into a (necessarily ordered) FBDD.
+
+    One iterative pass over the reachable OBDD nodes, deepest level first,
+    so diagrams of any depth convert without recursion.
+    """
     diagram = FBDD()
     order = obdd.variable_order
-    cache: dict[int, int] = {FALSE_NODE: FALSE_NODE, TRUE_NODE: TRUE_NODE}
-
-    def convert(node: int) -> int:
-        if node in cache:
-            return cache[node]
+    mapping: dict[int, int] = {FALSE_NODE: FALSE_NODE, TRUE_NODE: TRUE_NODE}
+    reachable = obdd._reachable_list(root)
+    reachable.sort(key=lambda current: obdd._nodes[current][0], reverse=True)
+    for node in reachable:
         level, low, high = obdd._nodes[node]
-        result = diagram.make_node(order[level], convert(low), convert(high))
-        cache[node] = result
-        return result
-
-    diagram.root = convert(root)
+        mapping[node] = diagram.make_node(order[level], mapping[low], mapping[high])
+    diagram.root = mapping[root]
     return diagram
 
 

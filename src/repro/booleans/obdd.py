@@ -8,10 +8,28 @@ the variable order).
 
 The OBDD manager owns the node table; OBDD nodes are integers.  Terminal
 nodes are 0 (false) and 1 (true).
+
+Every algorithm in this module is **iterative**: ``apply``, negation,
+restriction, and all measurements run on explicit-stack worklists, so the
+supported depth is bounded by memory rather than the interpreter recursion
+limit (a line instance of length 2000 compiles and evaluates fine).  The
+operation caches are keyed by packed integers (``(left << 34) | (right << 2)
+| op``) instead of tuples, and restriction results are memoized at the
+manager level exactly like ``apply`` results.
+
+Measurements share one **fused sweep kernel** (:meth:`OBDD.sweep`): a single
+reverse-topological pass over the reachable node array computes probability,
+model count, size, and width together, with a float fast path and an exact
+:class:`~fractions.Fraction` fallback.  Monotone DNFs are compiled by a
+trie-driven bottom-up construction (:meth:`OBDD.build_from_clauses`) instead
+of a clause-by-clause ``apply`` fold; the seed fold survives as a
+differential reference in :mod:`repro.booleans.reference`.
 """
 
 from __future__ import annotations
 
+import math
+from dataclasses import dataclass
 from fractions import Fraction
 from typing import Callable, Hashable, Iterable, Mapping, Sequence
 
@@ -19,6 +37,29 @@ from repro.errors import CompilationError, LineageError
 
 FALSE_NODE = 0
 TRUE_NODE = 1
+
+# Operation tags for the packed-integer apply cache.  A cache key is
+# ``(left << _KEY_SHIFT) | (right << 2) | op`` with commutative operands
+# normalised so left <= right; node ids are assumed to fit in 32 bits.
+_OP_AND = 0
+_OP_OR = 1
+_OP_NOT = 2
+_KEY_SHIFT = 34
+
+
+@dataclass(frozen=True, slots=True)
+class SweepResult:
+    """The outputs of one fused topological sweep over a reachable node array.
+
+    Fields not requested from :meth:`OBDD.sweep` are ``None``; ``size`` (the
+    number of reachable decision nodes) is always computed since the sweep
+    materializes the reachable set anyway.
+    """
+
+    size: int
+    probability: Fraction | float | None = None
+    model_count: int | None = None
+    width: int | None = None
 
 
 class OBDD:
@@ -40,7 +81,8 @@ class OBDD:
         # node id -> (level, low child, high child); ids 0/1 are terminals.
         self._nodes: list[tuple[int, int, int]] = [(-1, -1, -1), (-1, -1, -1)]
         self._unique: dict[tuple[int, int, int], int] = {}
-        self._apply_cache: dict[tuple, int] = {}
+        self._apply_cache: dict[int, int] = {}
+        self._restrict_cache: dict[int, int] = {}
         self.root: int = FALSE_NODE
 
     # -- construction ----------------------------------------------------------
@@ -79,27 +121,53 @@ class OBDD:
     # -- boolean operations ------------------------------------------------------
 
     def apply_not(self, node: int) -> int:
-        cached = self._apply_cache.get(("not", node))
-        if cached is not None:
-            return cached
         if node == FALSE_NODE:
-            result = TRUE_NODE
-        elif node == TRUE_NODE:
-            result = FALSE_NODE
-        else:
-            level, low, high = self._nodes[node]
-            result = self.make_node(level, self.apply_not(low), self.apply_not(high))
-        self._apply_cache[("not", node)] = result
-        return result
+            return TRUE_NODE
+        if node == TRUE_NODE:
+            return FALSE_NODE
+        cache = self._apply_cache
+        nodes = self._nodes
+        root_key = (node << _KEY_SHIFT) | _OP_NOT
+        if root_key in cache:
+            return cache[root_key]
+        stack = [node]
+        while stack:
+            current = stack[-1]
+            key = (current << _KEY_SHIFT) | _OP_NOT
+            if key in cache:
+                stack.pop()
+                continue
+            level, low, high = nodes[current]
+            low_result = self._not_ready(low)
+            high_result = self._not_ready(high)
+            if low_result is None or high_result is None:
+                if low_result is None:
+                    stack.append(low)
+                if high_result is None:
+                    stack.append(high)
+                continue
+            cache[key] = self.make_node(level, low_result, high_result)
+            stack.pop()
+        return cache[root_key]
+
+    def _not_ready(self, node: int) -> int | None:
+        """The negation of ``node`` when immediately available, else None."""
+        if node == FALSE_NODE:
+            return TRUE_NODE
+        if node == TRUE_NODE:
+            return FALSE_NODE
+        return self._apply_cache.get((node << _KEY_SHIFT) | _OP_NOT)
 
     def apply_and(self, left: int, right: int) -> int:
-        return self._apply_binary("and", left, right)
+        return self._apply_binary(_OP_AND, left, right)
 
     def apply_or(self, left: int, right: int) -> int:
-        return self._apply_binary("or", left, right)
+        return self._apply_binary(_OP_OR, left, right)
 
-    def _apply_binary(self, op: str, left: int, right: int) -> int:
-        if op == "and":
+    @staticmethod
+    def _apply_shortcut(op: int, left: int, right: int) -> int | None:
+        """Terminal/absorption cases of ``apply`` that need no traversal."""
+        if op == _OP_AND:
             if left == FALSE_NODE or right == FALSE_NODE:
                 return FALSE_NODE
             if left == TRUE_NODE:
@@ -115,62 +183,134 @@ class OBDD:
                 return left
         if left == right:
             return left
-        key = (op, left, right) if left <= right else (op, right, left)
-        cached = self._apply_cache.get(key)
-        if cached is not None:
-            return cached
-        left_level = self._nodes[left][0] if left > TRUE_NODE else len(self._order)
-        right_level = self._nodes[right][0] if right > TRUE_NODE else len(self._order)
-        level = min(left_level, right_level)
-        if left_level == level:
-            left_low, left_high = self._nodes[left][1], self._nodes[left][2]
-        else:
-            left_low = left_high = left
-        if right_level == level:
-            right_low, right_high = self._nodes[right][1], self._nodes[right][2]
-        else:
-            right_low = right_high = right
-        result = self.make_node(
-            level,
-            self._apply_binary(op, left_low, right_low),
-            self._apply_binary(op, left_high, right_high),
-        )
-        self._apply_cache[key] = result
-        return result
+        return None
+
+    def _apply_binary(self, op: int, left: int, right: int) -> int:
+        quick = self._apply_shortcut(op, left, right)
+        if quick is not None:
+            return quick
+        cache = self._apply_cache
+        nodes = self._nodes
+        n = len(self._order)
+        if left > right:
+            left, right = right, left
+        root_key = (left << _KEY_SHIFT) | (right << 2) | op
+        if root_key in cache:
+            return cache[root_key]
+        stack = [(left, right)]
+        while stack:
+            l, r = stack[-1]
+            key = (l << _KEY_SHIFT) | (r << 2) | op
+            if key in cache:
+                stack.pop()
+                continue
+            l_level = nodes[l][0] if l > TRUE_NODE else n
+            r_level = nodes[r][0] if r > TRUE_NODE else n
+            level = l_level if l_level < r_level else r_level
+            if l_level == level:
+                l_low, l_high = nodes[l][1], nodes[l][2]
+            else:
+                l_low = l_high = l
+            if r_level == level:
+                r_low, r_high = nodes[r][1], nodes[r][2]
+            else:
+                r_low = r_high = r
+            low_result = self._apply_ready(op, l_low, r_low)
+            high_result = self._apply_ready(op, l_high, r_high)
+            if low_result is None or high_result is None:
+                if low_result is None:
+                    stack.append((l_low, r_low) if l_low <= r_low else (r_low, l_low))
+                if high_result is None:
+                    stack.append((l_high, r_high) if l_high <= r_high else (r_high, l_high))
+                continue
+            cache[key] = self.make_node(level, low_result, high_result)
+            stack.pop()
+        return cache[root_key]
+
+    def _apply_ready(self, op: int, left: int, right: int) -> int | None:
+        """The result of ``apply`` on a pair when immediately available."""
+        quick = self._apply_shortcut(op, left, right)
+        if quick is not None:
+            return quick
+        if left > right:
+            left, right = right, left
+        return self._apply_cache.get((left << _KEY_SHIFT) | (right << 2) | op)
 
     def conjunction(self, nodes: Iterable[int]) -> int:
-        result = TRUE_NODE
-        for node in nodes:
-            result = self.apply_and(result, node)
-        return result
+        return self._balanced_combine(_OP_AND, list(nodes), TRUE_NODE)
 
     def disjunction(self, nodes: Iterable[int]) -> int:
-        result = FALSE_NODE
-        for node in nodes:
-            result = self.apply_or(result, node)
-        return result
+        return self._balanced_combine(_OP_OR, list(nodes), FALSE_NODE)
+
+    def _balanced_combine(self, op: int, operands: list[int], neutral: int) -> int:
+        """N-ary apply by balanced pairwise merging.
+
+        A left fold combines a growing accumulator with each operand in turn,
+        which is quadratic when the intermediate results grow; merging
+        adjacent pairs keeps both sides of every ``apply`` comparably small
+        (logarithmic depth).
+        """
+        if not operands:
+            return neutral
+        while len(operands) > 1:
+            merged = [
+                self._apply_binary(op, operands[i], operands[i + 1])
+                for i in range(0, len(operands) - 1, 2)
+            ]
+            if len(operands) % 2:
+                merged.append(operands[-1])
+            operands = merged
+        return operands[0]
 
     def restrict(self, node: int, variable: Hashable, value: bool) -> int:
-        """The cofactor of ``node`` with ``variable`` fixed to ``value``."""
+        """The cofactor of ``node`` with ``variable`` fixed to ``value``.
+
+        Results are memoized in a manager-level cache keyed by packed
+        ``(node, level, value)`` integers, so repeated restrictions (e.g. the
+        per-variable cofactors of one diagram) are served like ``apply`` hits
+        instead of rebuilding a throwaway per-call dictionary.
+        """
         target = self.level_of(variable)
-        cache: dict[int, int] = {}
-
-        def walk(current: int) -> int:
-            if current <= TRUE_NODE:
-                return current
-            if current in cache:
-                return cache[current]
-            level, low, high = self._nodes[current]
+        bit = 1 if value else 0
+        if node <= TRUE_NODE:
+            return node
+        cache = self._restrict_cache
+        nodes = self._nodes
+        root_key = (node << _KEY_SHIFT) | (target << 1) | bit
+        if root_key in cache:
+            return cache[root_key]
+        stack = [node]
+        while stack:
+            current = stack[-1]
+            key = (current << _KEY_SHIFT) | (target << 1) | bit
+            if key in cache:
+                stack.pop()
+                continue
+            level, low, high = nodes[current]
             if level == target:
-                result = high if value else low
-            elif level > target:
-                result = current
-            else:
-                result = self.make_node(level, walk(low), walk(high))
-            cache[current] = result
-            return result
+                cache[key] = high if value else low
+                stack.pop()
+                continue
+            if level > target:
+                cache[key] = current
+                stack.pop()
+                continue
+            low_result = self._restrict_ready(low, target, bit)
+            high_result = self._restrict_ready(high, target, bit)
+            if low_result is None or high_result is None:
+                if low_result is None:
+                    stack.append(low)
+                if high_result is None:
+                    stack.append(high)
+                continue
+            cache[key] = self.make_node(level, low_result, high_result)
+            stack.pop()
+        return cache[root_key]
 
-        return walk(node)
+    def _restrict_ready(self, node: int, target: int, bit: int) -> int | None:
+        if node <= TRUE_NODE:
+            return node
+        return self._restrict_cache.get((node << _KEY_SHIFT) | (target << 1) | bit)
 
     # -- semantics ---------------------------------------------------------------
 
@@ -182,63 +322,190 @@ class OBDD:
             current = high if valuation.get(variable, False) else low
         return current == TRUE_NODE
 
+    # -- the fused sweep kernel ---------------------------------------------------
+
+    def sweep(
+        self,
+        node: int,
+        probabilities: Mapping[Hashable, Fraction | float] | None = None,
+        *,
+        model_count: bool = False,
+        width: bool = False,
+        exact: bool = True,
+    ) -> SweepResult:
+        """Probability, model count, size, and width in one topological pass.
+
+        The reachable nodes are collected once and processed in reverse
+        topological order (deepest level first), so every requested quantity
+        is produced by the same sweep instead of one recursive walk each.
+        ``probabilities`` triggers the probability computation; ``exact=True``
+        (the default, and the contract of every exact route in this library)
+        computes with :class:`~fractions.Fraction`; ``exact=False`` runs a
+        float fast path whose result is always a float in ``[0, 1]``: gross
+        degeneracy (non-finite, or off by more than 1e-9) falls back to the
+        exact kernel (then coerced to float), and sub-tolerance rounding
+        excursions are clamped.
+        """
+        result = self._sweep_impl(node, probabilities, model_count, width, exact)
+        if not exact and result.probability is not None:
+            value = result.probability
+            if not (math.isfinite(value) and -1e-9 <= value <= 1 + 1e-9):
+                fallback = self._sweep_impl(node, probabilities, model_count, width, True)
+                result = SweepResult(
+                    size=fallback.size,
+                    probability=float(fallback.probability),
+                    model_count=fallback.model_count,
+                    width=fallback.width,
+                )
+            elif not 0.0 <= value <= 1.0:
+                # Sub-tolerance float rounding: clamp so callers always see a
+                # probability inside [0, 1].
+                result = SweepResult(
+                    size=result.size,
+                    probability=min(max(value, 0.0), 1.0),
+                    model_count=result.model_count,
+                    width=result.width,
+                )
+        return result
+
+    def _sweep_impl(
+        self,
+        node: int,
+        probabilities: Mapping[Hashable, Fraction | float] | None,
+        want_count: bool,
+        want_width: bool,
+        exact: bool,
+    ) -> SweepResult:
+        n = len(self._order)
+        nodes = self._nodes
+        want_probability = probabilities is not None
+        if node <= TRUE_NODE:
+            is_true = node == TRUE_NODE
+            probability: Fraction | float | None = None
+            if want_probability:
+                probability = Fraction(1 if is_true else 0) if exact else float(is_true)
+            return SweepResult(
+                size=0,
+                probability=probability,
+                model_count=((1 << n) if is_true else 0) if want_count else None,
+                width=1 if want_width else None,
+            )
+
+        reachable = self._reachable_list(node)
+        # Children always sit at strictly larger levels, so sorting by level
+        # descending is a reverse topological order of the reachable DAG.
+        reachable.sort(key=lambda current: nodes[current][0], reverse=True)
+
+        prob_of_level: dict[int, Fraction | float] = {}
+
+        def level_probability(level: int) -> Fraction | float:
+            p = prob_of_level.get(level)
+            if p is None:
+                variable = self._order[level]
+                if variable not in probabilities:
+                    raise LineageError(f"missing probability for variable {variable!r}")
+                raw = probabilities[variable]
+                p = (raw if isinstance(raw, Fraction) else Fraction(raw)) if exact else float(raw)
+                prob_of_level[level] = p
+            return p
+
+        prob_values: dict[int, Fraction | float] | None = None
+        if want_probability:
+            one = Fraction(1) if exact else 1.0
+            zero = Fraction(0) if exact else 0.0
+            prob_values = {FALSE_NODE: zero, TRUE_NODE: one}
+        count_values: dict[int, int] | None = {TRUE_NODE: 1, FALSE_NODE: 0} if want_count else None
+        # For the width, each distinct edge target is live exactly at the cuts
+        # L with min_source_level(target) < L <= landing(target); the maximum
+        # number of simultaneously live targets over all cuts is the width.
+        min_source: dict[int, int] | None = {} if want_width else None
+
+        for current in reachable:
+            level, low, high = nodes[current]
+            if want_probability:
+                p = level_probability(level)
+                prob_values[current] = (
+                    p * prob_values[high] + (1 - p) * prob_values[low]
+                )
+            if want_count:
+                low_landing = nodes[low][0] if low > TRUE_NODE else n
+                high_landing = nodes[high][0] if high > TRUE_NODE else n
+                count_values[current] = (count_values[low] << (low_landing - level - 1)) + (
+                    count_values[high] << (high_landing - level - 1)
+                )
+            if want_width:
+                for child in (low, high):
+                    known = min_source.get(child)
+                    if known is None or level < known:
+                        min_source[child] = level
+
+        width_value: int | None = None
+        if want_width:
+            # Difference array over the cuts 1..n: +1 where a target becomes
+            # live, -1 one past its landing level; the root is live from cut 1
+            # through its own level.
+            delta = [0] * (n + 2)
+            root_level = nodes[node][0]
+            delta[1] += 1
+            delta[root_level + 1] -= 1
+            for target, source_level in min_source.items():
+                landing = nodes[target][0] if target > TRUE_NODE else n
+                if source_level + 1 <= landing:
+                    delta[source_level + 1] += 1
+                    delta[landing + 1] -= 1
+            width_value = 1
+            live = 0
+            for cut in range(1, n + 1):
+                live += delta[cut]
+                if live > width_value:
+                    width_value = live
+
+        model_count_value: int | None = None
+        if want_count:
+            model_count_value = count_values[node] << nodes[node][0]
+
+        return SweepResult(
+            size=len(reachable),
+            probability=prob_values[node] if want_probability else None,
+            model_count=model_count_value,
+            width=width_value,
+        )
+
     def probability(self, node: int, probabilities: Mapping[Hashable, Fraction | float]) -> Fraction:
         """Exact probability that the function is true under independent variables."""
-        probs = {v: Fraction(p) if not isinstance(p, Fraction) else p for v, p in probabilities.items()}
-        cache: dict[int, Fraction] = {FALSE_NODE: Fraction(0), TRUE_NODE: Fraction(1)}
+        return self.sweep(node, probabilities).probability
 
-        def walk(current: int) -> Fraction:
-            if current in cache:
-                return cache[current]
-            level, low, high = self._nodes[current]
-            variable = self._order[level]
-            if variable not in probs:
-                raise LineageError(f"missing probability for variable {variable!r}")
-            p = probs[variable]
-            result = p * walk(high) + (1 - p) * walk(low)
-            cache[current] = result
-            return result
-
-        return walk(node)
+    def probability_float(self, node: int, probabilities: Mapping[Hashable, Fraction | float]) -> float:
+        """The float fast path of the sweep kernel (exact fallback on degeneracy)."""
+        return self.sweep(node, probabilities, exact=False).probability
 
     def model_count(self, node: int) -> int:
         """Number of satisfying assignments over the *full* variable order."""
-        n = len(self._order)
-        cache: dict[int, int] = {}
-
-        def walk(current: int, level: int) -> int:
-            if current == FALSE_NODE:
-                return 0
-            if current == TRUE_NODE:
-                return 1 << (n - level)
-            node_level = self._nodes[current][0]
-            key = current
-            if key in cache:
-                return cache[key] << (node_level - level)
-            _, low, high = self._nodes[current]
-            count = walk(low, node_level + 1) + walk(high, node_level + 1)
-            cache[key] = count
-            return count << (node_level - level)
-
-        return walk(node, 0)
+        return self.sweep(node, model_count=True).model_count
 
     # -- measurements --------------------------------------------------------------
 
-    def reachable_nodes(self, node: int) -> set[int]:
+    def _reachable_list(self, node: int) -> list[int]:
         seen: set[int] = set()
+        out: list[int] = []
         stack = [node]
         while stack:
             current = stack.pop()
             if current in seen or current <= TRUE_NODE:
                 continue
             seen.add(current)
+            out.append(current)
             _, low, high = self._nodes[current]
-            stack.extend((low, high))
-        return seen
+            stack.append(low)
+            stack.append(high)
+        return out
+
+    def reachable_nodes(self, node: int) -> set[int]:
+        return set(self._reachable_list(node))
 
     def size(self, node: int) -> int:
         """Number of decision nodes reachable from ``node`` (terminals excluded)."""
-        return len(self.reachable_nodes(node))
+        return len(self._reachable_list(node))
 
     def width(self, node: int) -> int:
         """The width of the OBDD rooted at ``node`` (Definition 6.4).
@@ -247,49 +514,17 @@ class OBDD:
         width is the maximum, over levels, of the number of *distinct
         subfunctions* reachable after fixing the variables of a strict prefix
         of the order.  For a reduced OBDD this equals, for each prefix length
-        L, the number of distinct nodes (or terminals) reached by following
-        all valuations of the first L variables — equivalently the number of
-        reduced nodes whose variable level is >= L that have an incoming edge
-        from a node of level < L (plus the root when its level >= L).  We
-        compute it by a sweep over the levels.
+        L, the number of distinct nodes (or terminals) that are the landing
+        point of an edge crossing the cut before level L (plus the root while
+        its level >= L); the fused sweep computes it by interval counting.
         """
-        if node <= TRUE_NODE:
-            return 1
-        reachable = self.reachable_nodes(node)
-        # edges[(source_level, target)] — for each decision node, where its children land
-        cut_counts: dict[int, set[int]] = {}
-        n = len(self._order)
-
-        def landing(target: int) -> int:
-            return self._nodes[target][0] if target > TRUE_NODE else n
-
-        # The function "live" at cut L (between variable L-1 and L) is given by
-        # the set of nodes that are landing points of edges crossing the cut,
-        # plus the root if its level >= L... A node "target" is live at cut L if
-        # some edge (source -> target) has source_level < L <= landing(target),
-        # or target is the root and L <= landing(root).
-        incoming: list[tuple[int, int]] = []  # (source_level, target)
-        for current in reachable:
-            level, low, high = self._nodes[current]
-            incoming.append((level, low))
-            incoming.append((level, high))
-        width = 1
-        root_landing = landing(node)
-        for cut in range(1, n + 1):
-            live: set[int] = set()
-            if cut <= root_landing:
-                live.add(node)
-            for source_level, target in incoming:
-                if source_level < cut <= landing(target):
-                    live.add(target)
-            width = max(width, len(live))
-        return width
+        return self.sweep(node, width=True).width
 
     def node_table(self, node: int) -> list[tuple[int, Hashable, int, int]]:
         """A readable dump of the reachable nodes: (id, variable, low, high)."""
         return [
             (current, self._order[self._nodes[current][0]], self._nodes[current][1], self._nodes[current][2])
-            for current in sorted(self.reachable_nodes(node))
+            for current in sorted(self._reachable_list(node))
         ]
 
     def __repr__(self) -> str:
@@ -301,7 +536,8 @@ class OBDD:
         """Compile a :class:`BooleanCircuit` bottom-up with ``apply``.
 
         Every circuit variable must appear in this OBDD's order.  Returns the
-        root node of the compiled function.
+        root node of the compiled function.  N-ary gates are combined by
+        balanced merging rather than a left fold.
         """
         from repro.booleans.circuit import GateKind
 
@@ -327,12 +563,70 @@ class OBDD:
         return self.root
 
     def build_from_clauses(self, clauses: Iterable[Iterable[Hashable]]) -> int:
-        """Compile a monotone DNF given as an iterable of variable sets."""
-        terms = []
+        """Compile a monotone DNF given as an iterable of variable sets.
+
+        The clauses are arranged in a trie sorted by the variable order and
+        the OBDD is built bottom-up along the trie: clauses sharing a prefix
+        under the fact order are compiled once below the shared prefix, and
+        each trie edge costs a single ``apply_or`` between the child's
+        diagram and the accumulated sibling tail.  This replaces the seed's
+        clause-by-clause ``apply`` fold (kept in
+        :mod:`repro.booleans.reference`), whose accumulator makes the fold
+        quadratic on path-shaped lineages; both constructions produce the
+        same reduced diagram, hence the same root id, in the same manager.
+        """
+        level_clauses: set[tuple[int, ...]] = set()
         for clause in clauses:
-            terms.append(self.conjunction(self.literal(v) for v in clause))
-        self.root = self.disjunction(terms)
+            level_clauses.add(tuple(sorted({self.level_of(v) for v in clause})))
+        self.root = self._compile_clause_trie(level_clauses)
         return self.root
+
+    def _compile_clause_trie(self, level_clauses: set[tuple[int, ...]]) -> int:
+        if not level_clauses:
+            return FALSE_NODE
+        if () in level_clauses:
+            # The empty conjunction is TRUE and absorbs every other clause.
+            return TRUE_NODE
+        # Trie node: (children: level -> trie node id, accepting flag).
+        children: list[dict[int, int]] = [{}]
+        accepting: list[bool] = [False]
+        for clause in sorted(level_clauses):
+            current = 0
+            for level in clause:
+                child = children[current].get(level)
+                if child is None:
+                    children.append({})
+                    accepting.append(False)
+                    child = len(children) - 1
+                    children[current][level] = child
+                current = child
+            accepting[current] = True
+        # Compile the trie bottom-up with an explicit post-order stack: the
+        # function of a trie node is OR over its edges (level, child) of
+        # "variable AND child function", assembled from the deepest edge
+        # upward so each edge costs one make_node and one apply_or.
+        compiled: list[int | None] = [None] * len(children)
+        stack = [0]
+        while stack:
+            trie_node = stack[-1]
+            if accepting[trie_node]:
+                # A clause ends here: the node's function is TRUE (minimal
+                # DNFs never branch below an accepting node, but subsumed
+                # clauses are absorbed correctly anyway).
+                compiled[trie_node] = TRUE_NODE
+                stack.pop()
+                continue
+            pending = [child for child in children[trie_node].values() if compiled[child] is None]
+            if pending:
+                stack.extend(pending)
+                continue
+            acc = FALSE_NODE
+            for level in sorted(children[trie_node], reverse=True):
+                child_function = compiled[children[trie_node][level]]
+                acc = self.make_node(level, acc, self.apply_or(child_function, acc))
+            compiled[trie_node] = acc
+            stack.pop()
+        return compiled[0]
 
 
 def minimal_obdd_width(

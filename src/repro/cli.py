@@ -98,10 +98,12 @@ def _command_lineage(arguments: argparse.Namespace) -> int:
     circuit = lineage.to_circuit()
     compiled = compile_query_to_obdd(query, tid.instance, engine=engine)
     dnnf = compiled.to_dnnf()
+    # One fused sweep serves size, width, and model count together.
+    stats = compiled.stats()
     print(f"query: {query}")
     print(f"minimal matches (DNF clauses): {lineage.clause_count}")
     print(f"circuit gates: {circuit.size}")
-    print(f"OBDD size: {compiled.size}  width: {compiled.width}")
+    print(f"OBDD size: {stats.size}  width: {stats.width}  models: {stats.model_count}")
     print(f"d-DNNF nodes: {dnnf.size}")
     if arguments.dot == "circuit":
         print(circuit_to_dot(circuit))
@@ -127,7 +129,10 @@ def _command_probability(arguments: argparse.Namespace) -> int:
         print(f"estimate: {result.estimate:.6f} ({result.method}, {result.samples} samples)")
         return 0
     value = probability(query, tid, method=arguments.method, engine=default_engine())
-    print(f"probability: {value} (= {float(value):.6f})")
+    if arguments.method == "obdd_float":
+        print(f"probability: {value:.6f} (float fast path)")
+    else:
+        print(f"probability: {value} (= {float(value):.6f})")
     return 0
 
 
@@ -214,7 +219,16 @@ def build_parser() -> argparse.ArgumentParser:
     prob.add_argument(
         "--method",
         default="auto",
-        choices=["auto", "obdd", "dnnf", "automaton", "brute_force", "safe_plan", "read_once"],
+        choices=[
+            "auto",
+            "obdd",
+            "obdd_float",
+            "dnnf",
+            "automaton",
+            "brute_force",
+            "safe_plan",
+            "read_once",
+        ],
     )
     prob.add_argument("--approximate", action="store_true", help="use Karp-Luby sampling")
     prob.add_argument("--epsilon", type=float, default=0.05)
@@ -235,7 +249,16 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--method",
         default="auto",
-        choices=["auto", "obdd", "dnnf", "automaton", "brute_force", "safe_plan", "read_once"],
+        choices=[
+            "auto",
+            "obdd",
+            "obdd_float",
+            "dnnf",
+            "automaton",
+            "brute_force",
+            "safe_plan",
+            "read_once",
+        ],
     )
     batch.add_argument(
         "--stats", action="store_true", help="also print the engine's cache hit/miss statistics"

@@ -26,6 +26,11 @@ Everything crossing the process boundary is plain picklable data: instances
 and TID instances (content-fingerprinted, so worker-side caching behaves
 exactly as in-process caching), queries (frozen dataclasses), ``Fraction``
 results, :class:`CompiledOBDD` artifacts, and ``CacheStats`` counters.
+
+Worker-side evaluation bottoms out in the iterative fused sweep kernel of
+:meth:`repro.booleans.obdd.OBDD.sweep` (via ``CompilationEngine``), so deep
+variable orders are safe in workers too, and the ``method`` string —
+including the ``obdd_float`` fast path — passes through unchanged.
 """
 
 from __future__ import annotations
@@ -307,7 +312,7 @@ class ParallelEngine:
         queries: Sequence[Query],
         tid: ProbabilisticInstance,
         method: str = "auto",
-    ) -> list[Fraction]:
+    ) -> list[Fraction | float]:
         """Probabilities of a batch of queries on one TID instance.
 
         Mirrors :meth:`CompilationEngine.probability_many`; the detailed

@@ -291,14 +291,17 @@ class CompilationEngine:
 
     def probability(
         self, query: Query, tid: ProbabilisticInstance, method: str = "auto"
-    ) -> Fraction:
+    ) -> Fraction | float:
         """The (cached) probability of the query on a TID instance.
 
         Methods mirror :func:`repro.probability.evaluation.probability`: the
         ``auto``/``read_once``/``obdd``/``dnnf`` routes run on the engine's
-        cached lineages and OBDDs; the remaining methods (``brute_force``,
-        ``safe_plan``, ``automaton``) have no reusable artifacts and are
-        delegated, with only their final value cached.
+        cached lineages and OBDDs (evaluated by the fused sweep kernel of
+        :meth:`repro.booleans.obdd.OBDD.sweep`); ``obdd_float`` serves the
+        sweep's float fast path (a ``float``, cached under its own method
+        key, never mixed with the exact entries); the remaining methods
+        (``brute_force``, ``safe_plan``, ``automaton``) have no reusable
+        artifacts and are delegated, with only their final value cached.
         """
         key = (as_ucq(query), tid.fingerprint, method)
         cached = self._probabilities.get(key)
@@ -317,13 +320,13 @@ class CompilationEngine:
         queries: Sequence[Query],
         tid: ProbabilisticInstance,
         method: str = "auto",
-    ) -> list[Fraction]:
+    ) -> list[Fraction | float]:
         """Probabilities of a batch of queries on one TID instance."""
         return [self.probability(q, tid, method) for q in queries]
 
     def _evaluate_probability(
         self, query: UnionOfConjunctiveQueries, tid: ProbabilisticInstance, method: str
-    ) -> Fraction:
+    ) -> Fraction | float:
         from repro.probability.evaluation import (
             _probability_of_read_once,
             probability as one_shot_probability,
@@ -338,6 +341,8 @@ class CompilationEngine:
             return self.compile(query, tid.instance).probability(tid.valuation())
         if method == "obdd":
             return self.compile(query, tid.instance).probability(tid.valuation())
+        if method == "obdd_float":
+            return self.compile(query, tid.instance).probability(tid.valuation(), exact=False)
         if method == "dnnf":
             dnnf = self.dnnf(query, tid.instance)
             valuation = {fact: tid.probability_of(fact) for fact in dnnf.variables()}

@@ -7,7 +7,12 @@ over a tree encoding (the ``automaton`` method) or through a compiled lineage
 ``safe_plan`` the query-based lifted-inference route of Section 9.
 
 All methods return exact :class:`fractions.Fraction` values and agree with
-each other — the test suite checks this systematically.
+each other — the test suite checks this systematically.  The one deliberate
+exception is ``obdd_float``: the float fast path of the fused sweep kernel
+(:meth:`repro.booleans.obdd.OBDD.sweep`), which returns a ``float`` computed
+in hardware arithmetic and falls back to the exact Fraction kernel whenever
+the float pass degenerates (non-finite or outside ``[0, 1]``).  Every route
+advertised as exact stays exact.
 """
 
 from __future__ import annotations
@@ -22,7 +27,9 @@ from repro.provenance.lineage import lineage_of
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq
 
-Method = Literal["auto", "obdd", "dnnf", "automaton", "brute_force", "safe_plan", "read_once"]
+Method = Literal[
+    "auto", "obdd", "obdd_float", "dnnf", "automaton", "brute_force", "safe_plan", "read_once"
+]
 
 
 def probability(
@@ -30,7 +37,7 @@ def probability(
     probabilistic_instance: ProbabilisticInstance,
     method: Method = "auto",
     engine=None,
-) -> Fraction:
+) -> Fraction | float:
     """The probability that the TID instance satisfies the UCQ≠ (Definition 3.1).
 
     Passing a :class:`repro.engine.CompilationEngine` routes the evaluation
@@ -54,6 +61,9 @@ def probability(
     if method == "obdd":
         compiled = compile_query_to_obdd(query, probabilistic_instance.instance)
         return compiled.probability(probabilistic_instance.valuation())
+    if method == "obdd_float":
+        compiled = compile_query_to_obdd(query, probabilistic_instance.instance)
+        return compiled.probability(probabilistic_instance.valuation(), exact=False)
     if method == "dnnf":
         compiled = compile_query_to_obdd(query, probabilistic_instance.instance)
         dnnf = compiled.to_dnnf()

@@ -16,12 +16,12 @@ Theorems 6.5 and 6.7 that the benchmark harness charts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.booleans.circuit import BooleanCircuit
 from repro.booleans.dnnf import DNNF, dnnf_from_obdd
-from repro.booleans.obdd import OBDD
+from repro.booleans.obdd import OBDD, SweepResult
 from repro.data.instance import Fact, Instance
 from repro.errors import CompilationError
 from repro.provenance.lineage import MonotoneDNFLineage, lineage_of
@@ -36,22 +36,43 @@ from repro.queries.ucq import UnionOfConjunctiveQueries
 
 @dataclass
 class CompiledOBDD:
-    """The result of compiling a lineage into an OBDD."""
+    """The result of compiling a lineage into an OBDD.
+
+    Measurements are served by the fused sweep kernel of
+    :meth:`repro.booleans.obdd.OBDD.sweep`: one reverse-topological pass
+    computes size, width, and model count together, and the result is cached
+    on the compiled object (the diagram is immutable), so ``size`` and
+    ``width`` cost one shared pass instead of one walk each.
+    """
 
     manager: OBDD
     root: int
     order: tuple[Fact, ...]
+    _stats: "SweepResult | None" = field(default=None, repr=False, compare=False)
+
+    def stats(self) -> "SweepResult":
+        """Size, width, and model count from one (cached) fused sweep."""
+        if self._stats is None:
+            self._stats = self.manager.sweep(self.root, model_count=True, width=True)
+        return self._stats
 
     @property
     def size(self) -> int:
-        return self.manager.size(self.root)
+        return self.stats().size
 
     @property
     def width(self) -> int:
-        return self.manager.width(self.root)
+        return self.stats().width
 
-    def probability(self, probabilities) -> object:
-        return self.manager.probability(self.root, probabilities)
+    def model_count(self) -> int:
+        """Satisfying assignments over the full fact order."""
+        return self.stats().model_count
+
+    def probability(self, probabilities, exact: bool = True):
+        """Probability under independent facts: exact :class:`~fractions.Fraction`
+        by default, the float fast path (with exact fallback) when
+        ``exact=False``."""
+        return self.manager.sweep(self.root, probabilities, exact=exact).probability
 
     def evaluate(self, valuation) -> bool:
         return self.manager.evaluate(self.root, valuation)

@@ -1,0 +1,108 @@
+"""Deep-variable-order regression tests (tier-1).
+
+The seed knowledge-compilation core was recursive: compiling or evaluating a
+line instance of length >= 2000 overflowed the interpreter stack through the
+``apply`` / probability walks.  The iterative kernels must handle depth
+bounded only by memory, stay exact, and agree with the closed form: for the
+two-consecutive-edges query on a directed path, the satisfying worlds are the
+complement of the binary strings with no two adjacent ones, counted by a
+Fibonacci number.
+"""
+
+import sys
+from fractions import Fraction
+
+import pytest
+
+from repro.booleans.reference import build_from_clauses_fold
+from repro.data.tid import ProbabilisticInstance
+from repro.generators.lines import directed_path_instance
+from repro.provenance.compile_obdd import compile_lineage_to_obdd
+from repro.provenance.lineage import lineage_of
+from repro.queries.parser import parse_ucq
+
+LENGTH = 2000
+
+
+def fibonacci(index: int) -> int:
+    """F(index) with F(1) = F(2) = 1."""
+    a, b = 1, 1
+    for _ in range(index - 2):
+        a, b = b, a + b
+    return b
+
+
+@pytest.fixture(scope="module")
+def deep_line():
+    instance = directed_path_instance(LENGTH)
+    query = parse_ucq("E(x,y), E(y,z)")
+    lineage = lineage_of(query, instance)
+    order = sorted(instance.facts, key=lambda f: int(f.arguments[0][1:]))
+    compiled = compile_lineage_to_obdd(lineage, order)
+    tid = ProbabilisticInstance.uniform(instance, Fraction(1, 2))
+    return instance, lineage, compiled, tid
+
+
+def test_deep_line_compiles_without_recursion_error(deep_line):
+    instance, lineage, compiled, _ = deep_line
+    assert lineage.clause_count == LENGTH - 1
+    assert compiled.size > 0
+    # Pathwidth-1 family: the width must stay constant (remember "previous
+    # edge present" and "already satisfied"), not grow with the length.
+    assert compiled.width == 3
+
+
+def test_deep_line_probability_matches_closed_form(deep_line):
+    _, _, compiled, tid = deep_line
+    no_adjacent_pair = fibonacci(LENGTH + 2)
+    expected = 1 - Fraction(no_adjacent_pair, 1 << LENGTH)
+    assert compiled.probability(tid.valuation()) == expected
+    assert compiled.model_count() == (1 << LENGTH) - no_adjacent_pair
+
+
+def test_deep_line_float_fast_path(deep_line):
+    _, _, compiled, tid = deep_line
+    exact = compiled.probability(tid.valuation())
+    fast = compiled.probability(tid.valuation(), exact=False)
+    assert isinstance(fast, float)
+    assert abs(fast - float(exact)) < 1e-9
+
+
+def test_deep_line_dnnf_route_agrees(deep_line):
+    _, _, compiled, tid = deep_line
+    dnnf = compiled.to_dnnf()
+    valuation = {fact: tid.probability_of(fact) for fact in dnnf.variables()}
+    assert dnnf.probability(valuation) == compiled.probability(tid.valuation())
+
+
+def test_deep_line_negation_restriction_and_evaluation(deep_line):
+    instance, _, compiled, _ = deep_line
+    manager = compiled.manager
+    negated = manager.apply_not(compiled.root)
+    assert manager.apply_not(negated) == compiled.root
+    first = compiled.order[0]
+    without_first = manager.restrict(compiled.root, first, False)
+    with_first = manager.restrict(compiled.root, first, True)
+    assert manager.restrict(compiled.root, first, False) == without_first  # cached
+    assert without_first != with_first
+    # A world with exactly one adjacent pair satisfies the query...
+    pair = {compiled.order[5]: True, compiled.order[6]: True}
+    assert compiled.evaluate(pair)
+    # ... and a world with every other edge does not.
+    alternating = {fact: index % 2 == 0 for index, fact in enumerate(compiled.order)}
+    assert not compiled.evaluate(alternating)
+
+
+def test_seed_fold_overflows_where_trie_succeeds(deep_line):
+    """The regression being guarded: the seed recursive fold cannot do this."""
+    _, lineage, compiled, _ = deep_line
+    from repro.booleans.obdd import OBDD
+
+    limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(1000)
+    try:
+        fresh = OBDD(list(compiled.order))
+        with pytest.raises(RecursionError):
+            build_from_clauses_fold(fresh, [sorted(c, key=str) for c in lineage.clauses])
+    finally:
+        sys.setrecursionlimit(limit)
