@@ -7,7 +7,7 @@ PYTHON ?= python
 PYTHONPATH_PREFIX = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 TIER1_WALL_CLOCK ?= 300
 
-.PHONY: test tier1 test-slow test-differential bench-engine bench-parallel bench-compile bench
+.PHONY: test tier1 test-slow test-differential bench-engine bench-parallel bench-compile bench-structure bench
 
 test:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -q
@@ -29,6 +29,9 @@ bench-parallel:
 
 bench-compile:
 	$(PYTHONPATH_PREFIX) $(PYTHON) benchmarks/bench_compile.py
+
+bench-structure:
+	$(PYTHONPATH_PREFIX) $(PYTHON) benchmarks/bench_structure.py
 
 bench:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -q benchmarks

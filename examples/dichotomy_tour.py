@@ -14,11 +14,14 @@ Run with::
 """
 
 import sys
+from fractions import Fraction
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.data import Signature, instance_treewidth
+from repro.data import Signature
+from repro.data.tid import ProbabilisticInstance
+from repro.engine import CompilationEngine
 from repro.generators import directed_path_instance, grid_instance, s_grid_instance
 from repro.provenance import compile_query_to_obdd
 from repro.queries import (
@@ -34,22 +37,29 @@ RST_SIGNATURE = Signature([("R", 1), ("S", 2), ("T", 1)])
 
 
 def main() -> None:
+    # One engine session serves the whole tour: Gaifman graphs,
+    # decompositions, and fused tree encodings are computed once per
+    # instance and shared by every compilation below.
+    engine = CompilationEngine()
+
     print("=== 1. Two instance families ===")
     for name, family in (
         ("directed paths", [directed_path_instance(n) for n in (4, 8, 16)]),
         ("n x n grids", [grid_instance(n, n) for n in (2, 3, 4)]),
     ):
-        widths = [instance_treewidth(instance) for instance in family]
+        widths = [engine.tree_decomposition_of(instance).width for instance in family]
         print(f"{name:>15}: treewidths {widths}")
 
     print()
     print("=== 2. The OBDD dichotomy for q_p (Theorem 8.1) ===")
     print(f"q_p = {qp()}")
     for n in (4, 8, 16):
-        width = compile_query_to_obdd(qp(), directed_path_instance(n), use_path_decomposition=True).width
+        width = compile_query_to_obdd(
+            qp(), directed_path_instance(n), use_path_decomposition=True, engine=engine
+        ).width
         print(f"  path of {n:>2} facts (pathwidth 1): OBDD width {width}")
     for n in (2, 3, 4, 5):
-        width = compile_query_to_obdd(qp(), grid_instance(n, n)).width
+        width = compile_query_to_obdd(qp(), grid_instance(n, n), engine=engine).width
         print(f"  {n}x{n} grid (treewidth {n}):      OBDD width {width}")
 
     print()
@@ -71,8 +81,22 @@ def main() -> None:
     print()
     print("=== 4. Non-intricate queries are easy on some unbounded-treewidth family ===")
     for n in (2, 3, 4):
-        width = compile_query_to_obdd(unsafe_rst(), s_grid_instance(n, n)).width
-        print(f"  RST query on the {n}x{n} S-grid (treewidth {instance_treewidth(s_grid_instance(n, n))}): OBDD width {width}")
+        s_grid = s_grid_instance(n, n)
+        width = compile_query_to_obdd(unsafe_rst(), s_grid, engine=engine).width
+        treewidth = engine.tree_decomposition_of(s_grid).width
+        print(f"  RST query on the {n}x{n} S-grid (treewidth {treewidth}): OBDD width {width}")
+
+    print()
+    print("=== 5. The fused front-end on a deep instance (Theorems 6.3/6.11) ===")
+    # The PR-5 pipeline: one elimination sweep straight to the tree encoding,
+    # then the automaton-provenance state dynamic program — on an instance
+    # far beyond what the seed (recursive, quadratic) front-end handled.
+    deep = directed_path_instance(1000)
+    encoding = engine.tree_encoding_of(deep)
+    tid = ProbabilisticInstance.uniform(deep, Fraction(1, 2))
+    value = engine.probability(two_incident_same_direction(), tid, method="automaton")
+    print(f"  path of 1000 facts: encoding of {len(encoding)} nodes, width {encoding.width}")
+    print(f"  P[E(x,y), E(y,z)] = {float(value):.6f} (exact Fraction with a 2^1000 denominator)")
 
 
 if __name__ == "__main__":

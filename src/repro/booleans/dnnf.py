@@ -46,30 +46,71 @@ class DNNF:
     """A d-DNNF circuit with an output node.
 
     Nodes are created through ``literal`` / ``constant`` / ``conjunction`` /
-    ``disjunction`` and are checked for decomposability at construction time
-    (each node caches the set of variables it depends on).  Determinism of OR
-    gates is the caller's responsibility (it is a semantic property); the
-    constructions in :mod:`repro.provenance` guarantee it, and
+    ``disjunction`` and are checked for decomposability at construction time.
+    Determinism of OR gates is the caller's responsibility (it is a semantic
+    property); the constructions in :mod:`repro.provenance` guarantee it, and
     :meth:`check_determinism` verifies it exhaustively for testing.
+
+    Per-node variable sets are stored **interval-compressed**: variables get
+    dense integer ids in first-literal order, and each node keeps a sorted
+    tuple of disjoint ``(low, high)`` id ranges.  On the structured circuits
+    the provenance constructions build (a subtree's facts occupy a contiguous
+    id range), every gate carries O(1) intervals, so construction-time
+    decomposability checking is constant work per gate instead of a variable-
+    set union proportional to the subtree — the eager frozensets of the seed
+    made circuit construction quadratic in both time and memory on
+    path-shaped encodings.
     """
 
     def __init__(self) -> None:
         self._nodes: list[DNNFNode] = []
-        self._variables: list[frozenset] = []  # per node: variables it depends on
+        # Per node: sorted, disjoint, coalesced (low, high) variable-id ranges.
+        self._intervals: list[tuple[tuple[int, int], ...]] = []
+        self._variable_ids: dict[Hashable, int] = {}
+        self._id_variables: list[Hashable] = []
         self.output: int | None = None
 
     # -- construction -----------------------------------------------------------
 
-    def _add(self, node: DNNFNode, variables: frozenset) -> int:
+    def _add(self, node: DNNFNode, intervals: tuple[tuple[int, int], ...]) -> int:
         self._nodes.append(node)
-        self._variables.append(variables)
+        self._intervals.append(intervals)
         return len(self._nodes) - 1
 
     def literal(self, variable: Hashable, positive: bool = True) -> int:
-        return self._add(DNNFNode("lit", (), (variable, bool(positive))), frozenset({variable}))
+        identifier = self._variable_ids.get(variable)
+        if identifier is None:
+            identifier = len(self._id_variables)
+            self._variable_ids[variable] = identifier
+            self._id_variables.append(variable)
+        return self._add(
+            DNNFNode("lit", (), (variable, bool(positive))), ((identifier, identifier),)
+        )
 
     def constant(self, value: bool) -> int:
-        return self._add(DNNFNode("const", (), bool(value)), frozenset())
+        return self._add(DNNFNode("const", (), bool(value)), ())
+
+    def _merged_intervals(
+        self, children: Sequence[int], require_disjoint: bool
+    ) -> tuple[tuple[int, int], ...] | None:
+        """Union of the children's id ranges; None on overlap when disjointness
+        is required.  Adjacent ranges coalesce, keeping the tuples short."""
+        ranges = [r for child in children for r in self._intervals[child]]
+        if len(ranges) <= 1:
+            return tuple(ranges)
+        ranges.sort()
+        merged = [ranges[0]]
+        for low, high in ranges[1:]:
+            last_low, last_high = merged[-1]
+            if low <= last_high:
+                if require_disjoint:
+                    return None
+                merged[-1] = (last_low, max(last_high, high))
+            elif low == last_high + 1:
+                merged[-1] = (last_low, max(last_high, high))
+            else:
+                merged.append((low, high))
+        return tuple(merged)
 
     def conjunction(self, children: Sequence[int]) -> int:
         children = tuple(children)
@@ -77,15 +118,12 @@ class DNNF:
             return self.constant(True)
         if len(children) == 1:
             return children[0]
-        union: set = set()
-        for child in children:
-            child_vars = self._variables[child]
-            if union & child_vars:
-                raise LineageError(
-                    "AND children share variables; the node would not be decomposable"
-                )
-            union |= child_vars
-        return self._add(DNNFNode("and", children), frozenset(union))
+        merged = self._merged_intervals(children, require_disjoint=True)
+        if merged is None:
+            raise LineageError(
+                "AND children share variables; the node would not be decomposable"
+            )
+        return self._add(DNNFNode("and", children), merged)
 
     def disjunction(self, children: Sequence[int]) -> int:
         children = tuple(children)
@@ -93,10 +131,8 @@ class DNNF:
             return self.constant(False)
         if len(children) == 1:
             return children[0]
-        union: set = set()
-        for child in children:
-            union |= self._variables[child]
-        return self._add(DNNFNode("or", children), frozenset(union))
+        merged = self._merged_intervals(children, require_disjoint=False)
+        return self._add(DNNFNode("or", children), merged)
 
     def set_output(self, node: int) -> None:
         if not 0 <= node < len(self._nodes):
@@ -109,7 +145,11 @@ class DNNF:
         return self._nodes[node_id]
 
     def variables_of(self, node_id: int) -> frozenset:
-        return self._variables[node_id]
+        return frozenset(
+            self._id_variables[identifier]
+            for low, high in self._intervals[node_id]
+            for identifier in range(low, high + 1)
+        )
 
     @property
     def size(self) -> int:
@@ -125,7 +165,7 @@ class DNNF:
     def variables(self) -> frozenset:
         if self.output is None:
             raise LineageError("d-DNNF has no output")
-        return self._variables[self.output]
+        return self.variables_of(self.output)
 
     def _reachable_from(self, root: int) -> list[int]:
         """Reachable node ids in ascending (= topological) order."""
@@ -283,12 +323,8 @@ class DNNF:
             data = self._nodes[node_id]
             if data.kind != "and":
                 continue
-            union: set = set()
-            for child in data.children:
-                child_vars = self._variables[child]
-                if union & child_vars:
-                    return False
-                union |= child_vars
+            if self._merged_intervals(data.children, require_disjoint=True) is None:
+                return False
         return True
 
     def check_determinism(self, max_variables: int = 16) -> bool:

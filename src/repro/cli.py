@@ -37,7 +37,7 @@ from fractions import Fraction
 from pathlib import Path
 from typing import Sequence
 
-from repro.data.gaifman import instance_pathwidth, instance_tree_depth, instance_treewidth
+from repro.data.gaifman import instance_tree_depth
 from repro.data.io import (
     circuit_to_dot,
     dnnf_to_dot,
@@ -69,17 +69,24 @@ def _add_instance_argument(parser: argparse.ArgumentParser) -> None:
 
 
 def _command_info(arguments: argparse.Namespace) -> int:
+    from repro.engine import default_engine
+
     tid = _load(arguments.instance)
     instance = tid.instance
+    # One engine session: the Gaifman graph, decompositions, and the fused
+    # tree encoding are each computed once and shared across the report.
+    engine = default_engine()
     print(f"facts: {len(instance)}")
     print(f"domain size: {instance.domain_size}")
     relations = ", ".join(
         f"{relation.name}/{relation.arity}" for relation in instance.signature
     )
     print(f"signature: {relations}")
-    print(f"treewidth (upper bound): {instance_treewidth(instance)}")
-    print(f"pathwidth (upper bound): {instance_pathwidth(instance)}")
+    print(f"treewidth (upper bound): {engine.tree_decomposition_of(instance).width}")
+    print(f"pathwidth (upper bound): {engine.path_decomposition_of(instance).width}")
     print(f"tree-depth: {instance_tree_depth(instance)}")
+    encoding = engine.tree_encoding_of(instance)
+    print(f"tree encoding: {len(encoding)} nodes, width {encoding.width}")
     uncertain = sum(1 for f in instance.facts if tid.probability_of(f) != 1)
     print(f"uncertain facts: {uncertain}")
     return 0

@@ -21,6 +21,7 @@ from repro.data.tid import ProbabilisticInstance
 from repro.errors import CompilationError, ProbabilityError
 from repro.provenance.compile_obdd import CompiledOBDD, compile_lineage_to_obdd
 from repro.provenance.lineage import MonotoneDNFLineage, lineage_of
+from repro.provenance.tree_encoding import TreeEncoding, fused_tree_encoding
 from repro.provenance.variable_orders import (
     default_fact_order,
     fact_order_from_path_decomposition,
@@ -28,9 +29,10 @@ from repro.provenance.variable_orders import (
 )
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq
+from repro.structure.elimination import EliminationSweep, best_heuristic_sweep
 from repro.structure.graph import Graph
 from repro.structure.path_decomposition import PathDecomposition, path_decomposition
-from repro.structure.tree_decomposition import TreeDecomposition, tree_decomposition
+from repro.structure.tree_decomposition import TreeDecomposition, decomposition_from_sweep
 
 Query = UnionOfConjunctiveQueries | ConjunctiveQuery
 
@@ -99,8 +101,10 @@ class _InstanceArtifacts:
     """
 
     graph: Graph | None = None
+    sweep: EliminationSweep | None = None
     tree: TreeDecomposition | None = None
     path: PathDecomposition | None = None
+    encoding: TreeEncoding | None = None
     orders: dict[str, tuple[Fact, ...]] = field(default_factory=dict)
     lineages: OrderedDict[UnionOfConjunctiveQueries, MonotoneDNFLineage] = field(
         default_factory=OrderedDict
@@ -186,12 +190,21 @@ class CompilationEngine:
             slot.graph = gaifman_graph(instance)
         return slot.graph
 
+    def _sweep_of(self, instance: Instance) -> EliminationSweep:
+        """The (cached) best-heuristic elimination sweep: the one structural
+        computation both the tree decomposition and the fused tree encoding
+        derive from, so a session runs it at most once per instance."""
+        slot = self._slot(instance)
+        if slot.sweep is None:
+            slot.sweep = best_heuristic_sweep(self.gaifman(instance))
+        return slot.sweep
+
     def tree_decomposition_of(self, instance: Instance) -> TreeDecomposition:
         """A (cached) tree decomposition of the instance's Gaifman graph."""
         slot = self._slot(instance)
         self.stats["structure"].record(slot.tree is not None)
         if slot.tree is None:
-            slot.tree = tree_decomposition(self.gaifman(instance))
+            slot.tree = decomposition_from_sweep(self._sweep_of(instance))
         return slot.tree
 
     def path_decomposition_of(self, instance: Instance) -> PathDecomposition:
@@ -201,6 +214,16 @@ class CompilationEngine:
         if slot.path is None:
             slot.path = path_decomposition(self.gaifman(instance))
         return slot.path
+
+    def tree_encoding_of(self, instance: Instance) -> TreeEncoding:
+        """A (cached) tree encoding of the instance, built by the fused
+        single-sweep pipeline (:func:`repro.provenance.tree_encoding.
+        fused_tree_encoding`), reusing the cached Gaifman graph."""
+        slot = self._slot(instance)
+        self.stats["structure"].record(slot.encoding is not None)
+        if slot.encoding is None:
+            slot.encoding = fused_tree_encoding(instance, sweep=self._sweep_of(instance))
+        return slot.encoding
 
     def fact_order(self, instance: Instance, kind: str = "default") -> tuple[Fact, ...]:
         """A (cached) fact order: ``"default"``, ``"path"``, or ``"tree"``."""
@@ -299,9 +322,11 @@ class CompilationEngine:
         cached lineages and OBDDs (evaluated by the fused sweep kernel of
         :meth:`repro.booleans.obdd.OBDD.sweep`); ``obdd_float`` serves the
         sweep's float fast path (a ``float``, cached under its own method
-        key, never mixed with the exact entries); the remaining methods
-        (``brute_force``, ``safe_plan``, ``automaton``) have no reusable
-        artifacts and are delegated, with only their final value cached.
+        key, never mixed with the exact entries); ``automaton`` runs the
+        state dynamic programming over the engine's cached fused tree
+        encoding (:meth:`tree_encoding_of`); the remaining methods
+        (``brute_force``, ``safe_plan``) have no reusable artifacts and are
+        delegated, with only their final value cached.
         """
         key = (as_ucq(query), tid.fingerprint, method)
         cached = self._probabilities.get(key)
@@ -347,7 +372,15 @@ class CompilationEngine:
             dnnf = self.dnnf(query, tid.instance)
             valuation = {fact: tid.probability_of(fact) for fact in dnnf.variables()}
             return dnnf.probability(valuation)
-        # brute_force / safe_plan / automaton: no cross-call artifacts to reuse.
+        if method == "automaton":
+            from repro.provenance.ucq_automaton import ucq_probability_via_automaton
+
+            # The fused tree encoding is a per-instance structural artifact:
+            # cached here, every query in a session reuses it.
+            return ucq_probability_via_automaton(
+                query, tid, encoding=self.tree_encoding_of(tid.instance)
+            )
+        # brute_force / safe_plan: no cross-call artifacts to reuse.
         return one_shot_probability(query, tid, method=method)
 
 

@@ -43,7 +43,13 @@ from repro.provenance.reliability import (
     st_connectivity_automaton,
     st_reliability,
 )
-from repro.provenance.tree_encoding import EncodingNode, TreeEncoding, path_encoding, tree_encoding
+from repro.provenance.tree_encoding import (
+    EncodingNode,
+    TreeEncoding,
+    fused_tree_encoding,
+    path_encoding,
+    tree_encoding,
+)
 from repro.provenance.ucq_automaton import (
     ucq_automaton,
     ucq_lineage_dnnf,
@@ -76,6 +82,7 @@ __all__ = [
     "fact_count_parity_automaton",
     "fact_order_from_path_decomposition",
     "fact_order_from_tree_decomposition",
+    "fused_tree_encoding",
     "incident_pair_automaton",
     "is_st_connected",
     "lineage_circuit",

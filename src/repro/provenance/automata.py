@@ -28,7 +28,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Any, Callable, Hashable, Iterable, Mapping, Protocol, Sequence
+from itertools import product
+from typing import Callable, Hashable, Iterable, Mapping, Protocol, Sequence
 
 from repro.data.instance import Fact, Instance
 from repro.data.tid import ProbabilisticInstance
@@ -106,15 +107,18 @@ def reachable_states(
     """The set of states reachable at each node over all possible worlds.
 
     This is the key quantity of the provenance construction: its maximum per
-    node bounds both the d-DNNF size factor and the OBDD width.
+    node bounds both the d-DNNF size factor and the OBDD width.  Child states
+    are enumerated in first-reached order (no ``repr`` normalization); the
+    seed pass survives as :func:`repro.provenance.reference.
+    reachable_states_seed`.
     """
     reachable: dict[int, set[State]] = {}
     for identifier in encoding.post_order():
         node = encoding.nodes[identifier]
-        child_state_sets = [sorted(reachable[child], key=repr) for child in node.children]
+        child_state_sets = [reachable[child] for child in node.children]
+        presence_options = (False, True) if node.fact is not None else (False,)
         states: set[State] = set()
-        for combination in _product(child_state_sets):
-            presence_options = (False, True) if node.fact is not None else (False,)
+        for combination in product(*child_state_sets):
             for fact_present in presence_options:
                 states.add(automaton.transition(node, fact_present, combination))
         reachable[identifier] = states
@@ -135,17 +139,31 @@ def automaton_probability(
     """
     if probabilistic_instance.instance != encoding.instance:
         raise LineageError("the probabilistic instance does not match the encoding's instance")
+    one = Fraction(1)
     distributions: dict[int, dict[State, Fraction]] = {}
     for identifier in encoding.post_order():
         node = encoding.nodes[identifier]
-        child_distributions = [distributions[child] for child in node.children]
+        children = node.children
+        # Weighted product over the children (any arity), without recursion;
+        # a child's distribution is consumed exactly once (by its parent), so
+        # it is freed immediately afterwards.
+        combos: list[tuple[tuple[State, ...], Fraction]] = [((), one)]
+        for child in children:
+            combos = [
+                ((*combination, state), weight * child_weight)
+                for combination, weight in combos
+                for state, child_weight in distributions[child].items()
+                if child_weight != 0
+            ]
+        for child in children:
+            del distributions[child]
         current: dict[State, Fraction] = {}
-        for combination, weight in _weighted_product(child_distributions):
-            if node.fact is not None:
-                probability = probabilistic_instance.probability_of(node.fact)
-                options = ((True, probability), (False, 1 - probability))
-            else:
-                options = ((False, Fraction(1)),)
+        if node.fact is not None:
+            probability = probabilistic_instance.probability_of(node.fact)
+            options = ((True, probability), (False, 1 - probability))
+        else:
+            options = ((False, one),)
+        for combination, weight in combos:
             for fact_present, fact_weight in options:
                 if fact_weight == 0:
                     continue
@@ -162,23 +180,3 @@ def automaton_probability(
     )
 
 
-def _product(sequences: Sequence[Sequence[Any]]):
-    if not sequences:
-        yield ()
-        return
-    head, *tail = sequences
-    for item in head:
-        for rest in _product(tail):
-            yield (item, *rest)
-
-
-def _weighted_product(distributions: Sequence[Mapping[State, Fraction]]):
-    if not distributions:
-        yield (), Fraction(1)
-        return
-    head, *tail = distributions
-    for state, weight in head.items():
-        if weight == 0:
-            continue
-        for rest, rest_weight in _weighted_product(tail):
-            yield (state, *rest), weight * rest_weight

@@ -21,9 +21,11 @@ from typing import Iterator
 from repro.data.gaifman import gaifman_graph
 from repro.data.instance import Fact, Instance
 from repro.errors import DecompositionError
+from repro.structure.elimination import EliminationSweep, best_heuristic_sweep
+from repro.structure.graph import Graph
 from repro.structure.nice import binarize
 from repro.structure.path_decomposition import PathDecomposition
-from repro.structure.tree_decomposition import TreeDecomposition, tree_decomposition
+from repro.structure.tree_decomposition import TreeDecomposition
 
 
 @dataclass(frozen=True)
@@ -113,53 +115,162 @@ class TreeEncoding:
 def tree_encoding(
     instance: Instance, decomposition: TreeDecomposition | None = None
 ) -> TreeEncoding:
-    """Build a tree encoding of the instance from a tree decomposition.
+    """Build a tree encoding of the instance.
 
-    Each fact is attached to the topmost (closest to the root) bag covering
-    it; bags with several facts are expanded into chains of nodes carrying one
-    fact each, so the encoding stays binary and its size is linear in
-    ``|I| + |decomposition|``.
+    Each fact is attached to one bag covering it; bags with several facts are
+    expanded into chains of nodes carrying one fact each, so the encoding
+    stays binary and its size is linear in ``|I| + |decomposition|``.
+
+    Without an explicit decomposition, the encoding is built by the fused
+    single-sweep pipeline (:func:`fused_tree_encoding`): the elimination
+    sweep that computes the ordering also yields the bags, the tree
+    structure, and the fact attachment, with no intermediate decomposition
+    rewrites and no validation replay.  With an explicit decomposition, the
+    seed semantics are kept (topmost covering bag per fact, inline
+    binarization, full validation of the caller-provided decomposition).
     """
     if decomposition is None:
-        decomposition = tree_decomposition(gaifman_graph(instance))
+        return fused_tree_encoding(instance)
+    return _encoding_from_decomposition(instance, decomposition)
+
+
+def fused_tree_encoding(
+    instance: Instance,
+    graph: Graph | None = None,
+    sweep: EliminationSweep | None = None,
+) -> TreeEncoding:
+    """The fused decomposition→encoding pipeline: one elimination sweep.
+
+    The heap-driven sweep (:func:`repro.structure.elimination.
+    best_heuristic_sweep`) already records each vertex's bag, so the
+    decomposition tree (parent = earliest-eliminated remaining neighbor) and
+    the binary encoding are emitted directly from the sweep, bottom-up, in a
+    single pass — no ``TreeDecomposition`` object, no ``binarize`` rewrite,
+    no relabeling.
+
+    Facts attach to the bag of their earliest-eliminated element: a fact's
+    elements form a clique in the Gaifman graph, so when its first element is
+    eliminated the remaining ones are all neighbors, i.e. the bag covers the
+    fact.  This replaces the seed's scan of every bag per fact.  The
+    construction is correct by construction, so no validation replay runs;
+    :meth:`TreeEncoding.validate` stays available for auditing.
+    """
+    if sweep is None:
+        sweep = best_heuristic_sweep(gaifman_graph(instance) if graph is None else graph)
+    order = sweep.order
+    n = len(order)
+
+    nodes: dict[int, EncodingNode] = {}
+    counter = 0
+
+    if n == 0:
+        # No domain elements: only nullary facts can exist; chain them over a
+        # single empty bag (the seed's single-bag decomposition did the same).
+        current_children: tuple[int, ...] = ()
+        empty = frozenset()
+        for f in sorted(instance.facts, key=_fact_key):
+            nodes[counter] = EncodingNode(counter, empty, f, current_children)
+            current_children = (counter,)
+            counter += 1
+        if not nodes:
+            nodes[0] = EncodingNode(0, empty, None, ())
+            counter = 1
+        return TreeEncoding(instance, nodes, counter - 1)
+
+    position = {v: i for i, v in enumerate(order)}
+    root = n - 1
+    children = sweep.tree_children()
+
+    facts_at: list[list[Fact]] = [[] for _ in range(n)]
+    for f in instance:
+        elements = f.elements()
+        if elements:
+            facts_at[min(position[e] for e in elements)].append(f)
+        else:
+            facts_at[root].append(f)
+
+    # Children always carry a smaller elimination index than their parent, so
+    # one ascending pass emits every subtree before it is consumed.
+    encoded_root: list[int] = [0] * n
+    for i in range(n):
+        bag = sweep.bags[i]
+        child_ids = [encoded_root[c] for c in children[i]]
+        # Inline binarization: absorb surplus children into helper nodes that
+        # repeat the same bag (connectivity of occurrences is preserved).
+        while len(child_ids) > 2:
+            nodes[counter] = EncodingNode(counter, bag, None, (child_ids[-2], child_ids[-1]))
+            child_ids[-2:] = [counter]
+            counter += 1
+        current_children = tuple(child_ids)
+        facts = sorted(facts_at[i], key=_fact_key)
+        if not facts:
+            nodes[counter] = EncodingNode(counter, bag, None, current_children)
+            current_children = (counter,)
+            counter += 1
+        else:
+            for f in facts:
+                nodes[counter] = EncodingNode(counter, bag, f, current_children)
+                current_children = (counter,)
+                counter += 1
+        encoded_root[i] = counter - 1
+    return TreeEncoding(instance, nodes, encoded_root[root])
+
+
+def _encoding_from_decomposition(
+    instance: Instance, decomposition: TreeDecomposition
+) -> TreeEncoding:
+    """Encode against a caller-provided decomposition (seed semantics).
+
+    Facts attach to their topmost covering bag, found through a per-element
+    occurrence index instead of the seed's scan over every bag per fact; the
+    result is validated, since the input decomposition is not trusted.
+    """
     decomposition = binarize(decomposition)
 
     order = decomposition.topological_order()
     position = {node: index for index, node in enumerate(order)}
+    occurrences: dict[object, list[int]] = {}
+    for node in order:
+        for element in decomposition.bags[node]:
+            occurrences.setdefault(element, []).append(node)
     facts_at: dict[int, list[Fact]] = {node: [] for node in decomposition.nodes()}
     for f in instance:
         elements = set(f.elements())
-        covering = [node for node in order if elements <= decomposition.bags[node]]
+        if elements:
+            rarest = min(elements, key=lambda e: len(occurrences.get(e, ())))
+            covering = [
+                node
+                for node in occurrences.get(rarest, ())
+                if elements <= decomposition.bags[node]
+            ]
+        else:
+            covering = order
         if not covering:
             raise DecompositionError(f"no bag covers fact {f}")
         topmost = min(covering, key=lambda node: position[node])
         facts_at[topmost].append(f)
 
     nodes: dict[int, EncodingNode] = {}
-    counter = [0]
-
-    def fresh() -> int:
-        counter[0] += 1
-        return counter[0] - 1
-
-    def build(bag_node: int) -> int:
+    counter = 0
+    built: dict[int, int] = {}
+    # Reversed pre-order visits children before parents (no recursion).
+    for bag_node in reversed(order):
         bag = decomposition.bags[bag_node]
-        child_ids = tuple(build(child) for child in decomposition.children.get(bag_node, []))
+        child_ids = tuple(built[child] for child in decomposition.children.get(bag_node, []))
         facts = sorted(facts_at[bag_node], key=_fact_key)
         if not facts:
-            identifier = fresh()
-            nodes[identifier] = EncodingNode(identifier, bag, None, child_ids)
-            return identifier
-        current_children = child_ids
-        identifier = -1
-        for f in facts:
-            identifier = fresh()
-            nodes[identifier] = EncodingNode(identifier, bag, f, current_children)
-            current_children = (identifier,)
-        return identifier
+            nodes[counter] = EncodingNode(counter, bag, None, child_ids)
+            built[bag_node] = counter
+            counter += 1
+        else:
+            current_children = child_ids
+            for f in facts:
+                nodes[counter] = EncodingNode(counter, bag, f, current_children)
+                current_children = (counter,)
+                counter += 1
+            built[bag_node] = counter - 1
 
-    root = build(decomposition.root)
-    encoding = TreeEncoding(instance, nodes, root)
+    encoding = TreeEncoding(instance, nodes, built[decomposition.root])
     encoding.validate()
     return encoding
 

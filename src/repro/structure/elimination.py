@@ -5,13 +5,74 @@ width of an ordering is the maximum number of neighbors a vertex has at its
 elimination time; the minimum width over all orderings equals the treewidth.
 We provide the classical min-degree and min-fill heuristics as well as an
 exact iterative-deepening search for small graphs.
+
+The heuristics run as *indexed* kernels: vertices are mapped to dense
+integers (ordered by the stable tie-breaking key, so the heap tie-breaks
+exactly like the seed linear scans), candidates live in a lazily-updated
+binary heap, and after each elimination only the vertices whose degree or
+fill count can actually have changed — the eliminated vertex's neighborhood,
+plus (for min-fill) the common neighbors of each added fill edge — are
+re-scored.  The seed heuristics, which re-scan every remaining vertex per
+step, are preserved in :mod:`repro.structure.reference` as differential
+oracles.
+
+Each sweep records the bag (closed neighborhood at elimination time) of every
+vertex and the running width, so callers get the certified width, and a tree
+decomposition, as by-products of the ordering computation instead of
+replaying the elimination (:func:`ordering_width`) once per consumer.
 """
 
 from __future__ import annotations
 
+import heapq
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.structure.graph import Graph, Vertex
+
+
+@dataclass
+class EliminationSweep:
+    """The full record of one elimination run.
+
+    Attributes
+    ----------
+    order:
+        The elimination ordering.
+    bags:
+        ``bags[i]`` is the closed neighborhood of ``order[i]`` at its
+        elimination time — exactly the bag the standard ordering-to-
+        decomposition construction assigns to it.
+    width:
+        The width certified by the ordering (``max(len(bag)) - 1``, and
+        ``0`` for the empty graph), equal to ``ordering_width(graph, order)``.
+    """
+
+    order: list[Vertex]
+    bags: list[frozenset]
+    width: int
+
+    def tree_children(self) -> list[list[int]]:
+        """The classic ordering-to-decomposition tree over elimination indices.
+
+        ``result[t]`` lists the children of bag ``t``; the parent of the bag
+        of ``order[i]`` is the bag of its earliest-eliminated remaining
+        neighbor (everything else in ``bags[i]`` is eliminated strictly
+        later), a lone vertex of a disconnected piece hangs off the root
+        (the last bag), and children always carry a smaller index than their
+        parent.
+        """
+        n = len(self.order)
+        children: list[list[int]] = [[] for _ in range(n)]
+        if n == 0:
+            return children
+        position = {v: i for i, v in enumerate(self.order)}
+        root = n - 1
+        for i in range(root):
+            v = self.order[i]
+            later = [position[u] for u in self.bags[i] if u != v]
+            children[min(later) if later else root].append(i)
+        return children
 
 
 def _eliminate(adjacency: dict[Vertex, set[Vertex]], v: Vertex) -> int:
@@ -36,42 +97,140 @@ def ordering_width(graph: Graph, ordering: Sequence[Vertex]) -> int:
     return width
 
 
+def _fill_count(adjacency: list[set[int]], v: int) -> int:
+    """Missing edges among the current neighbors of ``v``."""
+    neighbors = list(adjacency[v])
+    missing = 0
+    for i, a in enumerate(neighbors):
+        adjacent_to_a = adjacency[a]
+        for b in neighbors[i + 1 :]:
+            if b not in adjacent_to_a:
+                missing += 1
+    return missing
+
+
+def _indexed_sweep(graph: Graph, use_fill: bool) -> EliminationSweep:
+    """One heap-driven elimination sweep (min-degree or min-fill).
+
+    Vertices are indexed in stable-key order, so heap entries compare as
+    ``(score..., stable_key)`` — the exact tie-breaking of the seed scans —
+    and stale entries are discarded lazily against the current score arrays.
+    """
+    vertices = sorted(graph.vertices, key=_stable_key)
+    n = len(vertices)
+    index = {v: i for i, v in enumerate(vertices)}
+    adjacency: list[set[int]] = [
+        {index[u] for u in graph.neighbors(v)} for v in vertices
+    ]
+    alive = [True] * n
+    degree = [len(neighbors) for neighbors in adjacency]
+    fill = [_fill_count(adjacency, i) for i in range(n)] if use_fill else []
+
+    if use_fill:
+        heap = [(fill[i], degree[i], i) for i in range(n)]
+    else:
+        heap = [(degree[i], i) for i in range(n)]
+    heapq.heapify(heap)
+
+    order: list[Vertex] = []
+    bags: list[frozenset] = []
+    width = 0
+    for _ in range(n):
+        while True:
+            entry = heapq.heappop(heap)
+            v = entry[-1]
+            if not alive[v]:
+                continue
+            if use_fill:
+                if entry[0] == fill[v] and entry[1] == degree[v]:
+                    break
+            elif entry[0] == degree[v]:
+                break
+        alive[v] = False
+        neighbors = list(adjacency[v])
+        order.append(vertices[v])
+        bags.append(frozenset(vertices[u] for u in neighbors) | {vertices[v]})
+        width = max(width, len(neighbors))
+
+        added: list[tuple[int, int]] = []
+        for u in neighbors:
+            adjacency[u].discard(v)
+        for i, a in enumerate(neighbors):
+            adjacent_to_a = adjacency[a]
+            for b in neighbors[i + 1 :]:
+                if b not in adjacent_to_a:
+                    adjacent_to_a.add(b)
+                    adjacency[b].add(a)
+                    added.append((a, b))
+        adjacency[v] = set()
+
+        if use_fill:
+            # Re-score exactly the vertices whose neighborhood, or whose
+            # neighborhood's internal edges, changed: N(v), plus the common
+            # neighbors of each added fill edge (they see one fewer missing
+            # pair).  Everything else keeps its score, and its heap entries
+            # stay valid.
+            dirty = set(neighbors)
+            for a, b in added:
+                dirty |= adjacency[a] & adjacency[b]
+            for u in dirty:
+                degree[u] = len(adjacency[u])
+                fill[u] = _fill_count(adjacency, u)
+                heapq.heappush(heap, (fill[u], degree[u], u))
+        else:
+            for u in neighbors:
+                degree[u] = len(adjacency[u])
+                heapq.heappush(heap, (degree[u], u))
+    return EliminationSweep(order=order, bags=bags, width=width)
+
+
+def min_degree_sweep(graph: Graph) -> EliminationSweep:
+    """The min-degree elimination sweep (ordering, bags, and width together)."""
+    return _indexed_sweep(graph, use_fill=False)
+
+
+def min_fill_sweep(graph: Graph) -> EliminationSweep:
+    """The min-fill elimination sweep (ordering, bags, and width together)."""
+    return _indexed_sweep(graph, use_fill=True)
+
+
+def best_heuristic_sweep(graph: Graph) -> EliminationSweep:
+    """The better of the min-degree and min-fill sweeps (min-degree on ties)."""
+    candidates = [min_degree_sweep(graph), min_fill_sweep(graph)]
+    return min(candidates, key=lambda sweep: sweep.width)
+
+
 def min_degree_ordering(graph: Graph) -> list[Vertex]:
     """The min-degree heuristic: repeatedly eliminate a vertex of minimum degree."""
-    adjacency = {v: graph.neighbors(v) for v in graph.vertices}
-    ordering: list[Vertex] = []
-    while adjacency:
-        v = min(adjacency, key=lambda u: (len(adjacency[u]), _stable_key(u)))
-        ordering.append(v)
-        _eliminate(adjacency, v)
-    return ordering
+    return min_degree_sweep(graph).order
 
 
 def min_fill_ordering(graph: Graph) -> list[Vertex]:
     """The min-fill heuristic: eliminate the vertex adding fewest fill edges."""
-    adjacency = {v: graph.neighbors(v) for v in graph.vertices}
+    return min_fill_sweep(graph).order
 
-    def fill_in(v: Vertex) -> int:
-        neighbors = list(adjacency[v])
-        missing = 0
-        for i, a in enumerate(neighbors):
-            for b in neighbors[i + 1 :]:
-                if b not in adjacency[a]:
-                    missing += 1
-        return missing
 
-    ordering: list[Vertex] = []
-    while adjacency:
-        v = min(adjacency, key=lambda u: (fill_in(u), len(adjacency[u]), _stable_key(u)))
-        ordering.append(v)
-        _eliminate(adjacency, v)
-    return ordering
+def min_degree_ordering_with_width(graph: Graph) -> tuple[list[Vertex], int]:
+    """The min-degree ordering together with the width it certifies."""
+    sweep = min_degree_sweep(graph)
+    return sweep.order, sweep.width
+
+
+def min_fill_ordering_with_width(graph: Graph) -> tuple[list[Vertex], int]:
+    """The min-fill ordering together with the width it certifies."""
+    sweep = min_fill_sweep(graph)
+    return sweep.order, sweep.width
 
 
 def best_heuristic_ordering(graph: Graph) -> list[Vertex]:
     """The better of the min-degree and min-fill orderings."""
-    candidates = [min_degree_ordering(graph), min_fill_ordering(graph)]
-    return min(candidates, key=lambda order: ordering_width(graph, order))
+    return best_heuristic_sweep(graph).order
+
+
+def best_heuristic_ordering_with_width(graph: Graph) -> tuple[list[Vertex], int]:
+    """The best heuristic ordering together with the width it certifies."""
+    sweep = best_heuristic_sweep(graph)
+    return sweep.order, sweep.width
 
 
 def exists_ordering_of_width(graph: Graph, target: int) -> bool:
@@ -195,8 +354,7 @@ def exact_ordering(graph: Graph) -> list[Vertex]:
     """
     if len(graph) == 0:
         return []
-    heuristic = best_heuristic_ordering(graph)
-    upper = ordering_width(graph, heuristic)
+    _, upper = best_heuristic_ordering_with_width(graph)
     target = upper
     for width in range(0, upper):
         if exists_ordering_of_width(graph, width):

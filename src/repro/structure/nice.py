@@ -113,7 +113,12 @@ class NiceTreeDecomposition:
 
 
 def make_nice(decomposition: TreeDecomposition) -> NiceTreeDecomposition:
-    """Convert a rooted tree decomposition into nice form (same width)."""
+    """Convert a rooted tree decomposition into nice form (same width).
+
+    The conversion walks the binarized tree iteratively (children before
+    parents), so decompositions of arbitrary depth — e.g. from path-shaped
+    instances — convert without touching the interpreter recursion limit.
+    """
     binary = binarize(decomposition)
     nodes: dict[int, NiceNode] = {}
     counter = [0]
@@ -150,21 +155,22 @@ def make_nice(decomposition: TreeDecomposition) -> NiceTreeDecomposition:
             current = emit(NiceNodeKind.INTRODUCE, current_bag, (current,), vertex)
         return current
 
-    def build(node: BagId) -> int:
+    # Reversed pre-order visits every child before its parent.
+    built: dict[BagId, int] = {}
+    for node in reversed(binary.topological_order()):
         bag = binary.bags[node]
         kids = binary.children.get(node, [])
         if not kids:
-            return leaf_chain(bag)
-        if len(kids) == 1:
-            below = build(kids[0])
-            return chain(binary.bags[kids[0]], bag, below)
-        left = chain(binary.bags[kids[0]], bag, build(kids[0]))
-        right = chain(binary.bags[kids[1]], bag, build(kids[1]))
-        return emit(NiceNodeKind.JOIN, bag, (left, right))
+            built[node] = leaf_chain(bag)
+        elif len(kids) == 1:
+            built[node] = chain(binary.bags[kids[0]], bag, built[kids[0]])
+        else:
+            left = chain(binary.bags[kids[0]], bag, built[kids[0]])
+            right = chain(binary.bags[kids[1]], bag, built[kids[1]])
+            built[node] = emit(NiceNodeKind.JOIN, bag, (left, right))
 
-    root = build(binary.root)
     # Forget every vertex of the root bag so the root has an empty bag.
-    root = chain(binary.bags[binary.root], frozenset(), root)
+    root = chain(binary.bags[binary.root], frozenset(), built[binary.root])
     nice = NiceTreeDecomposition(nodes=nodes, root=root)
     nice.validate()
     return nice

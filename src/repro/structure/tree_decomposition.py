@@ -13,12 +13,15 @@ map; they also expose traversals used by the lineage constructions.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Iterable, Iterator, Sequence
 
 from repro.errors import DecompositionError
 from repro.structure.elimination import (
-    best_heuristic_ordering,
+    EliminationSweep,
+    best_heuristic_ordering_with_width,
+    best_heuristic_sweep,
     exact_ordering,
     ordering_width,
 )
@@ -177,49 +180,59 @@ class TreeDecomposition:
         return all(len(kids) <= 1 for kids in self.children.values())
 
 
-def decomposition_from_ordering(graph: Graph, ordering: Sequence[Vertex]) -> TreeDecomposition:
+def decomposition_from_sweep(sweep: EliminationSweep) -> TreeDecomposition:
+    """Build a tree decomposition directly from an elimination sweep.
+
+    The sweep already carries each vertex's bag (closed neighborhood at
+    elimination time), so no elimination replay and no validation pass are
+    needed: the construction is correct by construction.  Bag ids follow the
+    elimination order; the last vertex's bag is the root, and the parent of
+    the bag of ``v`` is the bag of the earliest-eliminated remaining
+    neighbor (standard construction; width equals the sweep width).
+    """
+    order = sweep.order
+    if not order:
+        return TreeDecomposition(bags={0: frozenset()}, children={0: []}, root=0)
+    children = {i: kids for i, kids in enumerate(sweep.tree_children())}
+    bags = {i: sweep.bags[i] for i in range(len(order))}
+    return TreeDecomposition(bags=bags, children=children, root=len(order) - 1)
+
+
+def decomposition_from_ordering(
+    graph: Graph, ordering: Sequence[Vertex], validate: bool = True
+) -> TreeDecomposition:
     """Build a tree decomposition from an elimination ordering.
 
     The bag of vertex ``v`` is ``{v} ∪ N(v)`` at elimination time; the parent
     of the bag of ``v`` is the bag of the earliest-eliminated remaining
     neighbor (standard construction; width equals the ordering width).
+
+    ``validate=False`` skips the final validation pass (quadratic in the
+    instance size); the construction itself is sound for any permutation of
+    the vertices, so validation only guards the ordering contract.
     """
     vertices = list(ordering)
-    if set(vertices) != set(graph.vertices):
+    if set(vertices) != set(graph.vertices) or len(vertices) != len(graph):
         raise DecompositionError("ordering must contain every vertex exactly once")
-    if not vertices:
-        return TreeDecomposition(bags={0: frozenset()}, children={0: []}, root=0)
-
-    position = {v: i for i, v in enumerate(vertices)}
     adjacency = {v: graph.neighbors(v) for v in graph.vertices}
-    bag_of: dict[Vertex, frozenset] = {}
+    bags: list[frozenset] = []
+    width = 0
     for v in vertices:
         neighbors = adjacency.pop(v)
         for u in neighbors:
             adjacency[u].discard(v)
-        bag_of[v] = frozenset({v} | neighbors)
+        bags.append(frozenset({v} | neighbors))
+        width = max(width, len(neighbors))
         neighbor_list = list(neighbors)
         for i, a in enumerate(neighbor_list):
             for b in neighbor_list[i + 1 :]:
                 adjacency[a].add(b)
                 adjacency[b].add(a)
-
-    # Bag ids follow elimination order; the last vertex's bag is the root.
-    ids = {v: i for i, v in enumerate(vertices)}
-    children: dict[BagId, list[BagId]] = {i: [] for i in range(len(vertices))}
-    root = ids[vertices[-1]]
-    for v in vertices[:-1]:
-        later_neighbors = [u for u in bag_of[v] if u != v and position[u] > position[v]]
-        if later_neighbors:
-            parent_vertex = min(later_neighbors, key=lambda u: position[u])
-            children[ids[parent_vertex]].append(ids[v])
-        else:
-            # Disconnected piece: hang it off the root.
-            if ids[v] != root:
-                children[root].append(ids[v])
-    bags = {ids[v]: bag_of[v] for v in vertices}
-    decomposition = TreeDecomposition(bags=bags, children=children, root=root)
-    decomposition.validate(graph)
+    decomposition = decomposition_from_sweep(
+        EliminationSweep(order=vertices, bags=bags, width=width)
+    )
+    if validate:
+        decomposition.validate(graph)
     return decomposition
 
 
@@ -227,27 +240,42 @@ def tree_decomposition(graph: Graph, exact: bool = False) -> TreeDecomposition:
     """A tree decomposition of ``graph`` (heuristic by default, exact if asked)."""
     if len(graph) == 0:
         return TreeDecomposition(bags={0: frozenset()}, children={0: []}, root=0)
-    ordering = exact_ordering(graph) if exact else best_heuristic_ordering(graph)
-    return decomposition_from_ordering(graph, ordering)
+    if exact:
+        return decomposition_from_ordering(graph, exact_ordering(graph))
+    return decomposition_from_sweep(best_heuristic_sweep(graph))
 
 
 def treewidth(graph: Graph, exact: bool = False) -> int:
     """The treewidth of ``graph`` (upper bound unless ``exact=True``)."""
     if len(graph) == 0:
         return -1
-    ordering = exact_ordering(graph) if exact else best_heuristic_ordering(graph)
-    return ordering_width(graph, ordering)
+    if exact:
+        return ordering_width(graph, exact_ordering(graph))
+    _, width = best_heuristic_ordering_with_width(graph)
+    return width
 
 
 def treewidth_lower_bound(graph: Graph) -> int:
     """A cheap treewidth lower bound: the degeneracy of the graph."""
-    adjacency = {v: graph.neighbors(v) for v in graph.vertices}
+    vertices = list(graph.vertices)
+    index = {v: i for i, v in enumerate(vertices)}
+    adjacency = [{index[u] for u in graph.neighbors(v)} for v in vertices]
+    alive = [True] * len(vertices)
+    degree = [len(neighbors) for neighbors in adjacency]
+    heap = [(degree[i], i) for i in range(len(vertices))]
+    heapq.heapify(heap)
     degeneracy = 0
-    while adjacency:
-        v = min(adjacency, key=lambda u: len(adjacency[u]))
-        degeneracy = max(degeneracy, len(adjacency[v]))
-        for u in adjacency.pop(v):
+    for _ in range(len(vertices)):
+        while True:
+            current, v = heapq.heappop(heap)
+            if alive[v] and current == degree[v]:
+                break
+        alive[v] = False
+        degeneracy = max(degeneracy, degree[v])
+        for u in adjacency[v]:
             adjacency[u].discard(v)
+            degree[u] -= 1
+            heapq.heappush(heap, (degree[u], u))
     return degeneracy
 
 
