@@ -7,7 +7,17 @@ PYTHON ?= python
 PYTHONPATH_PREFIX = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 TIER1_WALL_CLOCK ?= 300
 
-.PHONY: test tier1 test-slow test-differential bench-engine bench-parallel bench-compile bench-structure bench
+.PHONY: test tier1 test-slow test-differential analyze typecheck bench-engine bench-parallel bench-compile bench-structure bench
+
+# Static invariant checker (see README "Static invariants"): AST/call-graph
+# rules gating the kernel contracts. Fails on any finding.
+analyze:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.analysis --strict src/repro
+
+# mypy wiring lives in pyproject.toml; strict for the analyzer and the engine,
+# permissive elsewhere. Requires mypy on PATH (CI installs it).
+typecheck:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m mypy src/repro/analysis src/repro/engine
 
 test:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -q

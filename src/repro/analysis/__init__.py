@@ -1,0 +1,42 @@
+"""Static invariant checker for the repro kernels.
+
+The analyzer parses the package (no imports of analyzed code), builds an
+intra-package call graph, and enforces the contracts the kernels rely on but
+nothing previously guarded: iteration-only kernel closures (REC001), exact
+arithmetic on exact routes (EXACT001), picklable pool submissions
+(PICKLE001), process-stable cache keys and orderings (DET001), and slotted
+node dataclasses (SLOTS001).  Configuration lives in ``[tool.repro-analysis]``
+of pyproject.toml; inline escapes use ``# repro-analysis: allow(RULE): why``.
+
+Run it with ``python -m repro.analysis`` or through :func:`analyze`.
+"""
+
+from repro.analysis.config import (
+    AnalysisConfig,
+    config_from_mapping,
+    discover_config,
+    load_config,
+)
+from repro.analysis.engine import AnalysisResult, analyze, analyze_modules
+from repro.analysis.loader import AnalysisLoadError, ModuleInfo, load_paths
+from repro.analysis.registry import AnalysisContext, all_rules, rule_ids
+from repro.analysis.report import Finding, render_json, render_text
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisContext",
+    "AnalysisLoadError",
+    "AnalysisResult",
+    "Finding",
+    "ModuleInfo",
+    "all_rules",
+    "analyze",
+    "analyze_modules",
+    "config_from_mapping",
+    "discover_config",
+    "load_config",
+    "load_paths",
+    "render_json",
+    "render_text",
+    "rule_ids",
+]

@@ -1,0 +1,664 @@
+"""An intra-package call graph built purely from ASTs.
+
+Functions are keyed ``module:Qual.name`` (class nesting with ``.``, function
+nesting with ``.<locals>.``, mirroring ``__qualname__``).  The builder makes
+two passes:
+
+1. **collect** — every function/class definition, per-module symbol tables
+   (top-level defs, ``import``/``from ... import`` bindings), per-class method
+   tables with base-class expressions, and per-function local definitions;
+2. **link** — every ``Call`` inside a function body is resolved to package
+   functions where that is possible *statically*:
+
+   * bare names through the lexical scope chain (enclosing functions, module
+     globals, imports — including one-hop re-exports through ``__init__``);
+   * ``self.m()`` / ``cls.m()`` / ``super().m()`` through the method tables,
+     following base classes across modules;
+   * ``mod.f()`` and dotted chains through imported modules;
+   * ``Class(...)`` to ``__init__`` (plus ``__post_init__`` for dataclasses);
+   * ``obj.m()`` where ``obj`` is a parameter/variable *annotated* with a
+     package class resolves through that class;
+   * as a last resort, ``node.m()`` on a plain local name inside a method of a
+     class that itself defines ``m`` is treated as a same-class call — this is
+     the tree-walker pattern (``child.walk()`` inside ``walk``) that the
+     no-recursion rule exists to catch, and it is the one deliberately
+     *over*-approximating edge kind.
+
+Unresolvable calls (higher-order parameters, dynamic dispatch across
+unrelated classes) contribute no edges: the graph under-approximates, which
+for a lint means missed findings, never false cycles from those sites.
+
+Cycles are found with an iterative Tarjan SCC pass (the analyzer practices
+what it preaches), and reachability queries support skipping *reference
+oracle* modules so allowlisted recursive seeds do not poison kernel closures.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.analysis.loader import ModuleInfo
+
+LOCALS_SEPARATOR = ".<locals>."
+
+
+@dataclass
+class FunctionNode:
+    """One function or method definition."""
+
+    key: str
+    module: str
+    qualname: str
+    name: str
+    lineno: int
+    end_lineno: int
+    ast_node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_key: str | None = None
+    parent_function: str | None = None
+    local_functions: dict[str, str] = field(default_factory=dict)
+    local_classes: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ClassNode:
+    """One class definition with its directly defined methods."""
+
+    key: str
+    module: str
+    qualname: str
+    name: str
+    lineno: int
+    methods: dict[str, str] = field(default_factory=dict)
+    bases: list[ast.expr] = field(default_factory=list)
+    parent_function: str | None = None
+    is_dataclass: bool = False
+
+
+@dataclass
+class ModuleTable:
+    """Top-level symbols of one module."""
+
+    info: ModuleInfo
+    functions: dict[str, str] = field(default_factory=dict)
+    classes: dict[str, str] = field(default_factory=dict)
+    import_modules: dict[str, str] = field(default_factory=dict)
+    import_names: dict[str, tuple[str, str]] = field(default_factory=dict)
+
+
+def _resolve_relative(package: str, level: int, target: str | None) -> str | None:
+    """Absolute module named by a ``from``-import with ``level`` leading dots."""
+    if level == 0:
+        return target
+    parts = package.split(".") if package else []
+    if level - 1 > len(parts):
+        return None
+    base = parts[: len(parts) - (level - 1)]
+    if target:
+        base.extend(target.split("."))
+    return ".".join(base) if base else None
+
+
+class _Collector(ast.NodeVisitor):
+    """Pass 1: definitions and symbol tables for one module."""
+
+    def __init__(self, graph: "CallGraph", module: ModuleInfo) -> None:
+        self.graph = graph
+        self.module = module
+        self.table = ModuleTable(info=module)
+        graph.tables[module.name] = self.table
+        self._qual_stack: list[str] = []
+        self._class_stack: list[ClassNode] = []
+        self._function_stack: list[FunctionNode] = []
+
+    # -- imports -----------------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            self.table.import_modules[bound] = target
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        source = _resolve_relative(self.module.package, node.level, node.module)
+        if source is None:
+            return
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            bound = alias.asname or alias.name
+            self.table.import_names[bound] = (source, alias.name)
+
+    # -- definitions -------------------------------------------------------------
+
+    def _qualname(self, name: str) -> str:
+        return ".".join(self._qual_stack + [name]) if self._qual_stack else name
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        qualname = self._qualname(node.name)
+        key = f"{self.module.name}:{qualname}"
+        class_node = ClassNode(
+            key=key,
+            module=self.module.name,
+            qualname=qualname,
+            name=node.name,
+            lineno=node.lineno,
+            bases=list(node.bases),
+            parent_function=self._function_stack[-1].key if self._function_stack else None,
+            is_dataclass=any(_is_dataclass_decorator(d) for d in node.decorator_list),
+        )
+        self.graph.classes[key] = class_node
+        if self._function_stack:
+            self._function_stack[-1].local_classes[node.name] = key
+        elif not self._class_stack:
+            self.table.classes[node.name] = key
+        self._qual_stack.append(node.name)
+        self._class_stack.append(class_node)
+        for statement in node.body:
+            self.visit(statement)
+        self._class_stack.pop()
+        self._qual_stack.pop()
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        qualname = self._qualname(node.name)
+        key = f"{self.module.name}:{qualname}"
+        function = FunctionNode(
+            key=key,
+            module=self.module.name,
+            qualname=qualname,
+            name=node.name,
+            lineno=node.lineno,
+            end_lineno=node.end_lineno or node.lineno,
+            ast_node=node,
+            class_key=self._class_stack[-1].key if self._class_stack else None,
+            parent_function=self._function_stack[-1].key if self._function_stack else None,
+        )
+        self.graph.functions[key] = function
+        if self._function_stack:
+            self._function_stack[-1].local_functions[node.name] = key
+        elif self._class_stack:
+            self._class_stack[-1].methods[node.name] = key
+        else:
+            self.table.functions[node.name] = key
+        self._qual_stack.extend((node.name, "<locals>"))
+        self._function_stack.append(function)
+        # Functions open a new class-free scope for their nested definitions:
+        # a class defined inside a method is a local class, not a sibling
+        # method, and its methods must not resolve 'self' against the outer
+        # class.
+        saved_classes = self._class_stack
+        self._class_stack = []
+        for statement in node.body:
+            self.visit(statement)
+        self._class_stack = saved_classes
+        self._function_stack.pop()
+        del self._qual_stack[-2:]
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+
+def _is_dataclass_decorator(decorator: ast.expr) -> bool:
+    target = decorator.func if isinstance(decorator, ast.Call) else decorator
+    if isinstance(target, ast.Name):
+        return target.id == "dataclass"
+    if isinstance(target, ast.Attribute):
+        return target.attr == "dataclass"
+    return False
+
+
+class CallGraph:
+    """The package call graph over a set of loaded modules."""
+
+    def __init__(self, modules: Iterable[ModuleInfo]) -> None:
+        self.modules: list[ModuleInfo] = list(modules)
+        self.functions: dict[str, FunctionNode] = {}
+        self.classes: dict[str, ClassNode] = {}
+        self.tables: dict[str, ModuleTable] = {}
+        self.edges: dict[str, set[str]] = {}
+        self._families: dict[str, int] | None = None
+        for module in self.modules:
+            _Collector(self, module).visit(module.tree)
+        for function in list(self.functions.values()):
+            self.edges[function.key] = self._link_function(function)
+
+    # -- symbol resolution -------------------------------------------------------
+
+    def _resolve_exported(
+        self, module: str, attr: str, depth: int = 0
+    ) -> tuple[str, str] | None:
+        """Resolve ``module.attr`` to ('func'|'class'|'module', key)."""
+        if depth > 8:
+            return None
+        table = self.tables.get(module)
+        if table is not None:
+            if attr in table.functions:
+                return ("func", table.functions[attr])
+            if attr in table.classes:
+                return ("class", table.classes[attr])
+            if attr in table.import_names:
+                source, original = table.import_names[attr]
+                resolved = self._resolve_exported(source, original, depth + 1)
+                if resolved is not None:
+                    return resolved
+                if f"{source}.{original}" in self.tables:
+                    return ("module", f"{source}.{original}")
+                return None
+            if attr in table.import_modules:
+                return ("module", table.import_modules[attr])
+        if f"{module}.{attr}" in self.tables:
+            return ("module", f"{module}.{attr}")
+        return None
+
+    def _scope_chain(self, function: FunctionNode) -> Iterator[FunctionNode]:
+        current: FunctionNode | None = function
+        while current is not None:
+            yield current
+            current = (
+                self.functions.get(current.parent_function)
+                if current.parent_function
+                else None
+            )
+
+    def _resolve_name(
+        self, module: str, scope: FunctionNode | None, name: str
+    ) -> tuple[str, str] | None:
+        if scope is not None:
+            for frame in self._scope_chain(scope):
+                if name in frame.local_functions:
+                    return ("func", frame.local_functions[name])
+                if name in frame.local_classes:
+                    return ("class", frame.local_classes[name])
+        return self._resolve_exported(module, name)
+
+    def _method_in_hierarchy(
+        self, class_key: str, method: str, depth: int = 0
+    ) -> str | None:
+        if depth > 8:
+            return None
+        class_node = self.classes.get(class_key)
+        if class_node is None:
+            return None
+        if method in class_node.methods:
+            return class_node.methods[method]
+        for base in class_node.bases:
+            base_key = self._resolve_class_expr(class_node.module, base)
+            if base_key is not None:
+                found = self._method_in_hierarchy(base_key, method, depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+    def _method_confined_to_family(self, class_key: str, method: str) -> bool:
+        """True when every class defining ``method`` shares a base-connected
+        family with ``class_key`` — the guard keeping the same-class heuristic
+        from inventing edges across unrelated classes that happen to share a
+        method name."""
+        families = self._class_families()
+        family = families.get(class_key)
+        if family is None:
+            return False
+        for other_key, other in self.classes.items():
+            if method in other.methods and families.get(other_key) != family:
+                return False
+        return True
+
+    def _class_families(self) -> dict[str, int]:
+        """Connected components of the undirected class/base-class graph."""
+        if self._families is None:
+            parent: dict[str, str] = {key: key for key in self.classes}
+
+            def find(key: str) -> str:
+                root = key
+                while parent[root] != root:
+                    root = parent[root]
+                while parent[key] != root:
+                    parent[key], key = root, parent[key]
+                return root
+
+            for key, class_node in self.classes.items():
+                for base in class_node.bases:
+                    base_key = self._resolve_class_expr(class_node.module, base)
+                    if base_key is not None and base_key in parent:
+                        parent[find(key)] = find(base_key)
+            roots: dict[str, int] = {}
+            families: dict[str, int] = {}
+            for key in self.classes:
+                root = find(key)
+                families[key] = roots.setdefault(root, len(roots))
+            self._families = families
+        return self._families
+
+    def _resolve_class_expr(self, module: str, expr: ast.expr) -> str | None:
+        if isinstance(expr, ast.Name):
+            resolved = self._resolve_exported(module, expr.id)
+            if resolved is not None and resolved[0] == "class":
+                return resolved[1]
+            return None
+        if isinstance(expr, ast.Attribute):
+            dotted = _flatten_attribute(expr)
+            if dotted is None:
+                return None
+            return self._resolve_dotted_class(module, dotted)
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+            # String annotation: "ClassName" or "pkg.mod.ClassName".
+            text = expr.value.strip()
+            if "." in text:
+                return self._resolve_dotted_class(module, text.split("."))
+            resolved = self._resolve_exported(module, text)
+            if resolved is not None and resolved[0] == "class":
+                return resolved[1]
+            return None
+        if isinstance(expr, ast.Subscript):
+            # Optional[C], list[C] — look at the first usable inner name.
+            return self._resolve_class_expr(module, expr.slice)
+        return None
+
+    def _resolve_dotted_class(self, module: str, dotted: list[str]) -> str | None:
+        kind_key = self._resolve_dotted(module, dotted)
+        if kind_key is not None and kind_key[0] == "class":
+            return kind_key[1]
+        return None
+
+    def _resolve_dotted(
+        self, module: str, dotted: list[str]
+    ) -> tuple[str, str] | None:
+        """Resolve a dotted chain rooted at a module-level name."""
+        if not dotted:
+            return None
+        current = self._resolve_exported(module, dotted[0])
+        if current is None:
+            # The chain may spell an absolute module path (import a.b.c).
+            for split in range(len(dotted), 1, -1):
+                candidate = ".".join(dotted[:split])
+                if candidate in self.tables:
+                    current = ("module", candidate)
+                    dotted = [candidate] + dotted[split:]
+                    break
+            else:
+                return None
+            remainder = dotted[1:]
+        else:
+            remainder = dotted[1:]
+        for attr in remainder:
+            kind, key = current
+            if kind == "module":
+                nxt = self._resolve_exported(key, attr)
+                if nxt is None:
+                    return None
+                current = nxt
+            elif kind == "class":
+                method = self._method_in_hierarchy(key, attr)
+                if method is None:
+                    return None
+                current = ("func", method)
+            else:
+                return None
+        return current
+
+    def _constructor_targets(self, class_key: str) -> list[str]:
+        targets = []
+        init = self._method_in_hierarchy(class_key, "__init__")
+        if init is not None:
+            targets.append(init)
+        class_node = self.classes.get(class_key)
+        if class_node is not None and class_node.is_dataclass and init is None:
+            post_init = self._method_in_hierarchy(class_key, "__post_init__")
+            if post_init is not None:
+                targets.append(post_init)
+        return targets
+
+    # -- pass 2: linking -----------------------------------------------------------
+
+    def _link_function(self, function: FunctionNode) -> set[str]:
+        annotations = self._annotation_types(function)
+        targets: set[str] = set()
+        for call in _calls_in_body(function.ast_node):
+            for key in self._resolve_call(function, call, annotations):
+                if key in self.functions:
+                    targets.add(key)
+        return targets
+
+    def _annotation_types(self, function: FunctionNode) -> dict[str, str]:
+        """Parameter/variable names annotated with a resolvable package class."""
+        types: dict[str, str] = {}
+        arguments = function.ast_node.args
+        all_args = [
+            *arguments.posonlyargs,
+            *arguments.args,
+            *arguments.kwonlyargs,
+        ]
+        for argument in all_args:
+            if argument.annotation is not None:
+                resolved = self._resolve_class_expr(function.module, argument.annotation)
+                if resolved is not None:
+                    types[argument.arg] = resolved
+        for statement in _statements_in_body(function.ast_node):
+            if isinstance(statement, ast.AnnAssign) and isinstance(
+                statement.target, ast.Name
+            ):
+                resolved = self._resolve_class_expr(function.module, statement.annotation)
+                if resolved is not None:
+                    types[statement.target.id] = resolved
+        return types
+
+    def _resolve_call(
+        self,
+        function: FunctionNode,
+        call: ast.Call,
+        annotations: dict[str, str],
+    ) -> list[str]:
+        func = call.func
+        module = function.module
+        if isinstance(func, ast.Name):
+            resolved = self._resolve_name(module, function, func.id)
+            if resolved is None:
+                return []
+            kind, key = resolved
+            if kind == "func":
+                return [key]
+            if kind == "class":
+                return self._constructor_targets(key)
+            return []
+        if isinstance(func, ast.Attribute):
+            method = func.attr
+            value = func.value
+            # super().m()
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id == "super"
+                and function.class_key is not None
+            ):
+                class_node = self.classes.get(function.class_key)
+                if class_node is None:
+                    return []
+                for base in class_node.bases:
+                    base_key = self._resolve_class_expr(class_node.module, base)
+                    if base_key is not None:
+                        found = self._method_in_hierarchy(base_key, method)
+                        if found is not None:
+                            return [found]
+                return []
+            if isinstance(value, ast.Name):
+                receiver = value.id
+                if receiver in ("self", "cls") and function.class_key is not None:
+                    found = self._method_in_hierarchy(function.class_key, method)
+                    return [found] if found is not None else []
+                if receiver in annotations:
+                    found = self._method_in_hierarchy(annotations[receiver], method)
+                    return [found] if found is not None else []
+                resolved = self._resolve_name(module, function, receiver)
+                if resolved is not None:
+                    kind, key = resolved
+                    if kind == "module":
+                        exported = self._resolve_exported(key, method)
+                        if exported is None:
+                            return []
+                        if exported[0] == "func":
+                            return [exported[1]]
+                        if exported[0] == "class":
+                            return self._constructor_targets(exported[1])
+                        return []
+                    if kind == "class":
+                        found = self._method_in_hierarchy(key, method)
+                        return [found] if found is not None else []
+                    return []
+                return self._same_class_heuristic(function, method)
+            if isinstance(value, ast.Attribute):
+                dotted = _flatten_attribute(func)
+                if dotted is not None:
+                    resolved_chain = self._resolve_dotted(module, dotted)
+                    if resolved_chain is not None:
+                        kind, key = resolved_chain
+                        if kind == "func":
+                            return [key]
+                        if kind == "class":
+                            return self._constructor_targets(key)
+                return self._same_class_heuristic(function, method)
+            # Subscript/call/other receivers ('self.children[0]._evaluate()'):
+            # the receiver expression is opaque, so fall back to the
+            # same-class heuristic below.
+            return self._same_class_heuristic(function, method)
+        return []
+
+    def _same_class_heuristic(
+        self, function: FunctionNode, method: str
+    ) -> list[str]:
+        # Same-class heuristic: 'child.walk()' inside a method of a class
+        # defining 'walk' is taken as potential recursion — but only when no
+        # *unrelated* class defines the same method, so 'a.variables()' over
+        # atoms inside Query.variables() does not become a false self-edge.
+        if function.class_key is not None:
+            found = self._method_in_hierarchy(function.class_key, method)
+            if found is not None and self._method_confined_to_family(
+                function.class_key, method
+            ):
+                return [found]
+        return []
+
+    # -- cycles and reachability -----------------------------------------------------
+
+    def strongly_connected_components(self) -> list[list[str]]:
+        """Iterative Tarjan over the function graph (deterministic order)."""
+        index: dict[str, int] = {}
+        lowlink: dict[str, int] = {}
+        on_stack: set[str] = set()
+        scc_stack: list[str] = []
+        components: list[list[str]] = []
+
+        for root in sorted(self.functions):
+            if root in index:
+                continue
+            index[root] = lowlink[root] = len(index)
+            scc_stack.append(root)
+            on_stack.add(root)
+            work: list[tuple[str, Iterator[str]]] = [
+                (root, iter(sorted(self.edges.get(root, ()))))
+            ]
+            while work:
+                vertex, successors = work[-1]
+                pushed = False
+                for successor in successors:
+                    if successor not in index:
+                        index[successor] = lowlink[successor] = len(index)
+                        scc_stack.append(successor)
+                        on_stack.add(successor)
+                        work.append(
+                            (successor, iter(sorted(self.edges.get(successor, ()))))
+                        )
+                        pushed = True
+                        break
+                    if successor in on_stack:
+                        lowlink[vertex] = min(lowlink[vertex], index[successor])
+                if pushed:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[vertex])
+                if lowlink[vertex] == index[vertex]:
+                    component: list[str] = []
+                    while True:
+                        member = scc_stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == vertex:
+                            break
+                    components.append(sorted(component))
+        return components
+
+    def recursive_components(self) -> dict[str, tuple[str, ...]]:
+        """Function key -> its cycle members, for every function on a cycle."""
+        result: dict[str, tuple[str, ...]] = {}
+        for component in self.strongly_connected_components():
+            if len(component) > 1 or component[0] in self.edges.get(component[0], ()):
+                members = tuple(component)
+                for key in component:
+                    result[key] = members
+        return result
+
+    def reachable_from(
+        self,
+        roots: Iterable[str],
+        skip_module: Callable[[str], bool] | None = None,
+    ) -> set[str]:
+        """All functions reachable from ``roots`` without expanding skipped modules."""
+        seen: set[str] = set()
+        stack = [root for root in roots if root in self.functions]
+        while stack:
+            key = stack.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            function = self.functions[key]
+            if skip_module is not None and skip_module(function.module):
+                continue
+            stack.extend(self.edges.get(key, ()))
+        return seen
+
+
+def _flatten_attribute(expr: ast.Attribute) -> list[str] | None:
+    parts: list[str] = []
+    current: ast.expr = expr
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return list(reversed(parts))
+    return None
+
+
+def _statements_in_body(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.stmt]:
+    """Statements of a function body, not descending into nested defs/classes."""
+    stack: list[ast.stmt] = list(node.body)
+    while stack:
+        statement = stack.pop()
+        yield statement
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        stack.extend(
+            child
+            for child in ast.iter_child_nodes(statement)
+            if isinstance(child, ast.stmt)
+        )
+
+
+def _calls_in_body(node: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterator[ast.Call]:
+    """Every Call in the function's own body (nested defs belong to themselves;
+    lambdas and comprehensions belong to the enclosing function)."""
+    stack: list[ast.AST] = list(node.body)
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if isinstance(current, ast.Call):
+            yield current
+        stack.extend(ast.iter_child_nodes(current))

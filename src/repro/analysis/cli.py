@@ -1,0 +1,132 @@
+"""Command line front-end: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 when no findings survive, 1 when findings remain (always, not
+only under ``--strict``; ``--strict`` additionally fails on *suppressed*
+findings whose rules were explicitly selected away), 2 on usage or load
+errors.  ``--format json`` emits a machine-readable report for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.config import AnalysisConfig, discover_config, load_config
+from repro.analysis.engine import analyze
+from repro.analysis.loader import AnalysisLoadError
+from repro.analysis.registry import all_rules
+from repro.analysis.report import render_json, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "AST/call-graph invariant checker for the repro kernels: "
+            "no recursion in kernel closures, exact routes stay exact, "
+            "pool submissions pickle, cache keys are process-stable, "
+            "node dataclasses are slotted."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="package directories or files to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--config",
+        type=Path,
+        default=None,
+        help="pyproject.toml to read [tool.repro-analysis] from "
+        "(default: nearest pyproject.toml above the first path)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        default=None,
+        help="run only the named rule (repeatable, e.g. --select REC001)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail (exit 1) even when the only findings are suppressed "
+        "suppression-hygiene problems",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print findings silenced by inline suppressions",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.title}")
+            print(f"    {rule.description}")
+        return 0
+
+    config: AnalysisConfig | None = None
+    try:
+        if options.config is not None:
+            config = load_config(options.config)
+        else:
+            config = discover_config(options.paths)
+        result = analyze(options.paths, config=config, select=options.select)
+    except AnalysisLoadError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if options.format == "json":
+        print(
+            render_json(
+                result.findings,
+                modules_analyzed=result.modules_analyzed,
+                suppressed=len(result.suppressed),
+            )
+        )
+    else:
+        print(
+            render_text(
+                result.findings,
+                modules_analyzed=result.modules_analyzed,
+                suppressed=len(result.suppressed),
+            )
+        )
+        if options.show_suppressed and result.suppressed:
+            print()
+            for finding in result.suppressed:
+                print(f"suppressed: {finding.location()}: {finding.rule} {finding.message}")
+
+    if result.findings:
+        return 1
+    if options.strict and not result.rules_run:
+        print("error: no rules selected", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,160 @@
+"""Analyzer configuration: the ``[tool.repro-analysis]`` table of pyproject.toml.
+
+The configuration declares the project-specific facts the rules cannot infer:
+which modules are *kernels* (whose call closure must stay iterative), which
+modules are *reference oracles* (seed algorithms deliberately kept recursive
+and repr-ordered for differential testing), which functions form the *exact*
+probability routes, and per-rule options.  Per-module overrides can disable
+individual rules for matching modules.
+
+Layout::
+
+    [tool.repro-analysis]
+    package = "repro"
+    kernel-modules = ["repro.booleans.obdd", ...]
+    reference-modules = ["repro.*.reference"]
+    disable = []                       # globally disabled rule ids
+
+    [tool.repro-analysis.per-module."repro.experiments.*"]
+    disable = ["DET001"]
+
+    [tool.repro-analysis.rules.REC001]
+    root-modules = [...]               # defaults to kernel-modules
+
+Keys are spelled with hyphens in TOML and normalized to underscores here.
+Patterns are ``fnmatch`` globs over dotted module names (or
+``module:Qual.name`` function keys where a rule documents that).
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+
+class AnalysisConfigError(Exception):
+    """The configuration file is malformed."""
+
+
+TOOL_TABLE = "repro-analysis"
+
+
+def _normalize(mapping: Mapping[str, Any]) -> dict[str, Any]:
+    """Recursively turn hyphenated TOML keys into python identifiers."""
+    result: dict[str, Any] = {}
+    for key, value in mapping.items():
+        normalized = key.replace("-", "_")
+        if isinstance(value, Mapping):
+            result[normalized] = _normalize(value)
+        else:
+            result[normalized] = value
+    return result
+
+
+def matches_any(name: str, patterns: Iterable[str]) -> bool:
+    return any(fnmatchcase(name, pattern) for pattern in patterns)
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """The resolved analyzer configuration."""
+
+    package: str | None = None
+    kernel_modules: tuple[str, ...] = ()
+    reference_modules: tuple[str, ...] = ("*.reference",)
+    disabled_rules: frozenset[str] = frozenset()
+    per_module: tuple[tuple[str, frozenset[str]], ...] = ()
+    rules: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+    source: Path | None = None
+
+    # -- queries -----------------------------------------------------------------
+
+    def options_for(self, rule_id: str) -> Mapping[str, Any]:
+        return self.rules.get(rule_id.upper(), {})
+
+    def is_reference_module(self, module: str) -> bool:
+        return matches_any(module, self.reference_modules)
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        return rule_id.upper() not in self.disabled_rules
+
+    def rule_disabled_for(self, rule_id: str, module: str) -> bool:
+        """Per-module override: is ``rule_id`` disabled for ``module``?"""
+        wanted = rule_id.upper()
+        for pattern, disabled in self.per_module:
+            if wanted in disabled and fnmatchcase(module, pattern):
+                return True
+        return False
+
+
+def config_from_mapping(
+    table: Mapping[str, Any], source: Path | None = None
+) -> AnalysisConfig:
+    data = _normalize(table)
+    per_module_raw = data.get("per_module", {})
+    if not isinstance(per_module_raw, Mapping):
+        raise AnalysisConfigError("per-module must be a table of module patterns")
+    per_module: list[tuple[str, frozenset[str]]] = []
+    for pattern, override in per_module_raw.items():
+        if not isinstance(override, Mapping):
+            raise AnalysisConfigError(f"per-module entry {pattern!r} must be a table")
+        disabled = frozenset(str(r).upper() for r in override.get("disable", ()))
+        # The pattern itself was normalized along with the keys; undo that,
+        # module patterns legitimately never contain hyphens anyway.
+        per_module.append((pattern, disabled))
+    rules_raw = data.get("rules", {})
+    if not isinstance(rules_raw, Mapping):
+        raise AnalysisConfigError("rules must be a table keyed by rule id")
+    rules = {str(rule_id).upper(): dict(options) for rule_id, options in rules_raw.items()}
+    return AnalysisConfig(
+        package=data.get("package"),
+        kernel_modules=tuple(data.get("kernel_modules", ())),
+        reference_modules=tuple(data.get("reference_modules", ("*.reference",))),
+        disabled_rules=frozenset(str(r).upper() for r in data.get("disable", ())),
+        per_module=tuple(per_module),
+        rules=rules,
+        source=source,
+    )
+
+
+def load_config(pyproject: Path) -> AnalysisConfig:
+    """Read ``[tool.repro-analysis]`` from a pyproject.toml file."""
+    try:
+        with pyproject.open("rb") as handle:
+            document = tomllib.load(handle)
+    except OSError as error:
+        raise AnalysisConfigError(f"cannot read {pyproject}: {error}") from error
+    except tomllib.TOMLDecodeError as error:
+        raise AnalysisConfigError(f"cannot parse {pyproject}: {error}") from error
+    tool = document.get("tool", {})
+    table = tool.get(TOOL_TABLE, {}) if isinstance(tool, Mapping) else {}
+    if not isinstance(table, Mapping):
+        raise AnalysisConfigError(f"[tool.{TOOL_TABLE}] must be a table")
+    return config_from_mapping(table, source=pyproject)
+
+
+def find_pyproject(start: Path) -> Path | None:
+    """The nearest pyproject.toml at or above ``start``."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    while True:
+        candidate = current / "pyproject.toml"
+        if candidate.exists():
+            return candidate
+        if current.parent == current:
+            return None
+        current = current.parent
+
+
+def discover_config(paths: Iterable[Path | str]) -> AnalysisConfig:
+    """Load the config governing the first analyzed path (defaults if none)."""
+    for raw in paths:
+        pyproject = find_pyproject(Path(raw))
+        if pyproject is not None:
+            return load_config(pyproject)
+        break
+    return AnalysisConfig()

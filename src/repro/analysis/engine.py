@@ -1,0 +1,90 @@
+"""Orchestration: load modules, run rules, apply config and suppressions.
+
+:func:`analyze` is the single entry point used by the CLI and the test suite:
+it loads the requested paths, builds one :class:`AnalysisContext` (the call
+graph inside it is built lazily and shared by every rule that asks for it),
+runs each enabled rule, drops findings disabled by per-module config or
+covered by a justified inline suppression, and appends the ``SUP001``
+meta-findings for suppressions that carry no justification (those are not
+themselves suppressible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.config import AnalysisConfig, discover_config
+from repro.analysis.loader import ModuleInfo, load_paths
+from repro.analysis.registry import AnalysisContext, Rule, all_rules
+from repro.analysis.report import Finding, sort_findings
+from repro.analysis.suppressions import SuppressionIndex
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """The outcome of one analyzer run."""
+
+    findings: tuple[Finding, ...]
+    suppressed: tuple[Finding, ...]
+    modules_analyzed: int
+    rules_run: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def analyze(
+    paths: Sequence[Path | str],
+    config: AnalysisConfig | None = None,
+    rules: Sequence[Rule] | None = None,
+    select: Sequence[str] | None = None,
+) -> AnalysisResult:
+    """Run the analyzer over ``paths`` and return every surviving finding.
+
+    ``config`` defaults to the ``[tool.repro-analysis]`` table of the nearest
+    pyproject.toml above the first path; ``select`` restricts the run to the
+    named rule ids (the ``SUP001`` suppression check always runs).
+    """
+    if config is None:
+        config = discover_config(paths)
+    modules = load_paths(paths)
+    return analyze_modules(modules, config, rules=rules, select=select)
+
+
+def analyze_modules(
+    modules: list[ModuleInfo],
+    config: AnalysisConfig,
+    rules: Sequence[Rule] | None = None,
+    select: Sequence[str] | None = None,
+) -> AnalysisResult:
+    context = AnalysisContext(modules=modules, config=config)
+    active = list(rules) if rules is not None else all_rules()
+    if select is not None:
+        wanted = {rule_id.upper() for rule_id in select}
+        active = [rule for rule in active if rule.id in wanted]
+    active = [rule for rule in active if config.rule_enabled(rule.id)]
+
+    suppressions = SuppressionIndex()
+    for module in modules:
+        suppressions.add_module(module)
+
+    kept: list[Finding] = []
+    dropped: list[Finding] = []
+    for rule in active:
+        for finding in rule.check(context):
+            if config.rule_disabled_for(finding.rule, finding.module):
+                continue
+            if suppressions.is_suppressed(finding):
+                dropped.append(finding)
+            else:
+                kept.append(finding)
+    kept.extend(suppressions.problems())
+    return AnalysisResult(
+        findings=tuple(sort_findings(kept)),
+        suppressed=tuple(sort_findings(dropped)),
+        modules_analyzed=len(modules),
+        rules_run=tuple(rule.id for rule in active),
+    )

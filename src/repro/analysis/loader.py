@@ -1,0 +1,101 @@
+"""Module discovery and AST loading.
+
+The analyzer works on a *package tree on disk* (it never imports the code it
+checks, so a broken or import-cycling module can still be analyzed).  Given
+paths — package directories or single files — the loader finds every ``*.py``
+file, derives the dotted module name by walking up through ``__init__.py``
+markers, and parses each file once into a shared :class:`ModuleInfo` that the
+call-graph builder and every rule consume.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+
+class AnalysisLoadError(Exception):
+    """A file could not be read or parsed."""
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One parsed source module."""
+
+    name: str
+    path: Path
+    source: str
+    tree: ast.Module
+    lines: tuple[str, ...]
+    is_package: bool
+
+    @property
+    def package(self) -> str:
+        """The package this module's relative imports resolve against."""
+        if self.is_package:
+            return self.name
+        head, _, _ = self.name.rpartition(".")
+        return head
+
+
+def package_root(directory: Path) -> Path:
+    """The directory *containing* the topmost package around ``directory``."""
+    current = directory.resolve()
+    while (current / "__init__.py").exists() and current.parent != current:
+        current = current.parent
+    return current
+
+
+def module_name_for(py_file: Path, root: Path) -> str:
+    relative = py_file.resolve().relative_to(root).with_suffix("")
+    parts = list(relative.parts)
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    if not parts:
+        raise AnalysisLoadError(f"cannot derive a module name for {py_file}")
+    return ".".join(parts)
+
+
+def load_file(py_file: Path, root: Path | None = None) -> ModuleInfo:
+    if root is None:
+        root = package_root(py_file.parent)
+    try:
+        source = py_file.read_text(encoding="utf-8")
+    except OSError as error:
+        raise AnalysisLoadError(f"cannot read {py_file}: {error}") from error
+    try:
+        tree = ast.parse(source, filename=str(py_file))
+    except SyntaxError as error:
+        raise AnalysisLoadError(f"cannot parse {py_file}: {error}") from error
+    return ModuleInfo(
+        name=module_name_for(py_file, root),
+        path=py_file.resolve(),
+        source=source,
+        tree=tree,
+        lines=tuple(source.splitlines()),
+        is_package=py_file.name == "__init__.py",
+    )
+
+
+def iter_python_files(path: Path) -> Iterable[Path]:
+    if path.is_file():
+        if path.suffix == ".py":
+            yield path
+        return
+    yield from sorted(path.rglob("*.py"))
+
+
+def load_paths(paths: Sequence[Path | str]) -> list[ModuleInfo]:
+    """Load every module under ``paths``, de-duplicated, in a stable order."""
+    modules: dict[Path, ModuleInfo] = {}
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise AnalysisLoadError(f"no such file or directory: {path}")
+        for py_file in iter_python_files(path):
+            resolved = py_file.resolve()
+            if resolved not in modules:
+                modules[resolved] = load_file(resolved)
+    return sorted(modules.values(), key=lambda m: m.name)

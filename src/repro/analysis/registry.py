@@ -1,0 +1,107 @@
+"""The rule registry and the context rules run against.
+
+A rule is a class with a stable upper-case ``id``, a one-line ``title``, and a
+``check(context)`` method yielding :class:`~repro.analysis.report.Finding`s.
+Rules register themselves with the :func:`register` decorator at import time;
+:func:`all_rules` imports the bundled rule package and returns one instance of
+each, sorted by id, so the CLI, the engine, and the tests all see the same
+inventory.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Protocol
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.loader import ModuleInfo
+from repro.analysis.report import Finding
+
+if TYPE_CHECKING:
+    from repro.analysis.callgraph import CallGraph
+
+
+@dataclass
+class AnalysisContext:
+    """Everything a rule may consult: modules, config, and the call graph."""
+
+    modules: list[ModuleInfo]
+    config: AnalysisConfig
+    _callgraph: "CallGraph | None" = field(default=None, repr=False)
+
+    @property
+    def callgraph(self) -> "CallGraph":
+        if self._callgraph is None:
+            from repro.analysis.callgraph import CallGraph
+
+            self._callgraph = CallGraph(self.modules)
+        return self._callgraph
+
+    def options_for(self, rule_id: str) -> Mapping[str, Any]:
+        return self.config.options_for(rule_id)
+
+    def production_modules(self) -> list[ModuleInfo]:
+        """Modules that are not reference oracles."""
+        return [
+            module
+            for module in self.modules
+            if not self.config.is_reference_module(module.name)
+        ]
+
+    def finding(
+        self,
+        rule_id: str,
+        module: ModuleInfo,
+        node: ast.AST | None,
+        message: str,
+        symbol: str = "",
+        line: int | None = None,
+    ) -> Finding:
+        anchor_line = line if line is not None else getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0) + 1 if node is not None else 1
+        return Finding(
+            rule=rule_id,
+            message=message,
+            path=str(module.path),
+            line=anchor_line,
+            column=column,
+            module=module.name,
+            symbol=symbol,
+        )
+
+
+class Rule(Protocol):
+    """The interface every analysis rule implements."""
+
+    id: str
+    title: str
+    description: str
+
+    def check(self, context: AnalysisContext) -> Iterable[Finding]: ...
+
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register(rule_class: type) -> type:
+    rule_id = getattr(rule_class, "id", None)
+    if not isinstance(rule_id, str) or not rule_id:
+        raise ValueError(f"rule class {rule_class.__name__} has no id")
+    if rule_id in _REGISTRY and _REGISTRY[rule_id] is not rule_class:
+        raise ValueError(f"duplicate rule id {rule_id}")
+    _REGISTRY[rule_id] = rule_class
+    return rule_class
+
+
+def all_rules() -> list[Rule]:
+    """One instance of every registered rule, importing the bundled set."""
+    import repro.analysis.rules  # noqa: F401  (registers on import)
+
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def rule_ids() -> list[str]:
+    import repro.analysis.rules  # noqa: F401
+
+    return sorted(_REGISTRY)

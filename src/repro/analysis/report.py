@@ -1,0 +1,58 @@
+"""Findings and report rendering for the static analyzer.
+
+A :class:`Finding` is one rule violation anchored at an exact file/line; the
+two renderers produce the ``--format text`` (one ``path:line:col: RULE
+message`` per finding, compiler style, so editors and CI annotations can jump
+to the site) and ``--format json`` (a stable machine-readable document the CI
+job archives) outputs of ``python -m repro.analysis``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at an exact source location."""
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    column: int
+    module: str
+    symbol: str = ""
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}"
+
+
+def sort_findings(findings: Sequence[Finding]) -> list[Finding]:
+    """Deterministic report order: by file, then line, then rule id."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.column, f.rule, f.message))
+
+
+def render_text(
+    findings: Sequence[Finding], *, modules_analyzed: int, suppressed: int
+) -> str:
+    lines = [f"{f.location()}: {f.rule} {f.message}" for f in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(
+        f"{len(findings)} {noun} across {modules_analyzed} modules"
+        f" ({suppressed} suppressed)."
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding], *, modules_analyzed: int, suppressed: int
+) -> str:
+    document = {
+        "findings": [asdict(f) for f in findings],
+        "modules_analyzed": modules_analyzed,
+        "suppressed": suppressed,
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

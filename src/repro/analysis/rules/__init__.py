@@ -1,0 +1,20 @@
+"""The bundled rule set.
+
+Importing this package registers every rule with the registry; each rule is
+grounded in a bug class this repository has actually shipped and fixed (see
+the module docstrings and README's "Static invariants" section).
+"""
+
+from repro.analysis.rules.rec001 import NoRecursionRule
+from repro.analysis.rules.exact001 import ExactnessPurityRule
+from repro.analysis.rules.pickle001 import ForkSafetyRule
+from repro.analysis.rules.det001 import DeterministicKeysRule
+from repro.analysis.rules.slots001 import SlottedNodesRule
+
+__all__ = [
+    "NoRecursionRule",
+    "ExactnessPurityRule",
+    "ForkSafetyRule",
+    "DeterministicKeysRule",
+    "SlottedNodesRule",
+]

@@ -1,0 +1,240 @@
+"""DET001 — cache keys and orderings must be deterministic across processes.
+
+Bug class: the sharded evaluation engine (PR 3) compares fingerprints and
+merges caches computed in different worker processes.  ``repr`` of objects
+without a ``__repr__`` embeds the object's memory address, ``id(...)`` *is*
+the memory address, and iterating a ``set`` is hash-seed dependent — all three
+produce values that differ between processes and between runs, so a cache key
+or sort order built from them is silently nondeterministic.
+
+The rule flags, in non-reference modules:
+
+* ``key=repr`` / ``key=id`` passed to ``sorted`` / ``min`` / ``max`` /
+  ``.sort`` — including lambdas whose body is exactly ``repr(param)`` or
+  ``id(param)``;
+* ``repr(...)`` / ``id(...)`` used inside a cache subscript or
+  ``cache.get(...)`` / ``cache.setdefault(...)`` key (names matching
+  ``*cache*`` / ``*memo*``) or passed to a fingerprint-named call;
+* materializing a ``set`` (``tuple(set(...))`` / ``list({...})``) in those
+  same key positions, which bakes hash-seed iteration order into the key.
+
+The blessed idiom of this codebase — structural tuples like
+``(type(x).__name__, repr(x))``, where ``repr`` disambiguates *within* a type
+that defines a stable ``__repr__`` — is deliberately exempt: ``repr`` inside
+a tuple that also mentions ``type(...).__name__`` is not flagged.
+
+Options (``[tool.repro-analysis.rules.DET001]``):
+
+* ``cache-names`` — extra fnmatch patterns for cache-like variable names;
+* ``fingerprint-names`` — extra patterns for fingerprint-computing callables.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatchcase
+from typing import Iterator
+
+from repro.analysis.loader import ModuleInfo
+from repro.analysis.registry import AnalysisContext, register
+from repro.analysis.report import Finding
+
+SORT_FUNCTIONS = frozenset({"sorted", "min", "max"})
+CACHE_NAME_PATTERNS = ("*cache*", "*memo*")
+FINGERPRINT_NAME_PATTERNS = ("*fingerprint*", "*cache_key*", "*cachekey*")
+
+
+@register
+class DeterministicKeysRule:
+    id = "DET001"
+    title = "cache keys and sort orders must be process-stable"
+    description = (
+        "repr()/id() and set iteration are address- or hash-seed-dependent; "
+        "keys built from them differ across worker processes."
+    )
+
+    def check(self, context: AnalysisContext) -> Iterator[Finding]:
+        options = context.options_for(self.id)
+        cache_patterns = CACHE_NAME_PATTERNS + tuple(options.get("cache_names", ()))
+        fingerprint_patterns = FINGERPRINT_NAME_PATTERNS + tuple(
+            options.get("fingerprint_names", ())
+        )
+        for module in context.production_modules():
+            yield from self._check_module(
+                context, module, cache_patterns, fingerprint_patterns
+            )
+
+    def _check_module(
+        self,
+        context: AnalysisContext,
+        module: ModuleInfo,
+        cache_patterns: tuple[str, ...],
+        fingerprint_patterns: tuple[str, ...],
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_sort_call(context, module, node)
+                yield from self._check_fingerprint_call(
+                    context, module, node, fingerprint_patterns
+                )
+                yield from self._check_cache_method(
+                    context, module, node, cache_patterns
+                )
+            elif isinstance(node, ast.Subscript):
+                if _name_matches(node.value, cache_patterns):
+                    yield from self._check_key_expr(
+                        context, module, node.slice, "cache subscript key"
+                    )
+
+    def _check_sort_call(
+        self, context: AnalysisContext, module: ModuleInfo, call: ast.Call
+    ) -> Iterator[Finding]:
+        func = call.func
+        is_sort = (isinstance(func, ast.Name) and func.id in SORT_FUNCTIONS) or (
+            isinstance(func, ast.Attribute) and func.attr == "sort"
+        )
+        if not is_sort:
+            return
+        for keyword in call.keywords:
+            if keyword.arg != "key":
+                continue
+            offender = _unstable_sort_key(keyword.value)
+            if offender is not None:
+                yield context.finding(
+                    self.id,
+                    module,
+                    keyword.value,
+                    f"sort key '{offender}' is address-dependent and differs "
+                    "across processes; use a structural key such as "
+                    "(type(x).__name__, repr(x)) on types with stable reprs",
+                )
+
+    def _check_fingerprint_call(
+        self,
+        context: AnalysisContext,
+        module: ModuleInfo,
+        call: ast.Call,
+        fingerprint_patterns: tuple[str, ...],
+    ) -> Iterator[Finding]:
+        if not _name_matches(call.func, fingerprint_patterns):
+            return
+        for argument in call.args:
+            yield from self._check_key_expr(
+                context, module, argument, "fingerprint input"
+            )
+
+    def _check_cache_method(
+        self,
+        context: AnalysisContext,
+        module: ModuleInfo,
+        call: ast.Call,
+        cache_patterns: tuple[str, ...],
+    ) -> Iterator[Finding]:
+        func = call.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in {"get", "setdefault", "pop"}
+            and _name_matches(func.value, cache_patterns)
+            and call.args
+        ):
+            return
+        yield from self._check_key_expr(
+            context, module, call.args[0], "cache lookup key"
+        )
+
+    def _check_key_expr(
+        self,
+        context: AnalysisContext,
+        module: ModuleInfo,
+        expr: ast.expr,
+        role: str,
+    ) -> Iterator[Finding]:
+        for node in _walk_outside_blessed(expr):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                if node.func.id in {"repr", "id"}:
+                    yield context.finding(
+                        self.id,
+                        module,
+                        node,
+                        f"{node.func.id}() in a {role} is address-dependent "
+                        "and differs across processes; key on structural "
+                        "identity instead",
+                    )
+                elif node.func.id in {"tuple", "list"} and node.args:
+                    inner = node.args[0]
+                    if isinstance(inner, (ast.Set, ast.SetComp)) or (
+                        isinstance(inner, ast.Call)
+                        and isinstance(inner.func, ast.Name)
+                        and inner.func.id in {"set", "frozenset"}
+                    ):
+                        yield context.finding(
+                            self.id,
+                            module,
+                            node,
+                            f"materializing a set in a {role} bakes hash-seed "
+                            "iteration order into the key; sort it first",
+                        )
+
+
+def _unstable_sort_key(expr: ast.expr) -> str | None:
+    if isinstance(expr, ast.Name) and expr.id in {"repr", "id"}:
+        return expr.id
+    if isinstance(expr, ast.Lambda):
+        body = expr.body
+        params = {
+            argument.arg
+            for argument in (*expr.args.posonlyargs, *expr.args.args)
+        }
+        if (
+            isinstance(body, ast.Call)
+            and isinstance(body.func, ast.Name)
+            and body.func.id in {"repr", "id"}
+            and len(body.args) == 1
+            and isinstance(body.args[0], ast.Name)
+            and body.args[0].id in params
+            and not body.keywords
+        ):
+            return f"lambda: {body.func.id}(...)"
+    return None
+
+
+def _walk_outside_blessed(expr: ast.expr) -> Iterator[ast.AST]:
+    """Walk ``expr`` but skip tuples using the blessed structural-key idiom."""
+    stack: list[ast.AST] = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Tuple) and _is_blessed_tuple(node):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_blessed_tuple(node: ast.Tuple) -> bool:
+    """True for tuples pairing ``repr(x)`` with ``type(...).__name__``."""
+    has_type_name = False
+    for element in node.elts:
+        if (
+            isinstance(element, ast.Attribute)
+            and element.attr == "__name__"
+            and isinstance(element.value, ast.Call)
+            and isinstance(element.value.func, ast.Name)
+            and element.value.func.id == "type"
+        ):
+            has_type_name = True
+    return has_type_name
+
+
+def _name_matches(expr: ast.expr, patterns: tuple[str, ...]) -> bool:
+    name = _trailing_name(expr)
+    if name is None:
+        return False
+    lowered = name.lower()
+    return any(fnmatchcase(lowered, pattern) for pattern in patterns)
+
+
+def _trailing_name(expr: ast.expr) -> str | None:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None

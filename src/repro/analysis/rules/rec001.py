@@ -1,0 +1,86 @@
+"""REC001 — kernels must be iterative.
+
+Bug class: the seed's clause-by-clause OBDD ``apply`` fold and the recursive
+DNNF/circuit walks hit ``RecursionError`` at the length-2000 line instances
+the paper's treelike-tractability claims are about (fixed in PR 4 by explicit
+worklist kernels, and in PR 5 for the structural front-end).  Nothing kept
+that property from regressing: one convenience helper written recursively and
+reached from a kernel reintroduces the depth ceiling.
+
+The rule builds the package call graph, finds every function on a call cycle
+(direct or mutual recursion), and flags those reachable from a function
+defined in a configured *root module* (default: the declared kernel modules).
+Reference-oracle modules (``*/reference.py``) are allowlisted twice over:
+their functions are never flagged, and reachability does not traverse through
+them, so a kernel calling its recursive differential oracle is fine.
+
+Options (``[tool.repro-analysis.rules.REC001]``):
+
+* ``root-modules`` — fnmatch patterns of modules whose call closure must be
+  iteration-only; defaults to the top-level ``kernel-modules``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.analysis.config import matches_any
+from repro.analysis.registry import AnalysisContext, register
+from repro.analysis.report import Finding
+
+
+@register
+class NoRecursionRule:
+    id = "REC001"
+    title = "no recursion reachable from kernel modules"
+    description = (
+        "Kernel call closures must be iterative: recursion reintroduces the "
+        "RecursionError depth ceiling on deep treelike instances."
+    )
+
+    def check(self, context: AnalysisContext) -> Iterator[Finding]:
+        graph = context.callgraph
+        config = context.config
+        options = context.options_for(self.id)
+        root_patterns: Iterable[str] = options.get(
+            "root_modules", config.kernel_modules
+        )
+        if not root_patterns:
+            return
+
+        module_by_name = {module.name: module for module in context.modules}
+        roots = [
+            key
+            for key, function in graph.functions.items()
+            if matches_any(function.module, root_patterns)
+            and not config.is_reference_module(function.module)
+        ]
+        recursive = graph.recursive_components()
+        reachable = graph.reachable_from(roots, skip_module=config.is_reference_module)
+
+        for key in sorted(recursive):
+            if key not in reachable:
+                continue
+            function = graph.functions[key]
+            if config.is_reference_module(function.module):
+                continue
+            module = module_by_name.get(function.module)
+            if module is None:
+                continue
+            cycle = recursive[key]
+            if len(cycle) == 1:
+                shape = "calls itself"
+            else:
+                partners = ", ".join(
+                    graph.functions[member].qualname for member in cycle if member != key
+                )
+                shape = f"is mutually recursive with {partners}"
+            yield context.finding(
+                self.id,
+                module,
+                function.ast_node,
+                f"'{function.qualname}' {shape} and is reachable from a kernel "
+                "module; rewrite with an explicit stack/worklist or add a "
+                "justified suppression documenting the depth bound",
+                symbol=function.qualname,
+            )

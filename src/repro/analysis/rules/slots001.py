@@ -1,0 +1,109 @@
+"""SLOTS001 — kernel node/gate dataclasses declare ``slots=True``.
+
+Bug class: the sweep-based kernels (PR 4/5) allocate millions of OBDD/d-DNNF
+nodes per instance; an unslotted dataclass carries a per-instance ``__dict__``
+that roughly triples memory and defeats the compact node-table layout the
+kernels depend on.  Worse, a ``__dict__`` lets stray attributes be attached
+to supposedly-immutable structure nodes, bypassing the value-semantics the
+unique tables assume.
+
+The rule looks at ``@dataclass`` classes in the configured kernel modules
+whose names match the node/gate patterns and requires ``slots=True``; classes
+matching the frozen patterns (the hash-consed structure nodes) must also say
+``frozen=True``, matching their siblings.
+
+Options (``[tool.repro-analysis.rules.SLOTS001]``):
+
+* ``modules`` — module patterns to enforce in (default: ``kernel-modules``);
+* ``class-patterns`` — class-name patterns that must be slotted;
+* ``frozen-patterns`` — class-name patterns that must also be frozen.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatchcase
+from typing import Iterator
+
+from repro.analysis.config import matches_any
+from repro.analysis.registry import AnalysisContext, register
+from repro.analysis.report import Finding
+
+CLASS_PATTERNS = ("*Node", "Node*", "*Gate", "Gate*", "*Result")
+FROZEN_PATTERNS = ("*Node*", "*Gate*")
+
+
+@register
+class SlottedNodesRule:
+    id = "SLOTS001"
+    title = "kernel node dataclasses must be slotted"
+    description = (
+        "Node/gate dataclasses in kernel modules need slots=True (and "
+        "frozen=True for hash-consed structure nodes) to keep the node "
+        "tables compact and immutable."
+    )
+
+    def check(self, context: AnalysisContext) -> Iterator[Finding]:
+        options = context.options_for(self.id)
+        module_patterns = tuple(options.get("modules", context.config.kernel_modules))
+        class_patterns = tuple(options.get("class_patterns", CLASS_PATTERNS))
+        frozen_patterns = tuple(options.get("frozen_patterns", FROZEN_PATTERNS))
+        if not module_patterns:
+            return
+        for module in context.production_modules():
+            if not matches_any(module.name, module_patterns):
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                if not any(
+                    fnmatchcase(node.name, pattern) for pattern in class_patterns
+                ):
+                    continue
+                flags = _dataclass_flags(node)
+                if flags is None:
+                    continue
+                if not flags.get("slots", False):
+                    yield context.finding(
+                        self.id,
+                        module,
+                        node,
+                        f"dataclass '{node.name}' in kernel module "
+                        f"'{module.name}' must declare slots=True: an "
+                        "unslotted node carries a __dict__ per instance",
+                        symbol=node.name,
+                    )
+                if any(
+                    fnmatchcase(node.name, pattern) for pattern in frozen_patterns
+                ) and not flags.get("frozen", False):
+                    yield context.finding(
+                        self.id,
+                        module,
+                        node,
+                        f"dataclass '{node.name}' is a structure node and must "
+                        "declare frozen=True like its hash-consed siblings",
+                        symbol=node.name,
+                    )
+
+
+def _dataclass_flags(node: ast.ClassDef) -> dict[str, bool] | None:
+    """Keyword flags of the ``@dataclass`` decorator, or None if not one."""
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Name) and decorator.id == "dataclass":
+            return {}
+        if isinstance(decorator, ast.Attribute) and decorator.attr == "dataclass":
+            return {}
+        if isinstance(decorator, ast.Call):
+            func = decorator.func
+            is_dataclass = (
+                isinstance(func, ast.Name) and func.id == "dataclass"
+            ) or (isinstance(func, ast.Attribute) and func.attr == "dataclass")
+            if is_dataclass:
+                flags: dict[str, bool] = {}
+                for keyword in decorator.keywords:
+                    if keyword.arg is not None and isinstance(
+                        keyword.value, ast.Constant
+                    ):
+                        flags[keyword.arg] = bool(keyword.value.value)
+                return flags
+    return None

@@ -1,0 +1,152 @@
+"""Inline suppression comments.
+
+Syntax::
+
+    x = something_flagged()  # repro-analysis: allow(DET001): stable for str keys
+
+    # repro-analysis: allow(REC001): bounded by max_path_length (<= 8)
+    def route(edge_index: int) -> bool: ...
+
+A suppression names one or more rule ids and MUST carry a justification after
+the closing ``):`` — a suppression without one does not suppress anything and
+is itself reported (rule id ``SUP001``), so every waived invariant leaves a
+written trace in the source.
+
+Scope:
+
+* on an ordinary line — suppresses findings of the named rules on that line
+  and, when the comment sits alone, on the next non-comment line;
+* on a ``def`` or ``class`` header line (or alone directly above it) — the
+  whole function/class body, which is how bounded-depth recursive walkers are
+  waived for REC001.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+
+from repro.analysis.loader import ModuleInfo
+from repro.analysis.report import Finding
+
+SUPPRESSION_RULE = "SUP001"
+
+_PATTERN = re.compile(
+    r"#\s*repro-analysis:\s*allow\(\s*(?P<rules>[A-Za-z0-9_*,\s]+?)\s*\)"
+    r"(?:\s*:\s*(?P<justification>.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Suppression:
+    """One parsed ``# repro-analysis: allow(...)`` comment."""
+
+    module: str
+    path: str
+    line: int
+    rules: tuple[str, ...]
+    justification: str
+    start: int
+    end: int
+
+    def covers(self, line: int, rule: str) -> bool:
+        if not self.justification:
+            return False
+        if rule.upper() not in self.rules and "*" not in self.rules:
+            return False
+        return self.start <= line <= self.end
+
+
+class SuppressionIndex:
+    """All suppressions of an analyzed module set, with scope resolution."""
+
+    def __init__(self) -> None:
+        self._by_module: dict[str, list[Suppression]] = {}
+
+    def add_module(self, module: ModuleInfo) -> None:
+        entries: list[Suppression] = []
+        definition_lines = _definition_spans(module.tree)
+        for line_number, text in enumerate(module.lines, start=1):
+            match = _PATTERN.search(text)
+            if match is None:
+                continue
+            rules = tuple(
+                part.strip().upper() for part in match.group("rules").split(",") if part.strip()
+            )
+            justification = (match.group("justification") or "").strip()
+            start, end = _scope_for(line_number, text, definition_lines, len(module.lines))
+            entries.append(
+                Suppression(
+                    module=module.name,
+                    path=str(module.path),
+                    line=line_number,
+                    rules=rules,
+                    justification=justification,
+                    start=start,
+                    end=end,
+                )
+            )
+        if entries:
+            self._by_module[module.name] = entries
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        return any(
+            s.covers(finding.line, finding.rule)
+            for s in self._by_module.get(finding.module, ())
+        )
+
+    def problems(self) -> list[Finding]:
+        """Suppressions missing the mandatory justification text."""
+        findings = []
+        for entries in self._by_module.values():
+            for suppression in entries:
+                if suppression.justification:
+                    continue
+                findings.append(
+                    Finding(
+                        rule=SUPPRESSION_RULE,
+                        message=(
+                            "suppression comment has no justification; write "
+                            "'# repro-analysis: allow(RULE): <why this is safe>'"
+                        ),
+                        path=suppression.path,
+                        line=suppression.line,
+                        column=1,
+                        module=suppression.module,
+                    )
+                )
+        return findings
+
+    def all_suppressions(self) -> list[Suppression]:
+        return [s for entries in self._by_module.values() for s in entries]
+
+
+def _definition_spans(tree: ast.Module) -> dict[int, tuple[int, int]]:
+    """Header line -> (start, end) body span for every def/class."""
+    spans: dict[int, tuple[int, int]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            end = node.end_lineno if node.end_lineno is not None else node.lineno
+            spans[node.lineno] = (node.lineno, end)
+    return spans
+
+
+def _scope_for(
+    line_number: int,
+    text: str,
+    definition_lines: dict[int, tuple[int, int]],
+    last_line: int,
+) -> tuple[int, int]:
+    span = definition_lines.get(line_number)
+    if span is not None:
+        return span
+    if text.lstrip().startswith("#"):
+        # A comment-only line annotates the next line; when that line opens a
+        # definition, the suppression covers the whole body.
+        following = min(line_number + 1, last_line)
+        span = definition_lines.get(following)
+        if span is not None:
+            return span
+        return (line_number, following)
+    return (line_number, line_number)

@@ -265,7 +265,10 @@ class BooleanCircuit:
 
     def equivalent_to(self, other: "BooleanCircuit") -> bool:
         """Exhaustive equivalence check over the union of variable sets (small)."""
-        names = sorted(set(self.variables()) | set(other.variables()), key=repr)
+        names = sorted(
+            set(self.variables()) | set(other.variables()),
+            key=lambda v: (type(v).__name__, repr(v)),
+        )
         if len(names) > 22:
             raise LineageError("too many variables for exhaustive equivalence check")
         for mask in range(1 << len(names)):

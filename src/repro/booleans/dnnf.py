@@ -329,7 +329,7 @@ class DNNF:
 
     def check_determinism(self, max_variables: int = 16) -> bool:
         """Exhaustively verify that OR children are mutually exclusive (testing only)."""
-        names = sorted(self.variables(), key=repr)
+        names = sorted(self.variables(), key=lambda v: (type(v).__name__, repr(v)))
         if len(names) > max_variables:
             raise LineageError("too many variables for exhaustive determinism check")
         for mask in range(1 << len(names)):

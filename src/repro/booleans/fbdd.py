@@ -450,7 +450,7 @@ def compile_circuit_to_fbdd(
             gate = sub.gate(gate_id)
             if gate.kind is GateKind.VAR:
                 live.add(gate.payload)
-        return sorted(live, key=repr)
+        return sorted(live, key=lambda v: (type(v).__name__, repr(v)))
 
     def build(sub, assignment: dict[Hashable, bool]) -> int:
         if len(diagram) > max_nodes:

@@ -39,7 +39,8 @@ import multiprocessing
 import os
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Callable, Sequence
+from multiprocessing.pool import Pool
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.data.instance import Instance
 from repro.data.tid import ProbabilisticInstance
@@ -54,6 +55,9 @@ from repro.provenance.compile_obdd import CompiledOBDD
 
 ProbabilityItem = tuple[Query, ProbabilisticInstance]
 CompileItem = tuple[Query, Instance]
+Shard = list[tuple[int, tuple]]
+ShardOutcome = tuple[list[tuple[int, Any]], dict[str, CacheStats]]
+ShardRunner = Callable[[tuple[Shard, Any]], ShardOutcome]
 
 
 def available_workers() -> int:
@@ -116,7 +120,7 @@ class ParallelReport:
     is their pointwise sum.
     """
 
-    values: tuple
+    values: tuple[Any, ...]
     workers: int
     shard_sizes: tuple[int, ...]
     worker_stats: tuple[dict[str, CacheStats], ...]
@@ -143,7 +147,7 @@ class ParallelReport:
 _WORKER_ENGINE: CompilationEngine | None = None
 
 
-def _init_worker(engine_options: dict) -> None:
+def _init_worker(engine_options: dict[str, Any]) -> None:
     global _WORKER_ENGINE
     _WORKER_ENGINE = CompilationEngine(**engine_options)
 
@@ -169,7 +173,7 @@ def _reset_stats(engine: CompilationEngine) -> None:
         stats.hits = stats.misses = 0
 
 
-def _run_probability_shard(payload):
+def _run_probability_shard(payload: tuple[Shard, str]) -> ShardOutcome:
     shard, method = payload
     engine = _worker_engine()
     _reset_stats(engine)
@@ -177,7 +181,7 @@ def _run_probability_shard(payload):
     return results, _stats_snapshot(engine)
 
 
-def _run_compile_shard(payload):
+def _run_compile_shard(payload: tuple[Shard, bool]) -> ShardOutcome:
     shard, use_path_decomposition = payload
     engine = _worker_engine()
     _reset_stats(engine)
@@ -207,7 +211,7 @@ class ParallelEngine:
     def __init__(
         self,
         workers: int | None = None,
-        engine_options: dict | None = None,
+        engine_options: Mapping[str, Any] | None = None,
         start_method: str | None = None,
     ) -> None:
         if workers is not None and workers < 1:
@@ -219,7 +223,7 @@ class ParallelEngine:
             start_method = "fork" if "fork" in methods else methods[0]
         self.start_method = start_method
         self.last_report: ParallelReport | None = None
-        self._pool = None
+        self._pool: Pool | None = None
         self._inline_engine: CompilationEngine | None = None
 
     # -- lifecycle -------------------------------------------------------------
@@ -241,12 +245,14 @@ class ParallelEngine:
     def __enter__(self) -> "ParallelEngine":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # -- generic sharded execution -------------------------------------------
 
-    def _run(self, items: Sequence[tuple], runner, extra) -> ParallelReport:
+    def _run(
+        self, items: Sequence[tuple], runner: ShardRunner, extra: Any
+    ) -> ParallelReport:
         if not items:
             report = ParallelReport(
                 values=(), workers=self.workers, shard_sizes=(), worker_stats=()
@@ -261,7 +267,9 @@ class ParallelEngine:
         self.last_report = report
         return report
 
-    def _run_inline(self, shards, runner, extra) -> ParallelReport:
+    def _run_inline(
+        self, shards: list[Shard], runner: ShardRunner, extra: Any
+    ) -> ParallelReport:
         global _WORKER_ENGINE
         if self._inline_engine is None:
             self._inline_engine = CompilationEngine(**self.engine_options)
@@ -273,7 +281,9 @@ class ParallelEngine:
             _WORKER_ENGINE = previous
         return self._merge(shards, outcomes)
 
-    def _run_pool(self, shards, runner, extra) -> ParallelReport:
+    def _run_pool(
+        self, shards: list[Shard], runner: ShardRunner, extra: Any
+    ) -> ParallelReport:
         if self._pool is None:
             context = multiprocessing.get_context(self.start_method)
             self._pool = context.Pool(
@@ -284,10 +294,12 @@ class ParallelEngine:
         outcomes = self._pool.map(runner, [(shard, extra) for shard in shards])
         return self._merge(shards, outcomes)
 
-    def _merge(self, shards, outcomes) -> ParallelReport:
+    def _merge(
+        self, shards: list[Shard], outcomes: list[ShardOutcome]
+    ) -> ParallelReport:
         total = sum(len(shard) for shard in shards)
-        values: list = [None] * total
-        worker_stats = []
+        values: list[Any] = [None] * total
+        worker_stats: list[dict[str, CacheStats]] = []
         for results, stats in outcomes:
             for index, value in results:
                 values[index] = value

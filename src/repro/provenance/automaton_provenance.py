@@ -54,7 +54,7 @@ from repro.provenance.automata import State, TreeAutomaton
 from repro.provenance.tree_encoding import TreeEncoding
 
 
-@dataclass
+@dataclass(slots=True)
 class ProvenanceResult:
     """The provenance of an automaton on an encoding, in both representations."""
 

@@ -55,6 +55,7 @@ def _enumerate_homomorphisms(query: ConjunctiveQuery, fetch) -> Iterator[dict[Va
                     return True
         return False
 
+    # repro-analysis: allow(REC001): backtracking depth <= |query atoms|, and queries are tiny relative to instances
     def extend(index: int, assignment: dict[Variable, Any]) -> Iterator[dict[Variable, Any]]:
         if index == len(ordered):
             yield dict(assignment)

@@ -102,19 +102,29 @@ def _has_cycle(edges: Iterable[tuple[object, object]]) -> bool:
         adjacency.setdefault(source, set()).add(target)
         adjacency.setdefault(target, set())
     state: dict[object, int] = {}  # 0 = unseen, 1 = in progress, 2 = done
-
-    def visit(node: object) -> bool:
-        state[node] = 1
-        for successor in adjacency[node]:
-            status = state.get(successor, 0)
-            if status == 1:
-                return True
-            if status == 0 and visit(successor):
-                return True
-        state[node] = 2
-        return False
-
-    return any(state.get(node, 0) == 0 and visit(node) for node in adjacency)
+    # Iterative gray/black DFS: order chains in large ranked instances are as
+    # long as the domain, which would overflow the recursive version.
+    for root in adjacency:
+        if state.get(root, 0) != 0:
+            continue
+        state[root] = 1
+        stack = [(root, iter(adjacency[root]))]
+        while stack:
+            node, successors = stack[-1]
+            advanced = False
+            for successor in successors:
+                status = state.get(successor, 0)
+                if status == 1:
+                    return True
+                if status == 0:
+                    state[successor] = 1
+                    stack.append((successor, iter(adjacency[successor])))
+                    advanced = True
+                    break
+            if not advanced:
+                state[node] = 2
+                stack.pop()
+    return False
 
 
 # ---------------------------------------------------------------------------

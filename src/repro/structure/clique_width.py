@@ -85,10 +85,20 @@ class CliqueWidthExpression:
     # -- structure ----------------------------------------------------------------
 
     def subexpressions(self) -> Iterator["CliqueWidthExpression"]:
-        """All nodes of the expression tree, children before parents."""
-        for child in self.children:
-            yield from child.subexpressions()
-        yield self
+        """All nodes of the expression tree, children before parents.
+
+        Iterative post-order: chain-shaped k-expressions (every ``relabel``/
+        ``add_edges`` chain) are as deep as the graph is large.
+        """
+        stack: list[tuple["CliqueWidthExpression", bool]] = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                yield node
+                continue
+            stack.append((node, True))
+            for child in reversed(node.children):
+                stack.append((child, False))
 
     def labels(self) -> frozenset[Label]:
         """All labels mentioned anywhere in the expression."""
@@ -146,40 +156,63 @@ class CliqueWidthExpression:
         return graph, labelling
 
     def _evaluate(self) -> tuple[Graph, dict[Vertex, Label]]:
-        if self.kind == "create":
-            graph = Graph()
-            graph.add_vertex(self.vertex)
-            return graph, {self.vertex: self.label}
-        if self.kind == "union":
-            left_graph, left_labels = self.children[0]._evaluate()
-            right_graph, right_labels = self.children[1]._evaluate()
-            shared = set(left_labels) & set(right_labels)
-            if shared:
-                raise DecompositionError(
-                    f"disjoint union reuses vertices {sorted(map(repr, shared))[:3]}"
+        # Iterative post-order with a value stack: relabel/add_edges chains
+        # are as deep as the graph is large, so the natural recursion would
+        # overflow on deep expressions such as path_expression(2000).
+        values: list[tuple[Graph, dict[Vertex, Label]]] = []
+        stack: list[tuple["CliqueWidthExpression", bool]] = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if not expanded:
+                stack.append((node, True))
+                for child in reversed(node.children):
+                    stack.append((child, False))
+                continue
+            if node.kind == "create":
+                graph = Graph()
+                graph.add_vertex(node.vertex)
+                values.append((graph, {node.vertex: node.label}))
+            elif node.kind == "union":
+                right_graph, right_labels = values.pop()
+                left_graph, left_labels = values.pop()
+                shared = set(left_labels) & set(right_labels)
+                if shared:
+                    raise DecompositionError(
+                        f"disjoint union reuses vertices {sorted(map(repr, shared))[:3]}"
+                    )
+                merged = left_graph.copy()
+                for vertex in right_graph.vertices:
+                    merged.add_vertex(vertex)
+                for u, v in right_graph.edges():
+                    merged.add_edge(u, v)
+                values.append((merged, {**left_labels, **right_labels}))
+            elif node.kind == "relabel":
+                graph, labelling = values.pop()
+                values.append(
+                    (
+                        graph,
+                        {
+                            vertex: (
+                                node.target_label
+                                if label == node.source_label
+                                else label
+                            )
+                            for vertex, label in labelling.items()
+                        },
+                    )
                 )
-            merged = left_graph.copy()
-            for vertex in right_graph.vertices:
-                merged.add_vertex(vertex)
-            for u, v in right_graph.edges():
-                merged.add_edge(u, v)
-            return merged, {**left_labels, **right_labels}
-        if self.kind == "relabel":
-            graph, labelling = self.children[0]._evaluate()
-            return graph, {
-                vertex: (self.target_label if label == self.source_label else label)
-                for vertex, label in labelling.items()
-            }
-        # add_edges
-        graph, labelling = self.children[0]._evaluate()
-        result = graph.copy()
-        sources = [v for v, label in labelling.items() if label == self.source_label]
-        targets = [v for v, label in labelling.items() if label == self.target_label]
-        for u in sources:
-            for v in targets:
-                if u != v:
-                    result.add_edge(u, v)
-        return result, labelling
+            else:
+                # add_edges
+                graph, labelling = values.pop()
+                result = graph.copy()
+                sources = [v for v, label in labelling.items() if label == node.source_label]
+                targets = [v for v, label in labelling.items() if label == node.target_label]
+                for u in sources:
+                    for v in targets:
+                        if u != v:
+                            result.add_edge(u, v)
+                values.append((result, labelling))
+        return values.pop()
 
     def to_graph(self) -> Graph:
         return self.evaluate()[0]
@@ -248,6 +281,7 @@ def cograph_expression(structure, prefix: str = "v") -> CliqueWidthExpression:
     """
     counter = [0]
 
+    # repro-analysis: allow(REC001): depth equals the caller-supplied cotree nesting, which mirrors the recursion already spent building that literal
     def build(node) -> CliqueWidthExpression:
         if isinstance(node, tuple) and len(node) == 2 and node[0] in ("union", "join"):
             operation, children = node
@@ -321,15 +355,26 @@ def _independent_set_states(
                     result[profile] = max(result.get(profile, -1), value)
         return result
 
-    def solve(node: CliqueWidthExpression) -> dict[frozenset, int]:
+    # Iterative post-order with a value stack: relabel/add_edges chains are as
+    # deep as the graph is large, so the natural recursion would overflow.
+    values: list[dict[frozenset, int]] = []
+    stack: list[tuple[CliqueWidthExpression, bool]] = [(expression, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if not expanded:
+            stack.append((node, True))
+            for child in reversed(node.children):
+                stack.append((child, False))
+            continue
         if node.kind == "create":
             empty_value = 1 if count_models else 0
-            selected_value = 1
-            return {frozenset(): empty_value, frozenset({node.label}): selected_value}
-        if node.kind == "union":
-            return combine(solve(node.children[0]), solve(node.children[1]))
-        if node.kind == "relabel":
-            child_states = solve(node.children[0])
+            values.append({frozenset(): empty_value, frozenset({node.label}): 1})
+        elif node.kind == "union":
+            right = values.pop()
+            left = values.pop()
+            values.append(combine(left, right))
+        elif node.kind == "relabel":
+            child_states = values.pop()
             result: dict[frozenset, int] = {}
             for profile, value in child_states.items():
                 renamed = frozenset(
@@ -340,16 +385,19 @@ def _independent_set_states(
                     result[renamed] = result.get(renamed, 0) + value
                 else:
                     result[renamed] = max(result.get(renamed, -1), value)
-            return result
-        # add_edges: selections touching both endpoint labels are no longer independent.
-        child_states = solve(node.children[0])
-        return {
-            profile: value
-            for profile, value in child_states.items()
-            if not (node.source_label in profile and node.target_label in profile)
-        }
-
-    return solve(expression)
+            values.append(result)
+        else:
+            # add_edges: selections touching both endpoint labels are no
+            # longer independent.
+            child_states = values.pop()
+            values.append(
+                {
+                    profile: value
+                    for profile, value in child_states.items()
+                    if not (node.source_label in profile and node.target_label in profile)
+                }
+            )
+    return values.pop()
 
 
 def expression_from_graph(graph: Graph, max_width: int = 8) -> CliqueWidthExpression:

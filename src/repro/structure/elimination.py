@@ -241,6 +241,7 @@ def exists_ordering_of_width(graph: Graph, target: int) -> bool:
     """
     failed: set[frozenset[Vertex]] = set()
 
+    # repro-analysis: allow(REC001): depth <= |V| and the search is documented for graphs of at most ~15 vertices
     def recurse(adjacency: dict[Vertex, set[Vertex]]) -> bool:
         if not adjacency:
             return True
@@ -319,6 +320,7 @@ def treewidth_dp_oracle(graph: Graph) -> int:
 
     memo: dict[int, int] = {0: 0}
 
+    # repro-analysis: allow(REC001): memoized DP over vertex bitmasks, depth <= n; the exact oracle is only run on small graphs
     def best_width(subset: int) -> int:
         cached = memo.get(subset)
         if cached is not None:

@@ -80,6 +80,7 @@ def find_topological_minor(
     used: set[Vertex] = set()
     edge_paths: dict[tuple[Vertex, Vertex], list[Vertex]] = {}
 
+    # repro-analysis: allow(REC001): backtracking depth <= |pattern vertices| + |pattern edges|, and minor patterns are small by construction
     def assign(index: int) -> bool:
         if index == len(pattern_vertices):
             return route(0)
@@ -97,6 +98,7 @@ def find_topological_minor(
             del vertex_map[v]
         return False
 
+    # repro-analysis: allow(REC001): mutual recursion with assign is bounded by the (small) pattern size
     def route(edge_index: int) -> bool:
         if edge_index == len(pattern_edges):
             return True
@@ -120,6 +122,7 @@ def find_topological_minor(
 def _paths_up_to(graph: Graph, source: Vertex, target: Vertex, limit: int, blocked: set[Vertex]):
     """Enumerate simple paths from source to target of length <= limit avoiding blocked interiors."""
 
+    # repro-analysis: allow(REC001): path enumeration depth is capped by the explicit length limit (max_path_length)
     def extend(path: list[Vertex]):
         current = path[-1]
         if current == target:
