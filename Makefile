@@ -7,7 +7,7 @@ PYTHON ?= python
 PYTHONPATH_PREFIX = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 TIER1_WALL_CLOCK ?= 300
 
-.PHONY: test tier1 test-slow test-differential analyze typecheck bench-engine bench-parallel bench-compile bench-structure bench
+.PHONY: test tier1 test-slow test-differential analyze typecheck bench-engine bench-parallel bench-compile bench-structure bench-vector bench
 
 # Static invariant checker (see README "Static invariants"): AST/call-graph
 # rules gating the kernel contracts. Fails on any finding.
@@ -42,6 +42,9 @@ bench-compile:
 
 bench-structure:
 	$(PYTHONPATH_PREFIX) $(PYTHON) benchmarks/bench_structure.py
+
+bench-vector:
+	$(PYTHONPATH_PREFIX) $(PYTHON) benchmarks/bench_vector.py
 
 bench:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -q benchmarks

@@ -113,6 +113,18 @@ def run_benchmark(rounds: int = 2):
 
     cpus = available_workers()
     gate_enforced = cpus >= REQUIRED_CPUS or os.environ.get("REQUIRE_PARALLEL_SPEEDUP") == "1"
+    # Why the gate was (or was not) waived, recorded in the JSON so a CI
+    # artifact never shows a silently-unenforced run: either the reason the
+    # assertion did not apply, or None when it did.
+    gate_skip_reason = (
+        None
+        if gate_enforced
+        else (
+            f"only {cpus} CPU(s) in the scheduling affinity; {REQUIRED_CPUS} needed "
+            f"for a meaningful multi-process measurement "
+            f"(set REQUIRE_PARALLEL_SPEEDUP=1 to force the gate)"
+        )
+    )
     write_benchmark_json(
         RESULT_FILE,
         "Sharded parallel evaluation vs single-process engine",
@@ -126,9 +138,10 @@ def run_benchmark(rounds: int = 2):
             "available_cpus": cpus,
             "minimum_required_speedup_at_4_workers": MINIMUM_SPEEDUP,
             "speedup_gate_enforced": gate_enforced,
+            "gate_skip_reason": gate_skip_reason,
         },
     )
-    return baseline_time, trajectory, speedups, gate_enforced, len(pairs)
+    return baseline_time, trajectory, speedups, gate_enforced, gate_skip_reason, len(pairs)
 
 
 def report(baseline_time, trajectory, speedups, item_count):
@@ -143,7 +156,7 @@ def report(baseline_time, trajectory, speedups, item_count):
 
 
 def test_parallel_speedup(benchmark):
-    baseline_time, trajectory, speedups, gate_enforced, item_count = run_benchmark()
+    baseline_time, trajectory, speedups, gate_enforced, skip_reason, item_count = run_benchmark()
     pairs = build_workload()[:6]
     parallel = ParallelEngine(workers=2)
     benchmark(parallel.map_probability, pairs)
@@ -154,16 +167,15 @@ def test_parallel_speedup(benchmark):
             f"engine; expected >= {MINIMUM_SPEEDUP}x"
         )
     else:
-        print(
-            f"speedup gate waived: {available_workers()} CPU(s) available, "
-            f"{REQUIRED_CPUS} needed for a meaningful parallel measurement"
-        )
+        print(f"speedup gate waived: {skip_reason}")
 
 
 if __name__ == "__main__":
-    baseline_time, trajectory, speedups, gate_enforced, item_count = run_benchmark()
+    baseline_time, trajectory, speedups, gate_enforced, skip_reason, item_count = run_benchmark()
     report(baseline_time, trajectory, speedups, item_count)
-    if gate_enforced and speedups[4] < MINIMUM_SPEEDUP:
+    if not gate_enforced:
+        print(f"speedup gate waived: {skip_reason}")
+    elif speedups[4] < MINIMUM_SPEEDUP:
         raise SystemExit(
             f"REGRESSION: 4-worker speedup {speedups[4]:.2f}x < {MINIMUM_SPEEDUP}x"
         )

@@ -4,10 +4,18 @@ The compilation and evaluation hot paths are iterative, array-oriented
 kernels: the trie-driven DNF compilation and fused topological sweep live in
 :mod:`repro.booleans.obdd` (see :meth:`~repro.booleans.obdd.OBDD.sweep`);
 the seed recursive algorithms are preserved as differential references in
-:mod:`repro.booleans.reference`.
+:mod:`repro.booleans.reference`.  :mod:`repro.booleans.columnar` flattens a
+reduced OBDD into structure-of-arrays ``(var, lo, hi)`` columns — the layout
+the vectorized sweeps and the shared-memory transport run on.
 """
 
 from repro.booleans.circuit import BooleanCircuit, Gate, GateKind, circuit_from_function
+from repro.booleans.columnar import (
+    ColumnarOBDD,
+    array_backend,
+    columnar_from_buffer,
+    columnar_from_obdd,
+)
 from repro.booleans.dnnf import DNNF, DNNFNode, dnnf_from_obdd
 from repro.booleans.fbdd import (
     FBDD,
@@ -34,6 +42,7 @@ from repro.booleans.reference import (
 
 __all__ = [
     "BooleanCircuit",
+    "ColumnarOBDD",
     "DNNF",
     "DNNFNode",
     "FALSE_NODE",
@@ -44,8 +53,11 @@ __all__ = [
     "OBDD",
     "SweepResult",
     "TRUE_NODE",
+    "array_backend",
     "build_from_clauses_fold",
     "circuit_from_function",
+    "columnar_from_buffer",
+    "columnar_from_obdd",
     "circuit_to_formula",
     "compile_circuit_to_fbdd",
     "dnnf_from_obdd",

@@ -530,6 +530,20 @@ class OBDD:
     def __repr__(self) -> str:
         return f"OBDD(order of {len(self._order)} variables, {len(self._nodes) - 2} nodes allocated)"
 
+    # -- columnar adapters -----------------------------------------------------
+
+    def to_columnar(self, node: int, order: Sequence[Hashable] | None = None):
+        """The diagram rooted at ``node`` as a :class:`~repro.booleans.columnar.
+        ColumnarOBDD` (lossless; see :meth:`from_columnar` for the inverse)."""
+        from repro.booleans.columnar import columnar_from_obdd
+
+        return columnar_from_obdd(self, node, order)
+
+    @classmethod
+    def from_columnar(cls, columnar) -> "tuple[OBDD, int]":
+        """Rebuild ``(manager, root)`` from a columnar artifact (lossless)."""
+        return columnar.to_obdd()
+
     # -- building from other representations -----------------------------------------
 
     def build_from_circuit(self, circuit) -> int:

@@ -136,7 +136,7 @@ def _command_probability(arguments: argparse.Namespace) -> int:
         print(f"estimate: {result.estimate:.6f} ({result.method}, {result.samples} samples)")
         return 0
     value = probability(query, tid, method=arguments.method, engine=default_engine())
-    if arguments.method == "obdd_float":
+    if arguments.method in ("obdd_float", "columnar_float"):
         print(f"probability: {value:.6f} (float fast path)")
     else:
         print(f"probability: {value} (= {float(value):.6f})")
@@ -199,6 +199,8 @@ def _command_show(arguments: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """The argparse parser for the ``repro`` command."""
+    from repro.probability.evaluation import METHOD_NAMES
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Tractable lineages on treelike instances: CLI front-end",
@@ -223,20 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
     prob = subparsers.add_parser("probability", help="probability of a UCQ≠ on a TID file")
     _add_instance_argument(prob)
     prob.add_argument("--query", required=True, help="UCQ≠ in textual syntax")
-    prob.add_argument(
-        "--method",
-        default="auto",
-        choices=[
-            "auto",
-            "obdd",
-            "obdd_float",
-            "dnnf",
-            "automaton",
-            "brute_force",
-            "safe_plan",
-            "read_once",
-        ],
-    )
+    prob.add_argument("--method", default="auto", choices=list(METHOD_NAMES))
     prob.add_argument("--approximate", action="store_true", help="use Karp-Luby sampling")
     prob.add_argument("--epsilon", type=float, default=0.05)
     prob.add_argument("--delta", type=float, default=0.05)
@@ -253,20 +242,7 @@ def build_parser() -> argparse.ArgumentParser:
         required=True,
         help="UCQ≠ in textual syntax (repeatable; all queries share one compilation session)",
     )
-    batch.add_argument(
-        "--method",
-        default="auto",
-        choices=[
-            "auto",
-            "obdd",
-            "obdd_float",
-            "dnnf",
-            "automaton",
-            "brute_force",
-            "safe_plan",
-            "read_once",
-        ],
-    )
+    batch.add_argument("--method", default="auto", choices=list(METHOD_NAMES))
     batch.add_argument(
         "--stats", action="store_true", help="also print the engine's cache hit/miss statistics"
     )

@@ -50,6 +50,15 @@ owning a private :class:`CompilationEngine`, and the values plus per-worker
 ``CacheStats`` are merged back into one :class:`ParallelReport`.  The CLI
 ``batch --workers N`` flag and ``benchmarks/bench_parallel.py`` go through
 it.
+
+Data plane
+----------
+Compiled artifacts cross the process boundary as flat columnar buffers in
+``multiprocessing.shared_memory`` segments (:mod:`repro.engine.shm`): a
+:class:`~repro.engine.shm.SegmentPlane` owns the segments' lifecycle
+(create/attach/close/unlink, plus a prefix sweep of ``/dev/shm`` that
+reclaims segments orphaned by crashed workers), and only the tiny
+:class:`~repro.engine.shm.SegmentHandle` sidecars are pickled.
 """
 
 from repro.engine.parallel import (
@@ -64,14 +73,19 @@ from repro.engine.session import (
     default_engine,
     merge_cache_stats,
 )
+from repro.engine.shm import SegmentHandle, SegmentPlane, attach_segment, publish_segment
 
 __all__ = [
     "CacheStats",
     "CompilationEngine",
     "ParallelEngine",
     "ParallelReport",
+    "SegmentHandle",
+    "SegmentPlane",
+    "attach_segment",
     "available_workers",
     "default_engine",
     "merge_cache_stats",
+    "publish_segment",
     "shard_workload",
 ]

@@ -14,27 +14,44 @@ single :class:`ParallelReport`.
 Two execution regimes:
 
 * ``workers == 1`` runs inline in the calling process on a local engine — no
-  subprocess, no pickling; semantics are identical, which keeps debugging and
-  single-core environments honest;
+  subprocess, no pickling, **no shared-memory segments**; semantics are
+  identical, which keeps debugging and single-core environments honest;
 * ``workers > 1`` uses a lazily created, persistent pool (``fork`` start
   method when the platform has it, ``spawn`` otherwise): the workers — and
   their engines' caches — survive across calls, so repeated workloads
   against hot instances keep their artifacts warm.  ``close()`` (or use as
-  a context manager) releases the pool.
+  a context manager) tears the pool down, **clears the inline engine's
+  caches deterministically**, and unlinks every shared-memory segment the
+  run created (including orphans left by crashed workers, swept by the
+  plane prefix).
 
-Everything crossing the process boundary is plain picklable data: instances
-and TID instances (content-fingerprinted, so worker-side caching behaves
-exactly as in-process caching), queries (frozen dataclasses), ``Fraction``
-results, :class:`CompiledOBDD` artifacts, and ``CacheStats`` counters.
+The data plane is columnar.  Compiled artifacts cross the process boundary
+as :class:`repro.booleans.columnar.ColumnarOBDD` columns inside
+``multiprocessing.shared_memory`` segments (:mod:`repro.engine.shm`): a
+worker *publishes* the flat ``var|lo|hi`` buffer and ships back only a tiny
+:class:`~repro.engine.shm.SegmentHandle`; the parent *attaches* zero-copy.
+:meth:`ParallelEngine.reweight_many` runs the same plane in the other
+direction — the parent publishes one compiled artifact, every worker
+attaches to it and runs vectorized columnar sweeps for its share of the
+probability assignments, which is the batch re-weighting workload where
+per-worker cost is exactly "an attach plus a sweep".
 
-Worker-side evaluation bottoms out in the iterative fused sweep kernel of
-:meth:`repro.booleans.obdd.OBDD.sweep` (via ``CompilationEngine``), so deep
-variable orders are safe in workers too, and the ``method`` string —
-including the ``obdd_float`` fast path — passes through unchanged.
+Because the hot artifacts are acyclic int arrays rather than node-object
+graphs, workers run with the cyclic garbage collector frozen and disabled
+(``gc.freeze()`` + ``gc.disable()`` in the initializer, on by default):
+full GC passes rescanning millions of cached nodes were a measured ~2x drag
+on allocation-heavy shards.
+
+Everything else crossing the process boundary is plain picklable data:
+instances and TID instances (content-fingerprinted, so worker-side caching
+behaves exactly as in-process caching), queries (frozen dataclasses),
+``Fraction`` results, segment handles, and ``CacheStats`` counters.
 """
 
 from __future__ import annotations
 
+import gc
+import itertools
 import multiprocessing
 import os
 from dataclasses import dataclass
@@ -42,6 +59,7 @@ from fractions import Fraction
 from multiprocessing.pool import Pool
 from typing import Any, Callable, Mapping, Sequence
 
+from repro.booleans.columnar import ColumnarOBDD
 from repro.data.instance import Instance
 from repro.data.tid import ProbabilisticInstance
 from repro.engine.session import (
@@ -49,6 +67,12 @@ from repro.engine.session import (
     CompilationEngine,
     Query,
     merge_cache_stats,
+)
+from repro.engine.shm import (
+    SegmentHandle,
+    SegmentPlane,
+    attach_segment,
+    publish_segment,
 )
 from repro.errors import CompilationError
 from repro.provenance.compile_obdd import CompiledOBDD
@@ -58,6 +82,8 @@ CompileItem = tuple[Query, Instance]
 Shard = list[tuple[int, tuple]]
 ShardOutcome = tuple[list[tuple[int, Any]], dict[str, CacheStats]]
 ShardRunner = Callable[[tuple[Shard, Any]], ShardOutcome]
+
+_TRANSPORTS = ("auto", "shm", "object")
 
 
 def available_workers() -> int:
@@ -143,19 +169,54 @@ class ParallelReport:
 # The pool initializer builds one CompilationEngine per worker process; the
 # shard runners look it up through a module global.  Under the ``fork`` start
 # method the workload shards themselves are the only data pickled per task.
+# Workers also carry the plane prefix (for naming the segments they publish)
+# and a small LRU of attached shared artifacts for the reweight runner.
 
 _WORKER_ENGINE: CompilationEngine | None = None
+_WORKER_PLANE_PREFIX: str | None = None
+_WORKER_SEGMENT_SERIAL = itertools.count(1)
+_WORKER_ATTACHMENTS: dict[str, ColumnarOBDD] = {}
+_WORKER_ATTACHMENT_LIMIT = 8
 
 
-def _init_worker(engine_options: dict[str, Any]) -> None:
-    global _WORKER_ENGINE
+def _init_worker(
+    engine_options: dict[str, Any], plane_prefix: str | None, freeze_gc: bool
+) -> None:
+    global _WORKER_ENGINE, _WORKER_PLANE_PREFIX
     _WORKER_ENGINE = CompilationEngine(**engine_options)
+    _WORKER_PLANE_PREFIX = plane_prefix
+    _WORKER_ATTACHMENTS.clear()
+    if freeze_gc:
+        # The hot artifacts are flat int columns (acyclic); full cyclic-GC
+        # passes over the interpreter state and the engine caches are pure
+        # overhead in a worker whose lifetime the pool already bounds.
+        gc.collect()
+        gc.freeze()
+        gc.disable()
 
 
 def _worker_engine() -> CompilationEngine:
     if _WORKER_ENGINE is None:  # pragma: no cover - initializer always ran
         raise CompilationError("parallel worker used before initialization")
     return _WORKER_ENGINE
+
+
+def _worker_segment_name() -> str:
+    if _WORKER_PLANE_PREFIX is None:  # pragma: no cover - initializer always ran
+        raise CompilationError("worker has no segment plane prefix")
+    return f"{_WORKER_PLANE_PREFIX}-w{os.getpid()}-{next(_WORKER_SEGMENT_SERIAL)}"
+
+
+def _worker_attachment(handle: SegmentHandle) -> ColumnarOBDD:
+    """Attach (once) to a parent-published artifact; small per-worker LRU."""
+    key = handle.name if handle.name is not None else f"inline-{handle.root}"
+    artifact = _WORKER_ATTACHMENTS.get(key)
+    if artifact is None:
+        artifact = attach_segment(handle)
+        _WORKER_ATTACHMENTS[key] = artifact
+        while len(_WORKER_ATTACHMENTS) > _WORKER_ATTACHMENT_LIMIT:
+            _WORKER_ATTACHMENTS.pop(next(iter(_WORKER_ATTACHMENTS)))
+    return artifact
 
 
 def _stats_snapshot(engine: CompilationEngine) -> dict[str, CacheStats]:
@@ -181,14 +242,36 @@ def _run_probability_shard(payload: tuple[Shard, str]) -> ShardOutcome:
     return results, _stats_snapshot(engine)
 
 
-def _run_compile_shard(payload: tuple[Shard, bool]) -> ShardOutcome:
-    shard, use_path_decomposition = payload
+def _run_compile_shard(payload: tuple[Shard, tuple[bool, str]]) -> ShardOutcome:
+    shard, (use_path_decomposition, transport) = payload
     engine = _worker_engine()
     _reset_stats(engine)
-    results = [
-        (index, engine.compile(query, instance, use_path_decomposition))
-        for index, (query, instance) in shard
-    ]
+    results: list[tuple[int, Any]] = []
+    for index, (query, instance) in shard:
+        if transport == "shm":
+            columnar = engine.columnar(query, instance, use_path_decomposition)
+            results.append((index, publish_segment(columnar, _worker_segment_name())))
+        elif transport == "columnar":
+            # Inline stand-in for "shm": same columnar representation, but
+            # with no process boundary there is no segment to publish.
+            results.append((index, engine.columnar(query, instance, use_path_decomposition)))
+        else:
+            results.append((index, engine.compile(query, instance, use_path_decomposition)))
+    return results, _stats_snapshot(engine)
+
+
+def _run_reweight_shard(payload: tuple[Shard, tuple[SegmentHandle, bool]]) -> ShardOutcome:
+    """Sweep one shared artifact under this shard's probability assignments."""
+    shard, (handle, exact) = payload
+    engine = _worker_engine()
+    _reset_stats(engine)
+    artifact = _worker_attachment(handle)
+    # One matrix sweep over the whole shard: in the float regime the batch
+    # kernel amortizes per-level overhead across every assignment at once.
+    values = artifact.probability_many(
+        [probabilities for _, (probabilities,) in shard], exact=exact
+    )
+    results = [(index, value) for (index, _), value in zip(shard, values)]
     return results, _stats_snapshot(engine)
 
 
@@ -199,13 +282,20 @@ class ParallelEngine:
     ----------
     workers:
         Worker process count; defaults to the host's available parallelism.
-        ``workers=1`` executes inline (no subprocess).
+        ``workers=1`` executes inline (no subprocess, no segments).
     engine_options:
         Keyword arguments forwarded to each worker's
         :class:`CompilationEngine` (cache bounds).
     start_method:
         ``multiprocessing`` start method; defaults to ``fork`` when the
         platform offers it (cheap on Linux), else the platform default.
+    use_shared_memory:
+        Ship compiled artifacts through shared-memory segments (columnar
+        zero-copy transport) instead of pickling them.  Defaults to True;
+        only the pool regime ever creates segments.
+    freeze_worker_gc:
+        Freeze and disable the cyclic garbage collector in pool workers
+        (default True); the calling process is never touched.
     """
 
     def __init__(
@@ -213,6 +303,8 @@ class ParallelEngine:
         workers: int | None = None,
         engine_options: Mapping[str, Any] | None = None,
         start_method: str | None = None,
+        use_shared_memory: bool = True,
+        freeze_worker_gc: bool = True,
     ) -> None:
         if workers is not None and workers < 1:
             raise CompilationError("workers must be at least 1")
@@ -222,25 +314,39 @@ class ParallelEngine:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
         self.start_method = start_method
+        self.use_shared_memory = use_shared_memory
+        self.freeze_worker_gc = freeze_worker_gc
         self.last_report: ParallelReport | None = None
         self._pool: Pool | None = None
+        self._plane: SegmentPlane | None = None
         self._inline_engine: CompilationEngine | None = None
 
     # -- lifecycle -------------------------------------------------------------
 
     def close(self) -> None:
-        """Release the worker pool (and the inline engine's caches).
+        """Tear down the pool, the segment plane, and every worker cache.
 
-        The pool is created lazily on first use and kept alive across calls
-        so worker-side engine caches persist between workloads; ``close()``
-        (or use as a context manager) tears it down.  A garbage-collected
-        unclosed pool is reclaimed by ``multiprocessing``'s own finalizer.
+        Deterministic by design: the pool processes (and with them every
+        worker engine's cached node graphs) are terminated, the inline
+        engine's caches are *cleared* — not merely dereferenced, so no dead
+        engine keeps millions of cached nodes alive for later GC passes to
+        rescan — and every shared-memory segment this engine created is
+        unlinked (a prefix sweep also reclaims segments orphaned by worker
+        crashes).  Shared-columnar artifacts returned by earlier calls become
+        invalid at that point; take a :meth:`ColumnarOBDD.copy` first if one
+        must outlive the engine.  The engine itself stays usable: pools,
+        plane, and inline engine are rebuilt lazily on the next call.
         """
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
-        self._inline_engine = None
+        if self._plane is not None:
+            self._plane.close()
+            self._plane = None
+        if self._inline_engine is not None:
+            self._inline_engine.clear()
+            self._inline_engine = None
 
     def __enter__(self) -> "ParallelEngine":
         return self
@@ -248,20 +354,35 @@ class ParallelEngine:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    def segment_plane(self) -> SegmentPlane:
+        """The engine's (lazily created) shared-memory segment plane."""
+        if self._plane is None:
+            self._plane = SegmentPlane()
+        return self._plane
+
     # -- generic sharded execution -------------------------------------------
 
     def _run(
-        self, items: Sequence[tuple], runner: ShardRunner, extra: Any
+        self,
+        items: Sequence[tuple],
+        runner: ShardRunner,
+        extra: Any,
+        group_key: Callable[[tuple], str] | None = None,
+        extra_inline: Any = None,
     ) -> ParallelReport:
+        """Shard ``items`` and execute; ``extra_inline`` (when not None)
+        replaces ``extra`` in the inline regime — the compile path uses it to
+        force the object transport where no process boundary exists."""
         if not items:
             report = ParallelReport(
                 values=(), workers=self.workers, shard_sizes=(), worker_stats=()
             )
             self.last_report = report
             return report
-        shards = shard_workload(items, self.workers)
+        shards = shard_workload(items, self.workers, group_key)
         if self.workers == 1 or len(shards) == 1:
-            report = self._run_inline(shards, runner, extra)
+            chosen = extra if extra_inline is None else extra_inline
+            report = self._run_inline(shards, runner, chosen)
         else:
             report = self._run_pool(shards, runner, extra)
         self.last_report = report
@@ -286,10 +407,11 @@ class ParallelEngine:
     ) -> ParallelReport:
         if self._pool is None:
             context = multiprocessing.get_context(self.start_method)
+            plane_prefix = self.segment_plane().prefix if self.use_shared_memory else None
             self._pool = context.Pool(
                 processes=self.workers,
                 initializer=_init_worker,
-                initargs=(self.engine_options,),
+                initargs=(self.engine_options, plane_prefix, self.freeze_worker_gc),
             )
         outcomes = self._pool.map(runner, [(shard, extra) for shard in shards])
         return self._merge(shards, outcomes)
@@ -337,19 +459,132 @@ class ParallelEngine:
     # -- compilation workloads -------------------------------------------------
 
     def map_compile(
-        self, pairs: Sequence[CompileItem], use_path_decomposition: bool = False
+        self,
+        pairs: Sequence[CompileItem],
+        use_path_decomposition: bool = False,
+        transport: str = "auto",
     ) -> ParallelReport:
-        """Compile a workload of ``(query, instance)`` pairs; full report."""
-        return self._run(pairs, _run_compile_shard, bool(use_path_decomposition))
+        """Compile a workload of ``(query, instance)`` pairs; full report.
+
+        Transport of the compiled artifacts back to the caller:
+
+        * ``"shm"`` — workers publish columnar columns into shared-memory
+          segments and return handles; the parent attaches zero-copy, so the
+          values are :class:`~repro.booleans.columnar.ColumnarOBDD` views
+          owned by this engine (valid until :meth:`close`);
+        * ``"object"`` — the artifacts are pickled back as
+          :class:`~repro.provenance.compile_obdd.CompiledOBDD` node graphs
+          (the pre-columnar behavior);
+        * ``"auto"`` (default) — ``"shm"`` when this engine runs a pool and
+          shared memory is enabled, else ``"object"``.
+
+        The inline regime (``workers=1``, or a workload that collapses to a
+        single shard) never creates segments — there is no process boundary
+        to cross.  ``"auto"`` resolves to ``"object"`` there; an explicit
+        ``"shm"`` still honors the *representation* and returns
+        :class:`ColumnarOBDD` values, built directly without a segment, so
+        the value types a caller sees depend only on the transport they
+        asked for, never on how the workload happened to shard.
+        """
+        if transport not in _TRANSPORTS:
+            raise CompilationError(
+                f"unknown transport {transport!r}; use one of {_TRANSPORTS}"
+            )
+        if transport == "auto":
+            transport = "shm" if self.use_shared_memory else "object"
+            inline_transport = "object"
+        elif transport == "shm":
+            inline_transport = "columnar"
+        else:
+            inline_transport = transport
+        if transport == "shm" and not self.use_shared_memory:
+            raise CompilationError("shared-memory transport is disabled on this engine")
+        report = self._run(
+            pairs,
+            _run_compile_shard,
+            (bool(use_path_decomposition), transport),
+            extra_inline=(bool(use_path_decomposition), inline_transport),
+        )
+        if any(isinstance(value, SegmentHandle) for value in report.values):
+            plane = self.segment_plane()
+            report = ParallelReport(
+                values=tuple(
+                    plane.adopt(value) if isinstance(value, SegmentHandle) else value
+                    for value in report.values
+                ),
+                workers=report.workers,
+                shard_sizes=report.shard_sizes,
+                worker_stats=report.worker_stats,
+            )
+            self.last_report = report
+        return report
 
     def compile_many(
         self,
         queries: Sequence[Query],
         instance: Instance,
         use_path_decomposition: bool = False,
-    ) -> list[CompiledOBDD]:
-        """OBDD compilations of a batch of queries against one instance."""
+        transport: str = "auto",
+    ) -> list[CompiledOBDD | ColumnarOBDD]:
+        """Compiled artifacts of a batch of queries against one instance."""
         report = self.map_compile(
-            [(query, instance) for query in queries], use_path_decomposition
+            [(query, instance) for query in queries], use_path_decomposition, transport
         )
         return list(report.values)
+
+    # -- batch re-weighting over one shared artifact ---------------------------
+
+    def reweight_many(
+        self,
+        compiled: CompiledOBDD | ColumnarOBDD,
+        probability_maps: Sequence[Mapping],
+        exact: bool = True,
+    ) -> list[Fraction | float]:
+        """Probabilities of one compiled artifact under many weightings.
+
+        The inverse direction of :meth:`map_compile`'s transport: the parent
+        publishes the artifact's columns *once* into a shared-memory segment,
+        and every worker attaches to that one segment and runs columnar
+        sweeps for its shard of ``probability_maps`` — per-worker cost is an
+        attach plus a vectorized sweep per assignment, never a deserialize.
+        This is the re-weighting workload (same lineage, changing fact
+        probabilities) that motivates separating diagram structure from
+        weights.  ``workers=1`` evaluates inline without any segment.
+        """
+        columnar = (
+            compiled if isinstance(compiled, ColumnarOBDD) else compiled.to_columnar()
+        )
+        items = [(probabilities,) for probabilities in probability_maps]
+        if not items:
+            self._run(items, _run_reweight_shard, None)
+            return []
+        if self.workers == 1 or not self.use_shared_memory:
+            if self._inline_engine is None:
+                self._inline_engine = CompilationEngine(**self.engine_options)
+            values = columnar.probability_many(
+                [probabilities for (probabilities,) in items], exact=exact
+            )
+            self.last_report = ParallelReport(
+                values=tuple(values),
+                workers=self.workers,
+                shard_sizes=(len(items),),
+                worker_stats=(_stats_snapshot(self._inline_engine),),
+            )
+            return values
+        handle = self.segment_plane().publish(columnar)
+        report = self._run(
+            items,
+            _run_reweight_shard,
+            (handle, exact),
+            group_key=_reweight_group_key,
+            extra_inline=(handle, exact),
+        )
+        return list(report.values)
+
+
+_REWEIGHT_COUNTER = itertools.count()
+
+
+def _reweight_group_key(item: tuple) -> str:
+    """Reweight items share one artifact; spread them evenly over shards."""
+    return str(next(_REWEIGHT_COUNTER))

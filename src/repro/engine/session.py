@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Iterable, Sequence
 
+from repro.booleans.columnar import ColumnarOBDD
 from repro.booleans.dnnf import DNNF
 from repro.data.gaifman import gaifman_graph
 from repro.data.instance import Fact, Instance
@@ -112,6 +113,9 @@ class _InstanceArtifacts:
     compiled: OrderedDict[tuple[UnionOfConjunctiveQueries, bool], CompiledOBDD] = field(
         default_factory=OrderedDict
     )
+    columnar: OrderedDict[tuple[UnionOfConjunctiveQueries, bool], ColumnarOBDD] = field(
+        default_factory=OrderedDict
+    )
     dnnfs: OrderedDict[UnionOfConjunctiveQueries, DNNF] = field(default_factory=OrderedDict)
 
 
@@ -151,6 +155,7 @@ class CompilationEngine:
             "structure": CacheStats(),
             "lineage": CacheStats(),
             "obdd": CacheStats(),
+            "columnar": CacheStats(),
             "dnnf": CacheStats(),
             "probability": CacheStats(),
         }
@@ -296,6 +301,33 @@ class CompilationEngine:
         """
         return [self.compile(q, instance, use_path_decomposition) for q in queries]
 
+    def columnar(
+        self, query: Query, instance: Instance, use_path_decomposition: bool = False
+    ) -> ColumnarOBDD:
+        """The (cached) columnar form of the compiled OBDD.
+
+        Keyed exactly like :meth:`compile` (the columnar artifact is a
+        lossless flattening of the object artifact, so it shares the same
+        fingerprinted identity); built on demand from the cached
+        :class:`CompiledOBDD` and LRU-trimmed with the same per-instance
+        bound.  This is the artifact the parallel tier ships through shared
+        memory and the vectorized sweeps run on.
+        """
+        key = (as_ucq(query), bool(use_path_decomposition))
+        slot = self._slot(instance)
+        hit = key in slot.columnar
+        self.stats["columnar"].record(hit)
+        if hit:
+            slot.columnar.move_to_end(key)
+            # Keep the source object artifact's LRU slot warm too: a hot
+            # columnar view should not see its compiled source evicted.
+            self.compile(query, instance, use_path_decomposition)
+        else:
+            slot.columnar[key] = self.compile(query, instance, use_path_decomposition).to_columnar()
+            while len(slot.columnar) > self._max_queries_per_instance:
+                slot.columnar.popitem(last=False)
+        return slot.columnar[key]
+
     def dnnf(self, query: Query, instance: Instance) -> DNNF:
         """A (cached) d-DNNF for the query's lineage, through the OBDD route."""
         key = as_ucq(query)
@@ -368,6 +400,18 @@ class CompilationEngine:
             return self.compile(query, tid.instance).probability(tid.valuation())
         if method == "obdd_float":
             return self.compile(query, tid.instance).probability(tid.valuation(), exact=False)
+        if method == "columnar":
+            return self.columnar(query, tid.instance).probability(tid.valuation())
+        if method == "columnar_float":
+            return self.columnar(query, tid.instance).probability(tid.valuation(), exact=False)
+        if method == "automaton_columnar":
+            from repro.provenance.columnar_product import (
+                ucq_probability_via_columnar_automaton,
+            )
+
+            return ucq_probability_via_columnar_automaton(
+                query, tid, encoding=self.tree_encoding_of(tid.instance)
+            )
         if method == "dnnf":
             dnnf = self.dnnf(query, tid.instance)
             valuation = {fact: tid.probability_of(fact) for fact in dnnf.variables()}

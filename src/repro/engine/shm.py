@@ -1,0 +1,242 @@
+"""Zero-copy artifact shipping over ``multiprocessing.shared_memory``.
+
+A :class:`SegmentPlane` owns a family of shared-memory segments, all named
+under one per-plane prefix.  Compiled columnar artifacts
+(:class:`repro.booleans.columnar.ColumnarOBDD`) are *published* into a
+segment (one contiguous ``var|lo|hi`` buffer) and *attached* elsewhere as
+numpy views straight into the mapping — no pickling of node graphs, no
+per-node object materialization on the far side.
+
+Lifecycle contract (the satellite tests pin it):
+
+* the plane that calls :meth:`publish` — or that adopts a worker-created
+  segment via :meth:`adopt` — owns the segment and is responsible for the
+  single ``unlink``;
+* :meth:`close` closes every mapping, unlinks every owned segment, and then
+  sweeps ``/dev/shm`` for orphans under the plane's prefix — segments left
+  behind by a worker that crashed between ``shm_open`` and handing the name
+  back are reclaimed too;
+* creators and attachers are both detached from CPython's
+  ``resource_tracker``: under the ``spawn`` start method each worker has its
+  *own* tracker, which would otherwise unlink segments at worker exit while
+  the parent still maps them, and (before 3.13) every attach spuriously
+  re-registers the name.  Explicit ownership plus the prefix sweep replaces
+  the tracker.
+
+Segments are a transport for *flat columns only*; the small picklable
+sidecar (:class:`SegmentHandle`: name, node count, root, variable order)
+still crosses the process boundary by value.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import weakref
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Hashable, Iterator
+
+from repro.booleans.columnar import ColumnarOBDD, columnar_from_buffer
+from repro.errors import CompilationError
+
+_DEV_SHM = "/dev/shm"
+
+
+def _untrack(name: str) -> None:
+    """Detach a segment from the resource tracker (ownership is explicit)."""
+    try:
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:  # pragma: no cover - tracker variations across platforms
+        pass
+
+
+@dataclass(frozen=True, slots=True)
+class SegmentHandle:
+    """The picklable sidecar describing one published columnar artifact."""
+
+    name: str | None  # None: terminal-only artifact, no segment was created
+    node_count: int
+    root: int
+    order: tuple[Hashable, ...]
+
+    @property
+    def nbytes(self) -> int:
+        return 3 * self.node_count * 8
+
+
+def publish_segment(columnar: ColumnarOBDD, name: str) -> SegmentHandle:
+    """Create segment ``name`` holding the artifact's packed columns.
+
+    The creating process keeps no mapping open afterwards; the caller (or an
+    adopting plane) owns the unlink.  Terminal-only artifacts (zero decision
+    nodes) need no segment at all and return a handle with ``name=None``.
+    """
+    if len(columnar) == 0:
+        return SegmentHandle(None, 0, columnar.root, columnar.order)
+    segment = shared_memory.SharedMemory(create=True, name=name, size=columnar.nbytes)
+    try:
+        columnar.write_into(segment.buf)
+    finally:
+        _untrack(segment.name)
+        segment.close()
+    return SegmentHandle(name, len(columnar), columnar.root, columnar.order)
+
+
+def attach_segment(handle: SegmentHandle) -> ColumnarOBDD:
+    """Attach to a published artifact; columns are views into the mapping.
+
+    The returned artifact retains the mapping, so it stays valid while the
+    artifact is referenced — but an ``unlink`` (plane close) invalidates it;
+    call :meth:`ColumnarOBDD.copy` first to keep a private copy.
+    """
+    if handle.name is None:
+        return ColumnarOBDD(handle.order, [], [], [], handle.root)
+    segment = shared_memory.SharedMemory(name=handle.name)
+    _untrack(handle.name)
+    artifact = columnar_from_buffer(
+        {"node_count": handle.node_count, "root": handle.root, "order": handle.order},
+        segment.buf,
+        retain=segment,
+    )
+    if artifact._retain is None:
+        # Fallback backend: the columns were copied out, the mapping is done.
+        segment.close()
+    return artifact
+
+
+class SegmentPlane:
+    """Owner of a prefix-named family of shared-memory segments.
+
+    One plane lives in the parent :class:`~repro.engine.parallel.
+    ParallelEngine`; workers derive segment names from the plane's prefix
+    (:meth:`worker_name`) so the parent can both adopt the handles they
+    return and sweep orphans after a crash.
+    """
+
+    def __init__(self, prefix: str | None = None) -> None:
+        if prefix is None:
+            prefix = f"repro-{os.getpid()}-{secrets.token_hex(4)}"
+        if "/" in prefix:
+            raise CompilationError("segment prefix must not contain '/'")
+        self.prefix = prefix
+        self._serial = 0
+        # name -> open SharedMemory mapping (attached artifacts keep their
+        # own reference too; this registry is for close/unlink).
+        self._attached: dict[str, shared_memory.SharedMemory] = {}
+        self._owned: set[str] = set()
+        # Safety net for planes that are garbage-collected (or alive at
+        # interpreter exit) without an explicit close(): the finalizer sees
+        # the same mutable registries, so whatever close() already reclaimed
+        # is skipped and whatever it missed is unlinked.  Explicit close()
+        # remains the contract; this only prevents /dev/shm litter.
+        self._finalizer = weakref.finalize(
+            self, _reclaim_segments, self.prefix, self._owned, self._attached
+        )
+
+    # -- naming ----------------------------------------------------------------
+
+    def next_name(self) -> str:
+        self._serial += 1
+        return f"{self.prefix}-p{self._serial}"
+
+    def worker_name(self, worker_pid: int, serial: int) -> str:
+        return f"{self.prefix}-w{worker_pid}-{serial}"
+
+    # -- publish / attach ------------------------------------------------------
+
+    def publish(self, columnar: ColumnarOBDD) -> SegmentHandle:
+        """Publish an artifact under a fresh plane-owned name."""
+        handle = publish_segment(columnar, self.next_name())
+        if handle.name is not None:
+            self._owned.add(handle.name)
+        return handle
+
+    def adopt(self, handle: SegmentHandle) -> ColumnarOBDD:
+        """Attach to a worker-published segment and take ownership of it."""
+        artifact = attach_segment(handle)
+        if handle.name is not None:
+            self._owned.add(handle.name)
+            if artifact._retain is not None:
+                self._attached[handle.name] = artifact._retain
+        return artifact
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def owned_segments(self) -> tuple[str, ...]:
+        return tuple(sorted(self._owned))
+
+    def close(self) -> None:
+        """Close every mapping, unlink every owned segment, sweep orphans."""
+        _reclaim_segments(self.prefix, self._owned, self._attached)
+
+    def __enter__(self) -> "SegmentPlane":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _reclaim_segments(
+    prefix: str,
+    owned: set[str],
+    attached: dict[str, shared_memory.SharedMemory],
+) -> None:
+    """Close mappings, unlink owned segments, sweep prefix orphans.
+
+    Shared by :meth:`SegmentPlane.close` and the plane's GC finalizer; takes
+    the mutable registries (not the plane) so the finalizer keeps nothing
+    alive and both paths observe whatever the other already reclaimed.
+    """
+    for name, segment in list(attached.items()):
+        _close_ignoring_exports(segment)
+        del attached[name]
+    for name in sorted(owned):
+        _unlink_quietly(name)
+    owned.clear()
+    for name in orphan_segments(prefix):
+        _unlink_quietly(name)
+
+
+def _close_ignoring_exports(segment: shared_memory.SharedMemory) -> None:
+    """Close a mapping, tolerating still-exported numpy views.
+
+    An adopted artifact that outlives its plane keeps views into the mapping;
+    ``mmap.close`` then raises ``BufferError``.  The mapping is left in place
+    (the OS reclaims it at process exit — the *segment* is already unlinked)
+    and the object's ``close`` is stubbed out so its destructor does not
+    re-raise the same error as interpreter-teardown noise.
+    """
+    try:
+        segment.close()
+    except BufferError:
+        segment.close = lambda: None  # type: ignore[method-assign]
+
+
+def _unlink_quietly(name: str) -> None:
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return
+    segment.close()
+    try:
+        # unlink() also unregisters the name from the resource tracker,
+        # balancing the registration the attach above made — no _untrack
+        # here, or the tracker would see the name unregistered twice.
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - raced with another unlink
+        pass
+
+
+def orphan_segments(prefix: str) -> Iterator[str]:
+    """Names under ``prefix`` still present in ``/dev/shm`` (Linux only)."""
+    if not os.path.isdir(_DEV_SHM):  # pragma: no cover - non-Linux
+        return
+    for entry in sorted(os.listdir(_DEV_SHM)):
+        if entry.startswith(prefix):
+            yield entry
+
+
+def live_segments(prefix: str) -> list[str]:
+    """Snapshot of ``/dev/shm`` entries under a prefix (test helper)."""
+    return list(orphan_segments(prefix))

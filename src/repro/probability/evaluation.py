@@ -28,8 +28,33 @@ from repro.queries.cq import ConjunctiveQuery
 from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq
 
 Method = Literal[
-    "auto", "obdd", "obdd_float", "dnnf", "automaton", "brute_force", "safe_plan", "read_once"
+    "auto",
+    "obdd",
+    "obdd_float",
+    "columnar",
+    "columnar_float",
+    "dnnf",
+    "automaton",
+    "automaton_columnar",
+    "brute_force",
+    "safe_plan",
+    "read_once",
 ]
+
+#: Every accepted method string, in presentation order (the CLI choices).
+METHOD_NAMES: tuple[str, ...] = (
+    "auto",
+    "obdd",
+    "obdd_float",
+    "columnar",
+    "columnar_float",
+    "dnnf",
+    "automaton",
+    "automaton_columnar",
+    "brute_force",
+    "safe_plan",
+    "read_once",
+)
 
 
 def probability(
@@ -64,6 +89,18 @@ def probability(
     if method == "obdd_float":
         compiled = compile_query_to_obdd(query, probabilistic_instance.instance)
         return compiled.probability(probabilistic_instance.valuation(), exact=False)
+    if method in ("columnar", "columnar_float"):
+        compiled = compile_query_to_obdd(query, probabilistic_instance.instance)
+        columnar = compiled.to_columnar()
+        return columnar.probability(
+            probabilistic_instance.valuation(), exact=method == "columnar"
+        )
+    if method == "automaton_columnar":
+        from repro.provenance.columnar_product import (
+            ucq_probability_via_columnar_automaton,
+        )
+
+        return ucq_probability_via_columnar_automaton(query, probabilistic_instance)
     if method == "dnnf":
         compiled = compile_query_to_obdd(query, probabilistic_instance.instance)
         dnnf = compiled.to_dnnf()

@@ -86,17 +86,23 @@ def provenance_circuit(automaton: TreeAutomaton, encoding: TreeEncoding) -> Bool
     return provenance(automaton, encoding).circuit
 
 
-def provenance(automaton: TreeAutomaton, encoding: TreeEncoding) -> ProvenanceResult:
-    """Build the provenance d-DNNF and circuit with the indexed kernel."""
+def reachability_tables(
+    automaton: TreeAutomaton, encoding: TreeEncoding
+) -> tuple[list[int], dict[int, list[State]], dict[int, list[list[tuple[tuple[int, ...], bool]]]]]:
+    """Pass 1 of the indexed kernel: dense state ids and transition tables.
+
+    Returns ``(post, states, combos)`` where ``post`` is the encoding's
+    post-order, ``states[n]`` lists the reachable states of node n in
+    first-reached order (the dense id of a state is its list position), and
+    ``combos[n][q]`` indexes, per resulting state id q, the
+    (child-state-id combination, fact_present) pairs whose transition reaches
+    q — each combination is evaluated once.  Both the gate-emission passes
+    below and the columnar probability product
+    (:mod:`repro.provenance.columnar_product`) consume these tables.
+    """
     post = encoding.post_order()
     nodes = encoding.nodes
     transition = automaton.transition
-
-    # -- pass 1: bottom-up reachability with dense state ids ------------------
-    # states[n] lists the reachable states of node n in first-reached order
-    # (the dense id of a state is its list position); combos[n][q] indexes,
-    # per resulting state id q, the (child-state-id combination, fact_present)
-    # pairs whose transition reaches q — each combination is evaluated once.
     states: dict[int, list[State]] = {}
     combos: dict[int, list[list[tuple[tuple[int, ...], bool]]]] = {}
     for identifier in post:
@@ -120,6 +126,15 @@ def provenance(automaton: TreeAutomaton, encoding: TreeEncoding) -> ProvenanceRe
                 local_combos[state_id].append((combination, fact_present))
         states[identifier] = local_states
         combos[identifier] = local_combos
+    return post, states, combos
+
+
+def provenance(automaton: TreeAutomaton, encoding: TreeEncoding) -> ProvenanceResult:
+    """Build the provenance d-DNNF and circuit with the indexed kernel."""
+    nodes = encoding.nodes
+
+    # -- pass 1: bottom-up reachability with dense state ids ------------------
+    post, states, combos = reachability_tables(automaton, encoding)
 
     counts = {identifier: len(local) for identifier, local in states.items()}
 

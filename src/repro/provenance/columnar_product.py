@@ -1,0 +1,196 @@
+"""Columnar automaton-provenance product: the state DP over dense id arrays.
+
+The object-kernel probability evaluation of
+:func:`repro.provenance.automata.automaton_probability` carries a
+``dict[State, Fraction]`` per encoding node and re-enumerates the child
+product on every node.  This module evaluates the same dynamic program over
+the **dense transition tables** of
+:func:`repro.provenance.automaton_provenance.reachability_tables`: states
+become integer ids, per-node weights become columns indexed by those ids, and
+each node's update is a gather over child-weight columns followed by a
+scatter-add into the node's column — one level of the encoding at a time,
+vectorized with numpy in the float regime.
+
+Arithmetic contract, matching the OBDD sweeps:
+
+* ``exact=True`` (default): Python loops over the id columns in
+  :class:`~fractions.Fraction` arithmetic — exact end to end, bit-for-bit the
+  value of the object kernel (the differential oracle checks this);
+* ``exact=False``: numpy float columns with per-node gather/scatter (the
+  fallback backend runs the same loops in hardware floats); degenerate
+  results (non-finite or outside ``[0, 1]``) rerun the exact kernel.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from repro.booleans.columnar import array_backend
+from repro.data.tid import ProbabilisticInstance
+from repro.errors import LineageError
+from repro.provenance.automata import TreeAutomaton
+from repro.provenance.automaton_provenance import reachability_tables
+from repro.provenance.tree_encoding import TreeEncoding, tree_encoding
+
+
+def columnar_automaton_probability(
+    automaton: TreeAutomaton,
+    encoding: TreeEncoding,
+    probabilistic_instance: ProbabilisticInstance,
+    exact: bool = True,
+) -> Fraction | float:
+    """Probability that the automaton accepts, over dense-id weight columns."""
+    if probabilistic_instance.instance != encoding.instance:
+        raise LineageError("the probabilistic instance does not match the encoding's instance")
+    post, states, combos = reachability_tables(automaton, encoding)
+    if exact:
+        return _exact_product(automaton, encoding, probabilistic_instance, post, states, combos)
+    value = _float_product(automaton, encoding, probabilistic_instance, post, states, combos)
+    if not (math.isfinite(value) and -1e-9 <= value <= 1 + 1e-9):
+        return float(
+            _exact_product(automaton, encoding, probabilistic_instance, post, states, combos)
+        )
+    return min(max(value, 0.0), 1.0)
+
+
+def _exact_product(automaton, encoding, probabilistic_instance, post, states, combos) -> Fraction:
+    """The exact regime: Fraction columns indexed by dense state ids."""
+    nodes = encoding.nodes
+    zero = Fraction(0)
+    one = Fraction(1)
+    weights: dict[int, list[Fraction]] = {}
+    for identifier in post:
+        node = nodes[identifier]
+        children = node.children
+        if node.fact is not None:
+            p = probabilistic_instance.probability_of(node.fact)
+            fact_weight = (one - p, p)  # indexed by fact_present
+        else:
+            fact_weight = (one, one)
+        column = [zero] * len(states[identifier])
+        child_columns = [weights[child] for child in children]
+        for state_id, state_combos in enumerate(combos[identifier]):
+            total = zero
+            for combination, fact_present in state_combos:
+                term = fact_weight[fact_present]
+                if term == 0:
+                    continue
+                for position, child_state_id in enumerate(combination):
+                    term *= child_columns[position][child_state_id]
+                    if term == 0:
+                        break
+                total += term
+            column[state_id] = total
+        weights[identifier] = column
+        for child in children:
+            del weights[child]
+    root_column = weights[encoding.root]
+    if sum(root_column, zero) != 1:
+        raise LineageError("state distribution does not sum to 1; the automaton is not total")
+    return sum(
+        (
+            weight
+            for state_id, weight in enumerate(root_column)
+            if automaton.is_accepting(states[encoding.root][state_id])
+        ),
+        zero,
+    )
+
+
+def _float_product(automaton, encoding, probabilistic_instance, post, states, combos) -> float:
+    """The float regime: per-node gather/scatter over weight columns."""
+    numpy_module = array_backend()
+    nodes = encoding.nodes
+    weights: dict[int, object] = {}
+    for identifier in post:
+        node = nodes[identifier]
+        children = node.children
+        if node.fact is not None:
+            p = float(probabilistic_instance.probability_of(node.fact))
+            fact_weight = (1.0 - p, p)
+        else:
+            fact_weight = (1.0, 1.0)
+        child_columns = [weights[child] for child in children]
+        state_count = len(states[identifier])
+        if numpy_module is not None:
+            column = _scatter_node(
+                numpy_module, state_count, combos[identifier], child_columns, fact_weight
+            )
+        else:
+            column = _loop_node(state_count, combos[identifier], child_columns, fact_weight)
+        weights[identifier] = column
+        for child in children:
+            del weights[child]
+    root_column = weights[encoding.root]
+    total = 0.0
+    for state_id, state in enumerate(states[encoding.root]):
+        if automaton.is_accepting(state):
+            total += float(root_column[state_id])
+    return total
+
+
+def _scatter_node(numpy_module, state_count, node_combos, child_columns, fact_weight):
+    """One node's update as flat gathers and a single scatter-add.
+
+    The node's combinations are flattened into id columns (one per child
+    position, plus the resulting state and the fact-presence bit); the
+    contribution vector is the elementwise product of the gathered child
+    weights and the fact weights, accumulated per resulting state with
+    ``add.at``.
+    """
+    np = numpy_module
+    flat_states: list[int] = []
+    flat_present: list[int] = []
+    flat_children: list[list[int]] = [[] for _ in child_columns]
+    for state_id, state_combos in enumerate(node_combos):
+        for combination, fact_present in state_combos:
+            flat_states.append(state_id)
+            flat_present.append(1 if fact_present else 0)
+            for position, child_state_id in enumerate(combination):
+                flat_children[position].append(child_state_id)
+    contributions = np.where(
+        np.asarray(flat_present, dtype=np.int64) == 1, fact_weight[1], fact_weight[0]
+    )
+    for position, column in enumerate(child_columns):
+        contributions = contributions * np.asarray(column, dtype=np.float64)[
+            np.asarray(flat_children[position], dtype=np.int64)
+        ]
+    out = np.zeros(state_count, dtype=np.float64)
+    np.add.at(out, np.asarray(flat_states, dtype=np.int64), contributions)
+    return out
+
+
+def _loop_node(state_count, node_combos, child_columns, fact_weight):
+    """The no-numpy fallback: same update in scalar floats."""
+    column = [0.0] * state_count
+    for state_id, state_combos in enumerate(node_combos):
+        total = 0.0
+        for combination, fact_present in state_combos:
+            term = fact_weight[fact_present]
+            for position, child_state_id in enumerate(combination):
+                term *= child_columns[position][child_state_id]
+            total += term
+        column[state_id] = total
+    return column
+
+
+def ucq_probability_via_columnar_automaton(
+    query,
+    probabilistic_instance: ProbabilisticInstance,
+    encoding: TreeEncoding | None = None,
+    exact: bool = True,
+) -> Fraction | float:
+    """UCQ≠ probability through the columnar automaton product.
+
+    The columnar sibling of :func:`repro.provenance.ucq_automaton.
+    ucq_probability_via_automaton`: same automaton, same encoding, the
+    dynamic programming evaluated over dense-id weight columns.
+    """
+    from repro.provenance.ucq_automaton import ucq_automaton
+
+    if encoding is None:
+        encoding = tree_encoding(probabilistic_instance.instance)
+    return columnar_automaton_probability(
+        ucq_automaton(query), encoding, probabilistic_instance, exact=exact
+    )

@@ -80,6 +80,21 @@ class CompiledOBDD:
     def to_dnnf(self) -> DNNF:
         return dnnf_from_obdd(self.manager, self.root)
 
+    def to_columnar(self):
+        """The artifact as a :class:`repro.booleans.columnar.ColumnarOBDD`.
+
+        The columnar form is the shippable one: flat int64 columns that pack
+        into a single buffer (shared-memory segments, mmap files) and sweep
+        vectorized; the conversion is lossless (:meth:`from_columnar`).
+        """
+        return self.manager.to_columnar(self.root, self.order)
+
+    @classmethod
+    def from_columnar(cls, columnar) -> "CompiledOBDD":
+        """Rebuild an object-kernel artifact from its columnar form."""
+        manager, root = columnar.to_obdd()
+        return cls(manager, root, tuple(columnar.order))
+
 
 def compile_lineage_to_obdd(
     lineage: MonotoneDNFLineage, order: Sequence[Fact] | None = None

@@ -6,8 +6,9 @@ differentially testable.  :class:`ProbabilityOracle` evaluates one
 ``(query, TID instance)`` pair through every applicable route and checks:
 
 * **exact agreement** — brute-force world enumeration, OBDD compilation,
-  d-DNNF compilation, the ``auto`` dispatcher (and optionally the
-  tree-automaton dynamic program) must return the *same*
+  the columnar (structure-of-arrays) sweep, d-DNNF compilation, the ``auto``
+  dispatcher (and optionally the tree-automaton dynamic program, object or
+  columnar) must return the *same*
   :class:`~fractions.Fraction`, compared exactly, never through ``float``.
   Brute force is the fully independent reference (as are the automaton and
   lifted-inference routes when they run); the compiled routes share the
@@ -50,7 +51,7 @@ from repro.testing.workloads import WorkloadCase
 
 Query = UnionOfConjunctiveQueries | ConjunctiveQuery
 
-DEFAULT_EXACT_METHODS = ("brute_force", "obdd", "dnnf", "auto")
+DEFAULT_EXACT_METHODS = ("brute_force", "obdd", "columnar", "dnnf", "auto")
 
 
 class OracleDisagreement(ReproError):
@@ -133,9 +134,9 @@ class ProbabilityOracle:
     exact_methods:
         Exact routes to run (method names of
         :func:`repro.probability.evaluation.probability`).  Brute force is
-        the reference; the default adds the OBDD, d-DNNF, and ``auto``
-        routes.  Add ``"automaton"`` for the (slower) tree-automaton dynamic
-        program.
+        the reference; the default adds the OBDD, columnar, d-DNNF, and
+        ``auto`` routes.  Add ``"automaton"`` (or ``"automaton_columnar"``)
+        for the (slower) tree-automaton dynamic program.
     include_safe_plan:
         Also run lifted inference on syntactically liftable queries.
     karp_luby_samples / karp_luby_delta:
@@ -180,7 +181,7 @@ class ProbabilityOracle:
     # compiled routes still share the compilation *pipeline* — the genuinely
     # independent algorithms are brute force, the automaton dynamic program,
     # and lifted inference.
-    _ENGINE_METHODS = frozenset({"auto", "obdd", "read_once"})
+    _ENGINE_METHODS = frozenset({"auto", "obdd", "columnar", "read_once"})
 
     def check(
         self, query: Query, tid: ProbabilisticInstance, name: str = "case"

@@ -134,10 +134,20 @@ def test_differential_heavy_grid_family(oracle):
 
 @pytest.mark.slow
 def test_differential_with_automaton_route():
-    """The tree-automaton dynamic program joins the cross-check (slow)."""
+    """The tree-automaton dynamic program joins the cross-check (slow) —
+    in both its object-kernel and columnar (dense-id) forms."""
     oracle = ProbabilityOracle(
-        exact_methods=("brute_force", "obdd", "dnnf", "auto", "automaton")
+        exact_methods=(
+            "brute_force",
+            "obdd",
+            "columnar",
+            "dnnf",
+            "auto",
+            "automaton",
+            "automaton_columnar",
+        )
     )
     cases = random_workload(40, seed=505, max_facts=6)
     reports = oracle.check_many(cases)
     assert all("automaton" in report.exact_values for report in reports)
+    assert all("automaton_columnar" in report.exact_values for report in reports)

@@ -172,6 +172,119 @@ def test_inline_regime_spawns_no_pool(workload, expected, monkeypatch):
     assert list(parallel.map_probability(workload).values) == expected
 
 
+def test_close_drops_worker_caches_deterministically(workload):
+    """Regression: a closed engine must not keep cached node graphs alive.
+
+    Dead engines pinning millions of cached OBDD nodes were a measured ~2x
+    drag on later GC passes; close() must make the cached artifacts
+    collectable immediately, not whenever the engine object itself dies.
+    """
+    import gc
+    import weakref
+
+    parallel = ParallelEngine(workers=1)
+    parallel.map_probability(workload)
+    engine = parallel._inline_engine
+    assert engine is not None
+    query, tid = workload[0]
+    cached = engine.compile(query, tid.instance)
+    ref = weakref.ref(cached)
+    del cached, engine
+    parallel.close()
+    gc.collect()
+    assert ref() is None, "close() left a cached compiled artifact alive"
+
+
+def test_map_compile_object_transport_in_pool_regime(workload):
+    from repro.provenance.compile_obdd import CompiledOBDD
+
+    _, tid = workload[0]
+    queries = [unsafe_rst(), hierarchical_example()]
+    with ParallelEngine(workers=2) as parallel:
+        artifacts = parallel.compile_many(queries, tid.instance, transport="object")
+        assert all(isinstance(artifact, CompiledOBDD) for artifact in artifacts)
+        # The plane exists (workers get the prefix at pool startup) but the
+        # object transport never put a segment in it.
+        assert parallel.segment_plane().owned_segments() == ()
+
+
+def test_map_compile_shm_transport_in_pool_regime(workload):
+    from repro.booleans.columnar import ColumnarOBDD
+
+    _, tid = workload[0]
+    queries = [unsafe_rst(), hierarchical_example()]
+    serial = CompilationEngine().compile_many(queries, tid.instance)
+    with ParallelEngine(workers=2) as parallel:
+        artifacts = parallel.compile_many(queries, tid.instance, transport="shm")
+        assert all(isinstance(artifact, ColumnarOBDD) for artifact in artifacts)
+        for mine, reference in zip(artifacts, serial):
+            assert mine.probability(tid.valuation()) == reference.probability(
+                tid.valuation()
+            )
+
+
+def test_map_compile_shm_transport_in_inline_regime(workload):
+    """Explicit "shm" honors the columnar representation even when the
+    workload collapses to the inline regime — and still creates no segment."""
+    from repro.booleans.columnar import ColumnarOBDD
+
+    _, tid = workload[0]
+    reference = CompilationEngine().compile(unsafe_rst(), tid.instance)
+    for parallel in (ParallelEngine(workers=1), ParallelEngine(workers=2)):
+        with parallel:
+            # One query -> one shard -> inline, whatever the worker count.
+            artifacts = parallel.compile_many(
+                [unsafe_rst()], tid.instance, transport="shm"
+            )
+            assert isinstance(artifacts[0], ColumnarOBDD)
+            assert artifacts[0].probability(tid.valuation()) == reference.probability(
+                tid.valuation()
+            )
+            if parallel._plane is not None:
+                assert parallel._plane.owned_segments() == ()
+
+
+def test_map_compile_rejects_unknown_transport(workload):
+    _, tid = workload[0]
+    with pytest.raises(CompilationError):
+        ParallelEngine(workers=2).map_compile(
+            [(unsafe_rst(), tid.instance)], transport="carrier-pigeon"
+        )
+    with pytest.raises(CompilationError):
+        ParallelEngine(workers=2, use_shared_memory=False).map_compile(
+            [(unsafe_rst(), tid.instance)], transport="shm"
+        )
+
+
+def test_reweight_many_matches_direct_evaluation(workload):
+    _, tid = workload[0]
+    compiled = CompilationEngine().compile(unsafe_rst(), tid.instance)
+    maps = [
+        {fact: Fraction(i + 1, i + 4) for fact in compiled.order} for i in range(7)
+    ]
+    expected = [compiled.probability(m) for m in maps]
+    for workers in (1, 2):
+        with ParallelEngine(workers=workers) as parallel:
+            assert parallel.reweight_many(compiled, maps) == expected
+            floats = parallel.reweight_many(compiled, maps, exact=False)
+            assert all(
+                abs(value - float(reference)) < 1e-9
+                for value, reference in zip(floats, expected)
+            )
+    assert ParallelEngine(workers=2).reweight_many(compiled, []) == []
+
+
+def test_inline_regime_leaves_gc_enabled(workload):
+    import gc
+
+    assert gc.isenabled()
+    parallel = ParallelEngine(workers=1)
+    parallel.map_probability(workload)
+    parallel.compile_many([unsafe_rst()], workload[0][1].instance)
+    assert gc.isenabled(), "the inline regime must never touch the caller's GC"
+    parallel.close()
+
+
 def test_worker_errors_propagate(workload):
     parallel = ParallelEngine(workers=2)
     bad = [(unsafe_rst(), workload[0][1])] + [("not a query", workload[1][1])]
