@@ -7,17 +7,18 @@ PYTHON ?= python
 PYTHONPATH_PREFIX = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 TIER1_WALL_CLOCK ?= 300
 
-.PHONY: test tier1 test-slow test-differential analyze typecheck bench-engine bench-parallel bench-compile bench-structure bench-vector bench
+.PHONY: test tier1 test-slow test-differential analyze typecheck bench-engine bench-parallel bench-compile bench-structure bench-vector bench-lifted bench
 
 # Static invariant checker (see README "Static invariants"): AST/call-graph
 # rules gating the kernel contracts. Fails on any finding.
 analyze:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.analysis --strict src/repro
 
-# mypy wiring lives in pyproject.toml; strict for the analyzer and the engine,
-# permissive elsewhere. Requires mypy on PATH (CI installs it).
+# mypy wiring lives in pyproject.toml; strict for the analyzer, the engine,
+# and the lifted tier, permissive elsewhere. Requires mypy on PATH (CI
+# installs it).
 typecheck:
-	$(PYTHONPATH_PREFIX) $(PYTHON) -m mypy src/repro/analysis src/repro/engine
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m mypy src/repro/analysis src/repro/engine src/repro/probability/lifted
 
 test:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -q
@@ -45,6 +46,9 @@ bench-structure:
 
 bench-vector:
 	$(PYTHONPATH_PREFIX) $(PYTHON) benchmarks/bench_vector.py
+
+bench-lifted:
+	$(PYTHONPATH_PREFIX) $(PYTHON) benchmarks/bench_lifted.py
 
 bench:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -q benchmarks

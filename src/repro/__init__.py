@@ -59,7 +59,9 @@ from repro.generators import (
 )
 from repro.probability import (
     dissociation_bounds,
+    is_liftable,
     karp_luby_probability,
+    lifted_probability,
     monte_carlo_probability,
     probability,
     safe_plan_probability,
@@ -132,8 +134,10 @@ __all__ = [
     "instance_treewidth",
     "is_intricate",
     "is_inversion_free",
+    "is_liftable",
     "karp_luby_probability",
     "labelled_line_instance",
+    "lifted_probability",
     "lineage_of",
     "load_instance",
     "load_tid",

@@ -135,7 +135,16 @@ def _command_probability(arguments: argparse.Namespace) -> int:
         )
         print(f"estimate: {result.estimate:.6f} ({result.method}, {result.samples} samples)")
         return 0
-    value = probability(query, tid, method=arguments.method, engine=default_engine())
+    engine = default_engine()
+    if arguments.explain:
+        decision = engine.choose_route(query, tid)
+        print(f"route: {decision.method} ({decision.reason})")
+        print(f"liftable: {decision.liftable}  facts: {decision.instance_facts}")
+        for route, seconds in decision.estimates:
+            print(f"estimate[{route}]: {seconds:.6f}s")
+        if decision.infeasible:
+            print(f"infeasible: {', '.join(decision.infeasible)}")
+    value = probability(query, tid, method=arguments.method, engine=engine)
     if arguments.method in ("obdd_float", "columnar_float"):
         print(f"probability: {value:.6f} (float fast path)")
     else:
@@ -168,10 +177,17 @@ def _command_batch(arguments: argparse.Namespace) -> int:
                 summary = ", ".join(f"{name}: {value}" for name, value in stats.items())
                 print(f"worker[{worker}]: {summary}")
             merged = report.stats
+            routes = report.route_mix
         else:
             merged = engine.cache_info()
+            routes = engine.route_mix()
         for name, stats in merged.items():
             print(f"cache[{name}]: {stats}")
+        if routes:
+            summary = ", ".join(
+                f"{route}: {count}" for route, count in sorted(routes.items())
+            )
+            print(f"routes: {summary}")
     return 0
 
 
@@ -226,6 +242,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_instance_argument(prob)
     prob.add_argument("--query", required=True, help="UCQ≠ in textual syntax")
     prob.add_argument("--method", default="auto", choices=list(METHOD_NAMES))
+    prob.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the dichotomy router's decision (liftability, cost estimates, gated routes)",
+    )
     prob.add_argument("--approximate", action="store_true", help="use Karp-Luby sampling")
     prob.add_argument("--epsilon", type=float, default=0.05)
     prob.add_argument("--delta", type=float, default=0.05)

@@ -40,6 +40,17 @@ repeated queries in the batch are served from cache.  The CLI ``batch``
 subcommand, the examples, and ``benchmarks/bench_engine.py`` all go through
 these entry points.
 
+Dichotomy routing
+-----------------
+``probability(..., method="auto")`` consults the dichotomy router
+(:meth:`CompilationEngine.choose_route`): if the query admits a lifted plan
+(cached, instance-independent — :meth:`CompilationEngine.lifted_plan`), the
+safe-plan route competes on measured cost with the circuit routes (OBDD,
+columnar, d-DNNF, automaton); past ``circuit_fact_limit`` facts the circuit
+routes are gated infeasible (unless already compiled) and safe queries run
+on the lifted plan alone.  Chosen routes are counted in
+:meth:`CompilationEngine.route_mix` and surfaced by the CLI.
+
 Parallelism
 -----------
 :class:`repro.engine.parallel.ParallelEngine` scales the same batched entry
@@ -67,6 +78,13 @@ from repro.engine.parallel import (
     available_workers,
     shard_workload,
 )
+from repro.engine.router import (
+    CIRCUIT_ROUTES,
+    DEFAULT_COST_PRIORS,
+    ROUTE_PREFERENCE,
+    RouteCostModel,
+    RouteDecision,
+)
 from repro.engine.session import (
     CacheStats,
     CompilationEngine,
@@ -76,10 +94,15 @@ from repro.engine.session import (
 from repro.engine.shm import SegmentHandle, SegmentPlane, attach_segment, publish_segment
 
 __all__ = [
+    "CIRCUIT_ROUTES",
     "CacheStats",
     "CompilationEngine",
+    "DEFAULT_COST_PRIORS",
     "ParallelEngine",
     "ParallelReport",
+    "ROUTE_PREFERENCE",
+    "RouteCostModel",
+    "RouteDecision",
     "SegmentHandle",
     "SegmentPlane",
     "attach_segment",

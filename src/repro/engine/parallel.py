@@ -80,7 +80,7 @@ from repro.provenance.compile_obdd import CompiledOBDD
 ProbabilityItem = tuple[Query, ProbabilisticInstance]
 CompileItem = tuple[Query, Instance]
 Shard = list[tuple[int, tuple]]
-ShardOutcome = tuple[list[tuple[int, Any]], dict[str, CacheStats]]
+ShardOutcome = tuple[list[tuple[int, Any]], dict[str, CacheStats], dict[str, int]]
 ShardRunner = Callable[[tuple[Shard, Any]], ShardOutcome]
 
 _TRANSPORTS = ("auto", "shm", "object")
@@ -150,6 +150,7 @@ class ParallelReport:
     workers: int
     shard_sizes: tuple[int, ...]
     worker_stats: tuple[dict[str, CacheStats], ...]
+    worker_routes: tuple[dict[str, int], ...] = ()
 
     @property
     def shard_count(self) -> int:
@@ -162,6 +163,15 @@ class ParallelReport:
     @property
     def items(self) -> int:
         return sum(self.shard_sizes)
+
+    @property
+    def route_mix(self) -> dict[str, int]:
+        """Pointwise sum of the per-shard ``method="auto"`` route counts."""
+        merged: dict[str, int] = {}
+        for routes in self.worker_routes:
+            for route, count in routes.items():
+                merged[route] = merged.get(route, 0) + count
+        return merged
 
 
 # -- worker-side plumbing -----------------------------------------------------
@@ -223,15 +233,21 @@ def _stats_snapshot(engine: CompilationEngine) -> dict[str, CacheStats]:
     return {name: stats.copy() for name, stats in engine.stats.items()}
 
 
+def _routes_snapshot(engine: CompilationEngine) -> dict[str, int]:
+    return engine.route_mix()
+
+
 def _reset_stats(engine: CompilationEngine) -> None:
     """Zero the counters (keeping the caches) so a shard reports its own work.
 
     One pool process may execute several shards; without the reset, a later
     shard's snapshot would re-count the earlier shards' hits and misses and
     the merged report would no longer be the exact sum over the workload.
+    The router's route counts are reset with the cache counters.
     """
     for stats in engine.stats.values():
         stats.hits = stats.misses = 0
+    engine.route_counts.clear()
 
 
 def _run_probability_shard(payload: tuple[Shard, str]) -> ShardOutcome:
@@ -239,7 +255,7 @@ def _run_probability_shard(payload: tuple[Shard, str]) -> ShardOutcome:
     engine = _worker_engine()
     _reset_stats(engine)
     results = [(index, engine.probability(query, tid, method)) for index, (query, tid) in shard]
-    return results, _stats_snapshot(engine)
+    return results, _stats_snapshot(engine), _routes_snapshot(engine)
 
 
 def _run_compile_shard(payload: tuple[Shard, tuple[bool, str]]) -> ShardOutcome:
@@ -257,7 +273,7 @@ def _run_compile_shard(payload: tuple[Shard, tuple[bool, str]]) -> ShardOutcome:
             results.append((index, engine.columnar(query, instance, use_path_decomposition)))
         else:
             results.append((index, engine.compile(query, instance, use_path_decomposition)))
-    return results, _stats_snapshot(engine)
+    return results, _stats_snapshot(engine), _routes_snapshot(engine)
 
 
 def _run_reweight_shard(payload: tuple[Shard, tuple[SegmentHandle, bool]]) -> ShardOutcome:
@@ -272,7 +288,7 @@ def _run_reweight_shard(payload: tuple[Shard, tuple[SegmentHandle, bool]]) -> Sh
         [probabilities for _, (probabilities,) in shard], exact=exact
     )
     results = [(index, value) for (index, _), value in zip(shard, values)]
-    return results, _stats_snapshot(engine)
+    return results, _stats_snapshot(engine), _routes_snapshot(engine)
 
 
 class ParallelEngine:
@@ -375,7 +391,11 @@ class ParallelEngine:
         force the object transport where no process boundary exists."""
         if not items:
             report = ParallelReport(
-                values=(), workers=self.workers, shard_sizes=(), worker_stats=()
+                values=(),
+                workers=self.workers,
+                shard_sizes=(),
+                worker_stats=(),
+                worker_routes=(),
             )
             self.last_report = report
             return report
@@ -422,15 +442,18 @@ class ParallelEngine:
         total = sum(len(shard) for shard in shards)
         values: list[Any] = [None] * total
         worker_stats: list[dict[str, CacheStats]] = []
-        for results, stats in outcomes:
+        worker_routes: list[dict[str, int]] = []
+        for results, stats, routes in outcomes:
             for index, value in results:
                 values[index] = value
             worker_stats.append(stats)
+            worker_routes.append(routes)
         return ParallelReport(
             values=tuple(values),
             workers=self.workers,
             shard_sizes=tuple(len(shard) for shard in shards),
             worker_stats=tuple(worker_stats),
+            worker_routes=tuple(worker_routes),
         )
 
     # -- probability workloads ------------------------------------------------
@@ -515,6 +538,7 @@ class ParallelEngine:
                 workers=report.workers,
                 shard_sizes=report.shard_sizes,
                 worker_stats=report.worker_stats,
+                worker_routes=report.worker_routes,
             )
             self.last_report = report
         return report
@@ -569,6 +593,7 @@ class ParallelEngine:
                 workers=self.workers,
                 shard_sizes=(len(items),),
                 worker_stats=(_stats_snapshot(self._inline_engine),),
+                worker_routes=(_routes_snapshot(self._inline_engine),),
             )
             return values
         handle = self.segment_plane().publish(columnar)

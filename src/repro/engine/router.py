@@ -1,0 +1,112 @@
+"""Dichotomy router support: route decisions and measured cost models.
+
+The paper's two tractability routes — query-based lifted inference and
+instance-based circuit compilation — meet in
+:meth:`repro.engine.CompilationEngine.choose_route`: given a query and a
+TID instance, pick the evaluation method for ``method="auto"``.  This
+module holds the passive data behind that choice:
+
+* :class:`RouteDecision` — the chosen method plus everything that went
+  into it (liftability, instance size, per-route cost estimates, which
+  routes were gated infeasible, a human-readable reason), recorded so the
+  CLI and tests can explain routing;
+* :class:`RouteCostModel` — per-route cost rates in seconds per fact,
+  seeded with static priors and updated from measured evaluations
+  (exponentially weighted moving average), so a session learns the actual
+  relative costs of its routes on its own workload.
+
+Cost estimates are deliberately ``float`` seconds: they steer which exact
+route runs, they never enter a probability computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The circuit-building routes the router arbitrates against the lifted
+#: plan: all exact, all requiring lineage enumeration over the instance.
+CIRCUIT_ROUTES: tuple[str, ...] = ("obdd", "columnar", "dnnf", "automaton")
+
+#: Tie-break preference when estimates are equal (cheapest artifact first).
+ROUTE_PREFERENCE: dict[str, int] = {
+    "safe_plan": 0,
+    "obdd": 1,
+    "columnar": 2,
+    "dnnf": 3,
+    "automaton": 4,
+}
+
+#: Prior cost rates in seconds per fact, from the benchmark suite's orders
+#: of magnitude: a lifted plan streams the hash indexes once; the circuit
+#: routes enumerate lineage matches and build node graphs on top.
+DEFAULT_COST_PRIORS: dict[str, float] = {
+    "safe_plan": 5e-6,
+    "obdd": 2e-4,
+    "columnar": 2e-4,
+    "dnnf": 3e-4,
+    "automaton": 5e-4,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class RouteDecision:
+    """One ``method="auto"`` routing decision, with its evidence.
+
+    ``estimates`` holds ``(route, predicted_seconds)`` for every feasible
+    route (in preference order); ``infeasible`` names the routes gated out
+    by the circuit fact limit.  ``method`` is always one of the estimate
+    routes when any route is feasible, else the best-effort fallback.
+    """
+
+    method: str
+    liftable: bool
+    instance_facts: int
+    estimates: tuple[tuple[str, float], ...]
+    infeasible: tuple[str, ...]
+    reason: str
+
+
+class RouteCostModel:
+    """EWMA per-route cost rates (seconds per fact).
+
+    ``observe`` folds a measured evaluation into the route's rate;
+    ``predict`` extrapolates to an instance size.  Rates start at the
+    static priors, so the router is usable from the first call and simply
+    gets sharper as the session measures its own workload.
+    """
+
+    def __init__(
+        self,
+        priors: dict[str, float] | None = None,
+        smoothing: float = 0.3,
+    ) -> None:
+        self._rates: dict[str, float] = dict(
+            DEFAULT_COST_PRIORS if priors is None else priors
+        )
+        self._smoothing = smoothing
+
+    def observe(self, route: str, facts: int, seconds: float) -> None:
+        """Fold one measured evaluation into the route's rate."""
+        if seconds < 0.0:
+            return
+        rate = seconds / max(facts, 1)
+        previous = self._rates.get(route)
+        if previous is None:
+            self._rates[route] = rate
+        else:
+            self._rates[route] = (
+                previous + self._smoothing * (rate - previous)
+            )
+
+    def predict(self, route: str, facts: int) -> float:
+        """Predicted evaluation cost in seconds at ``facts`` facts."""
+        rate = self._rates.get(route, max(DEFAULT_COST_PRIORS.values()))
+        return rate * max(facts, 1)
+
+    def rate(self, route: str) -> float | None:
+        """The current rate for a route (None when never seen)."""
+        return self._rates.get(route)
+
+    def snapshot(self) -> dict[str, float]:
+        """A copy of every route's current rate."""
+        return dict(self._rates)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from fractions import Fraction
+from time import perf_counter
 from typing import Iterable, Sequence
 
 from repro.booleans.columnar import ColumnarOBDD
@@ -19,7 +20,14 @@ from repro.booleans.dnnf import DNNF
 from repro.data.gaifman import gaifman_graph
 from repro.data.instance import Fact, Instance
 from repro.data.tid import ProbabilisticInstance
-from repro.errors import CompilationError, ProbabilityError
+from repro.engine.router import (
+    CIRCUIT_ROUTES,
+    ROUTE_PREFERENCE,
+    RouteCostModel,
+    RouteDecision,
+)
+from repro.errors import CompilationError, ProbabilityError, UnsafeQueryError
+from repro.probability.lifted import LiftedPlan, execute_plan, try_lifted_plan
 from repro.provenance.compile_obdd import CompiledOBDD, compile_lineage_to_obdd
 from repro.provenance.lineage import MonotoneDNFLineage, lineage_of
 from repro.provenance.tree_encoding import TreeEncoding, fused_tree_encoding
@@ -132,6 +140,11 @@ class CompilationEngine:
         instance; least recently used entries are evicted beyond this bound.
     max_probability_entries:
         Bound on the (query, TID fingerprint, method) -> probability cache.
+    circuit_fact_limit:
+        Instance size (fact count) beyond which the dichotomy router
+        (:meth:`choose_route`) treats the circuit-building routes as
+        infeasible for ``method="auto"`` unless their artifact is already
+        cached; the lifted plan route has no such limit.
     """
 
     def __init__(
@@ -139,6 +152,7 @@ class CompilationEngine:
         max_instances: int = 256,
         max_queries_per_instance: int = 1024,
         max_probability_entries: int = 65536,
+        circuit_fact_limit: int = 20000,
     ) -> None:
         if max_instances < 1:
             raise CompilationError("max_instances must be at least 1")
@@ -146,17 +160,29 @@ class CompilationEngine:
             raise CompilationError("max_queries_per_instance must be at least 1")
         if max_probability_entries < 1:
             raise CompilationError("max_probability_entries must be at least 1")
+        if circuit_fact_limit < 1:
+            raise CompilationError("circuit_fact_limit must be at least 1")
         self._max_instances = max_instances
         self._max_queries_per_instance = max_queries_per_instance
         self._max_probability_entries = max_probability_entries
+        self.circuit_fact_limit = circuit_fact_limit
         self._artifacts: OrderedDict[str, _InstanceArtifacts] = OrderedDict()
         self._probabilities: OrderedDict[tuple, Fraction] = OrderedDict()
+        # Safe plans are instance-independent, so the plan cache is keyed by
+        # the (frozen, content-hashed) query alone; None records "unsafe" so
+        # repeated routing of an unsafe query never re-runs minimization.
+        self._lifted_plans: OrderedDict[UnionOfConjunctiveQueries, LiftedPlan | None] = (
+            OrderedDict()
+        )
+        self.route_costs = RouteCostModel()
+        self.route_counts: dict[str, int] = {}
         self.stats: dict[str, CacheStats] = {
             "structure": CacheStats(),
             "lineage": CacheStats(),
             "obdd": CacheStats(),
             "columnar": CacheStats(),
             "dnnf": CacheStats(),
+            "lifted_plan": CacheStats(),
             "probability": CacheStats(),
         }
 
@@ -178,12 +204,22 @@ class CompilationEngine:
         """Drop every cached artifact and reset the statistics."""
         self._artifacts.clear()
         self._probabilities.clear()
+        self._lifted_plans.clear()
+        self.route_counts.clear()
         for stats in self.stats.values():
             stats.hits = stats.misses = 0
 
     def cache_info(self) -> dict[str, CacheStats]:
         """The per-cache hit/miss statistics (live objects, not copies)."""
         return dict(self.stats)
+
+    def route_mix(self) -> dict[str, int]:
+        """How often each route served a ``method="auto"`` evaluation.
+
+        Counts actual evaluations (probability-cache hits short-circuit
+        before routing and are visible in the ``probability`` stats).
+        """
+        return dict(self.route_counts)
 
     # -- structural artifacts -------------------------------------------------
 
@@ -342,6 +378,90 @@ class CompilationEngine:
                 slot.dnnfs.popitem(last=False)
         return slot.dnnfs[key]
 
+    # -- lifted plans and the dichotomy router --------------------------------
+
+    def lifted_plan(self, query: Query) -> LiftedPlan | None:
+        """The (cached) lifted plan of the query, or None when unsafe.
+
+        Plans are instance-independent, so the cache is keyed by the query
+        alone; the None verdict for unsafe queries is cached too, so routing
+        an unsafe query repeatedly never re-runs minimization.
+        """
+        key = as_ucq(query)
+        hit = key in self._lifted_plans
+        self.stats["lifted_plan"].record(hit)
+        if hit:
+            self._lifted_plans.move_to_end(key)
+        else:
+            self._lifted_plans[key] = try_lifted_plan(key)
+            while len(self._lifted_plans) > self._max_probability_entries:
+                self._lifted_plans.popitem(last=False)
+        return self._lifted_plans[key]
+
+    def _has_circuit_artifact(self, route: str, query: Query, instance: Instance) -> bool:
+        """Whether the route's artifact is already cached for (query, instance).
+
+        A peek, not a touch: no LRU reordering, no stats, no construction.
+        """
+        slot = self._artifacts.get(instance.fingerprint)
+        if slot is None:
+            return False
+        key = as_ucq(query)
+        if route == "obdd":
+            return (key, False) in slot.compiled or (key, True) in slot.compiled
+        if route == "columnar":
+            return (key, False) in slot.columnar or (key, True) in slot.columnar
+        if route == "dnnf":
+            return key in slot.dnnfs
+        if route == "automaton":
+            return slot.encoding is not None
+        return False
+
+    def choose_route(self, query: Query, tid: ProbabilisticInstance) -> RouteDecision:
+        """The dichotomy router: pick the ``method="auto"`` evaluation route.
+
+        The query side of the dichotomy first: if the query admits a lifted
+        plan, the safe-plan route is a candidate at its measured cost.  The
+        instance side next: each circuit route is a candidate unless the
+        instance exceeds ``circuit_fact_limit`` and the route's artifact is
+        not already cached.  Among the candidates, the cost model's cheapest
+        prediction wins (ties broken by :data:`ROUTE_PREFERENCE`).
+        """
+        plan = self.lifted_plan(query)
+        facts = len(tid.instance)
+        estimates: list[tuple[str, float]] = []
+        infeasible: list[str] = []
+        if plan is not None:
+            estimates.append(("safe_plan", self.route_costs.predict("safe_plan", facts)))
+        for route in CIRCUIT_ROUTES:
+            if facts > self.circuit_fact_limit and not self._has_circuit_artifact(
+                route, query, tid.instance
+            ):
+                infeasible.append(route)
+            else:
+                estimates.append((route, self.route_costs.predict(route, facts)))
+        estimates.sort(key=lambda e: (e[1], ROUTE_PREFERENCE.get(e[0], len(ROUTE_PREFERENCE))))
+        if estimates:
+            method = estimates[0][0]
+            reason = (
+                f"cheapest predicted route at {facts} facts"
+                if len(estimates) > 1
+                else "only feasible route"
+            )
+        else:
+            # Nothing feasible (unsafe query on a huge instance): fall back to
+            # the OBDD route best-effort rather than refusing to answer.
+            method = "obdd"
+            reason = "no feasible route; best-effort OBDD fallback"
+        return RouteDecision(
+            method=method,
+            liftable=plan is not None,
+            instance_facts=facts,
+            estimates=tuple(estimates),
+            infeasible=tuple(infeasible),
+            reason=reason,
+        )
+
     # -- probability evaluation -----------------------------------------------
 
     def probability(
@@ -349,16 +469,19 @@ class CompilationEngine:
     ) -> Fraction | float:
         """The (cached) probability of the query on a TID instance.
 
-        Methods mirror :func:`repro.probability.evaluation.probability`: the
-        ``auto``/``read_once``/``obdd``/``dnnf`` routes run on the engine's
-        cached lineages and OBDDs (evaluated by the fused sweep kernel of
+        Methods mirror :func:`repro.probability.evaluation.probability`:
+        ``auto`` consults the dichotomy router (:meth:`choose_route`) and
+        records the chosen route in :meth:`route_mix`; ``safe_plan`` executes
+        the engine's cached lifted plan (:meth:`lifted_plan`);
+        ``read_once``/``obdd``/``dnnf`` run on the engine's cached lineages
+        and OBDDs (evaluated by the fused sweep kernel of
         :meth:`repro.booleans.obdd.OBDD.sweep`); ``obdd_float`` serves the
         sweep's float fast path (a ``float``, cached under its own method
         key, never mixed with the exact entries); ``automaton`` runs the
         state dynamic programming over the engine's cached fused tree
         encoding (:meth:`tree_encoding_of`); the remaining methods
-        (``brute_force``, ``safe_plan``) have no reusable artifacts and are
-        delegated, with only their final value cached.
+        (``brute_force``, ``safe_plan_reference``) have no reusable
+        artifacts and are delegated, with only their final value cached.
         """
         key = (as_ucq(query), tid.fingerprint, method)
         cached = self._probabilities.get(key)
@@ -389,13 +512,26 @@ class CompilationEngine:
             probability as one_shot_probability,
         )
 
-        if method in ("auto", "read_once"):
+        if method == "auto":
+            decision = self.choose_route(query, tid)
+            route = decision.method
+            self.route_counts[route] = self.route_counts.get(route, 0) + 1
+            started = perf_counter()
+            value = self._evaluate_route(route, query, tid)
+            self.route_costs.observe(route, len(tid.instance), perf_counter() - started)
+            return value
+        if method == "read_once":
             lineage = self.lineage(query, tid.instance)
             if lineage.is_read_once_shaped():
                 return _probability_of_read_once(lineage, tid)
-            if method == "read_once":
-                raise ProbabilityError("lineage is not read-once shaped; use another method")
-            return self.compile(query, tid.instance).probability(tid.valuation())
+            raise ProbabilityError("lineage is not read-once shaped; use another method")
+        if method == "safe_plan":
+            plan = self.lifted_plan(query)
+            if plan is None:
+                raise UnsafeQueryError(
+                    "query admits no lifted plan: use a circuit method or auto"
+                )
+            return execute_plan(plan, tid)
         if method == "obdd":
             return self.compile(query, tid.instance).probability(tid.valuation())
         if method == "obdd_float":
@@ -424,8 +560,40 @@ class CompilationEngine:
             return ucq_probability_via_automaton(
                 query, tid, encoding=self.tree_encoding_of(tid.instance)
             )
-        # brute_force / safe_plan: no cross-call artifacts to reuse.
+        # brute_force / safe_plan_reference: no cross-call artifacts to reuse.
         return one_shot_probability(query, tid, method=method)
+
+    def _evaluate_route(
+        self, route: str, query: UnionOfConjunctiveQueries, tid: ProbabilisticInstance
+    ) -> Fraction:
+        """Run one route chosen by :meth:`choose_route` (always exact)."""
+        from repro.probability.evaluation import _probability_of_read_once
+
+        if route == "safe_plan":
+            plan = self.lifted_plan(query)
+            if plan is None:  # pragma: no cover - router never picks this
+                raise UnsafeQueryError("query admits no lifted plan")
+            return execute_plan(plan, tid)
+        if route == "obdd":
+            # Keep the read-once shortcut: a read-once-shaped lineage is
+            # evaluated directly, skipping OBDD construction entirely.
+            lineage = self.lineage(query, tid.instance)
+            if lineage.is_read_once_shaped():
+                return _probability_of_read_once(lineage, tid)
+            return self.compile(query, tid.instance).probability(tid.valuation())
+        if route == "columnar":
+            return self.columnar(query, tid.instance).probability(tid.valuation())
+        if route == "dnnf":
+            dnnf = self.dnnf(query, tid.instance)
+            valuation = {fact: tid.probability_of(fact) for fact in dnnf.variables()}
+            return dnnf.probability(valuation)
+        if route == "automaton":
+            from repro.provenance.ucq_automaton import ucq_probability_via_automaton
+
+            return ucq_probability_via_automaton(
+                query, tid, encoding=self.tree_encoding_of(tid.instance)
+            )
+        raise CompilationError(f"unknown route {route!r}")
 
 
 _DEFAULT_ENGINE: CompilationEngine | None = None

@@ -39,5 +39,16 @@ class ProbabilityError(ReproError):
     """Probability evaluation received an invalid valuation or representation."""
 
 
+class UnsafeQueryError(ProbabilityError):
+    """Raised when the lifted-inference rules do not apply (the query is unsafe).
+
+    Both the compiled lifted tier (:mod:`repro.probability.lifted`) and its
+    recursive differential reference (:mod:`repro.probability.safe_plans`)
+    raise this error, and only at *plan construction*: once a plan exists,
+    evaluation always succeeds, so ``is_liftable`` and evaluation can never
+    disagree.
+    """
+
+
 class UnfoldingError(ReproError):
     """The unfolding construction of Section 9 received an unsupported query."""

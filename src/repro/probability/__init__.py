@@ -16,12 +16,20 @@ from repro.probability.brute_force import (
     brute_force_property_probability,
 )
 from repro.probability.evaluation import probability
+from repro.probability.lifted import (
+    LiftedPlan,
+    execute_plan,
+    lifted_plan,
+    lifted_probability,
+    try_lifted_plan,
+)
 from repro.probability.model_counting import model_count_via_probability, property_model_count
 from repro.probability.safe_plans import UnsafeQueryError, is_liftable, safe_plan_probability
 
 __all__ = [
     "ApproximationResult",
     "DissociationBounds",
+    "LiftedPlan",
     "UnsafeQueryError",
     "approximate_probability",
     "brute_force_model_count",
@@ -29,12 +37,16 @@ __all__ = [
     "brute_force_property_probability",
     "dissociation_bounds",
     "estimate_property_probability",
+    "execute_plan",
     "hoeffding_sample_size",
     "is_liftable",
     "karp_luby_probability",
+    "lifted_plan",
+    "lifted_probability",
     "model_count_via_probability",
     "monte_carlo_probability",
     "probability",
     "property_model_count",
     "safe_plan_probability",
+    "try_lifted_plan",
 ]

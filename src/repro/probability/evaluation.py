@@ -3,8 +3,11 @@
 This is the user-facing entry point implementing the upper bound of
 Theorem 4.2: on treelike instances, probability evaluation runs in one pass
 over a tree encoding (the ``automaton`` method) or through a compiled lineage
-(``obdd`` / ``dnnf``); ``brute_force`` is the exponential oracle and
-``safe_plan`` the query-based lifted-inference route of Section 9.
+(``obdd`` / ``dnnf``); ``brute_force`` is the exponential oracle;
+``safe_plan`` is the query-based lifted-inference route of Section 9
+(compiled plans, :mod:`repro.probability.lifted`) and
+``safe_plan_reference`` its recursive differential reference
+(:mod:`repro.probability.safe_plans`).
 
 All methods return exact :class:`fractions.Fraction` values and agree with
 each other — the test suite checks this systematically.  The one deliberate
@@ -38,6 +41,7 @@ Method = Literal[
     "automaton_columnar",
     "brute_force",
     "safe_plan",
+    "safe_plan_reference",
     "read_once",
 ]
 
@@ -53,6 +57,7 @@ METHOD_NAMES: tuple[str, ...] = (
     "automaton_columnar",
     "brute_force",
     "safe_plan",
+    "safe_plan_reference",
     "read_once",
 )
 
@@ -80,6 +85,10 @@ def probability(
 
         return brute_force_probability(query, probabilistic_instance)
     if method == "safe_plan":
+        from repro.probability.lifted import lifted_probability
+
+        return lifted_probability(query, probabilistic_instance)
+    if method == "safe_plan_reference":
         from repro.probability.safe_plans import safe_plan_probability
 
         return safe_plan_probability(query, probabilistic_instance)
@@ -120,8 +129,17 @@ def probability(
 def _auto_probability(
     query: UnionOfConjunctiveQueries, probabilistic_instance: ProbabilisticInstance
 ) -> Fraction:
-    """Pick a strategy: read-once lineages get the direct formula, everything
-    else goes through the OBDD compilation (which is exact for any UCQ≠)."""
+    """Pick a strategy: liftable queries run their compiled safe plan (no
+    lineage, no circuit — the route that scales past any compilation);
+    read-once lineages get the direct formula; everything else goes through
+    the OBDD compilation (which is exact for any UCQ≠).  With an engine, the
+    dichotomy router additionally weighs measured costs
+    (:meth:`repro.engine.CompilationEngine.choose_route`)."""
+    from repro.probability.lifted import execute_plan, try_lifted_plan
+
+    plan = try_lifted_plan(query)
+    if plan is not None:
+        return execute_plan(plan, probabilistic_instance)
     lineage = lineage_of(query, probabilistic_instance.instance)
     if lineage.is_read_once_shaped():
         return _probability_of_read_once(lineage, probabilistic_instance)

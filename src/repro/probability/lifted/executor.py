@@ -1,0 +1,169 @@
+"""Iterative execution of compiled safe plans on TID instances.
+
+One explicit frame stack, no Python recursion (the plan depth is bounded by
+the query, but the REC001 contract holds the whole lifted kernel to the
+same iterative standard as the circuit sweeps).  All arithmetic is exact
+:class:`~fractions.Fraction` (EXACT001).
+
+The executor touches the instance only through its per-relation hash
+indexes: a :class:`~repro.probability.lifted.plan.ProjectNode` enumerates
+the candidate root values as the intersection, over the component's atoms,
+of the values occurring in that atom's root columns among the facts
+matching the already-bound positions
+(:meth:`repro.data.instance.Instance.facts_matching`).  The global active
+domain is never swept, and both product rules short-circuit (a zero factor
+for joins, a certain branch for projections).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Iterator, Mapping
+
+from repro.data.instance import Fact, Instance
+from repro.data.tid import ProbabilisticInstance
+from repro.probability.lifted.plan import (
+    GroundNode,
+    JoinNode,
+    LiftedPlan,
+    PlanNode,
+    ProjectNode,
+)
+
+Binding = Mapping[Any, Any]
+
+_EMPTY: tuple[tuple[PlanNode, dict[Any, Any]], ...] = ()
+
+
+def execute_plan(plan: LiftedPlan, tid: ProbabilisticInstance) -> Fraction:
+    """The exact probability of the plan's query on ``tid``."""
+    valuation = tid.valuation()
+    instance = tid.instance
+    total = Fraction(0)
+    for coefficient, node in plan.root.terms:
+        total += coefficient * _evaluate(node, instance, valuation)
+    return total
+
+
+class _Frame:
+    """One in-flight product node: ``kind`` is "join" (``Π v``) or
+    "project" (``1 - Π (1 - v)``); ``accumulator`` is the running product,
+    and ``children`` yields the remaining ``(node, binding)`` factors."""
+
+    __slots__ = ("kind", "accumulator", "children")
+
+    def __init__(
+        self, kind: str, children: Iterator[tuple[PlanNode, dict[Any, Any]]]
+    ) -> None:
+        self.kind = kind
+        self.accumulator = Fraction(1)
+        self.children = children
+
+    def absorb(self, value: Fraction) -> None:
+        factor = value if self.kind == "join" else 1 - value
+        self.accumulator *= factor
+        if self.accumulator == 0:
+            # Short-circuit: a zero product is final (a zero factor for
+            # joins, a certain branch for projections).
+            self.children = iter(_EMPTY)
+
+    def finalize(self) -> Fraction:
+        return self.accumulator if self.kind == "join" else 1 - self.accumulator
+
+
+def _evaluate(
+    root: PlanNode, instance: Instance, valuation: dict[Fact, Fraction]
+) -> Fraction:
+    if isinstance(root, GroundNode):
+        return _ground_probability(root, {}, valuation)
+    frames = [_open_frame(root, {}, instance)]
+    result = Fraction(0)
+    while frames:
+        frame = frames[-1]
+        pending = next(frame.children, None)
+        if pending is not None:
+            child, binding = pending
+            if isinstance(child, GroundNode):
+                frame.absorb(_ground_probability(child, binding, valuation))
+            else:
+                frames.append(_open_frame(child, binding, instance))
+            continue
+        value = frame.finalize()
+        frames.pop()
+        if frames:
+            frames[-1].absorb(value)
+        else:
+            result = value
+    return result
+
+
+def _open_frame(node: PlanNode, binding: dict[Any, Any], instance: Instance) -> _Frame:
+    if isinstance(node, JoinNode):
+        return _Frame("join", ((child, binding) for child in node.children))
+    assert isinstance(node, ProjectNode)
+    values = _root_candidates(node, instance, binding)
+    return _Frame(
+        "project",
+        ((node.child, {**binding, node.variable: value}) for value in values),
+    )
+
+
+def _ground_probability(
+    node: GroundNode, binding: Binding, valuation: dict[Fact, Fraction]
+) -> Fraction:
+    """Product of the fact probabilities; 0 when any fact is absent.
+
+    Duplicate facts (possible only in degenerate plans) are counted once:
+    ``P(A ∧ A) = P(A)``.
+    """
+    probability = Fraction(1)
+    seen: set[Fact] = set()
+    for a in node.atoms:
+        ground_fact = Fact(a.relation, tuple(binding[v] for v in a.arguments))
+        if ground_fact in seen:
+            continue
+        fact_probability = valuation.get(ground_fact)
+        if fact_probability is None:
+            return Fraction(0)
+        seen.add(ground_fact)
+        probability *= fact_probability
+    return probability
+
+
+def _root_candidates(
+    node: ProjectNode, instance: Instance, binding: Binding
+) -> list[Any]:
+    """Values of the root variable that can match *every* atom of the
+    component: per atom, the root-column values among the facts matching
+    the bound positions (via the instance's hash indexes), intersected
+    across atoms.  Values outside the intersection contribute probability
+    zero, so skipping them is exact."""
+    candidates: set[Any] | None = None
+    for spec in node.atom_specs:
+        if spec.bound_positions:
+            bindings = {
+                position: binding[variable]
+                for position, variable in spec.bound_positions
+            }
+            facts = instance.facts_matching(spec.relation, bindings)
+        else:
+            facts = instance.facts_of(spec.relation)
+        first = spec.root_positions[0]
+        values: set[Any] = set()
+        for ground_fact in facts:
+            value = ground_fact.arguments[first]
+            if all(
+                ground_fact.arguments[position] == value
+                for position in spec.root_positions[1:]
+            ):
+                values.add(value)
+        candidates = values if candidates is None else candidates & values
+        if not candidates:
+            return []
+    assert candidates is not None
+    return sorted(candidates, key=_value_key)
+
+
+def _value_key(value: Any) -> tuple[str, str]:
+    """The library's structural total order on domain elements."""
+    return (type(value).__name__, repr(value))

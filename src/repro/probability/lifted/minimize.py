@@ -1,0 +1,245 @@
+"""UCQ minimization for lifted inference (Chandra–Merlin machinery).
+
+The lifted tier is only correct on *minimized* queries: the independence
+rules read structure off the syntax, so a homomorphically redundant atom or
+disjunct makes a safe query look unsafe (the motivating bug: ``R(x) ∨ R(y)``
+produces the inclusion–exclusion conjunction ``R(x) ∧ R(y)``, which has no
+root variable until it is collapsed to its core ``R(x)``).  This module
+supplies the front end shared by the compiled plans
+(:mod:`repro.probability.lifted.plan`) and the recursive reference
+(:mod:`repro.probability.safe_plans`):
+
+* :func:`homomorphism_exists` — iterative backtracking search for a variable
+  mapping sending every atom of one CQ onto an atom of another (queries here
+  are constant-free, so no constant handling is needed);
+* :func:`core` — the homomorphism core of a conjunction, computed by
+  repeatedly deleting atoms whose removal keeps the query equivalent;
+* :func:`minimize_disjuncts` — cores of the disjuncts with redundant
+  (implied) disjuncts removed, keeping one representative per equivalence
+  class;
+* :func:`inclusion_exclusion_terms` — the signed terms of inclusion–
+  exclusion over the disjuncts, with every conjunction replaced by its core
+  and equivalent terms merged so their coefficients cancel Möbius-style;
+  zero-coefficient classes are dropped *before* any plan is built, so an
+  unsafe-but-cancelled conjunction cannot make a safe union look unsafe.
+
+Everything here is an explicit-stack search: this module sits on the REC001
+call closure of the lifted kernel, so no function recurses.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import UnsafeQueryError
+from repro.queries.atoms import Atom, Variable
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.ucq import UnionOfConjunctiveQueries
+
+#: Inclusion–exclusion enumerates every non-empty subset of the disjuncts;
+#: the count is fixed by the query (not the data), but still deserves a
+#: guard rail before we build 2^n conjunction cores.
+MAX_INCLUSION_EXCLUSION_DISJUNCTS = 12
+
+
+def homomorphism_exists(source: ConjunctiveQuery, target: ConjunctiveQuery) -> bool:
+    """Is there a homomorphism from ``source`` to ``target``?
+
+    A homomorphism maps the variables of ``source`` to variables of
+    ``target`` so that every relational atom of ``source`` lands on an atom
+    of ``target``.  By Chandra–Merlin, for Boolean constant-free CQs this
+    decides implication: ``target`` implies ``source`` exactly when such a
+    mapping exists.  Disequalities are not supported (callers reject them
+    before reaching the lifted tier).
+    """
+    grouped: dict[tuple[str, int], list[Atom]] = {}
+    for candidate in target.atoms:
+        grouped.setdefault((candidate.relation, candidate.arity), []).append(candidate)
+    # Most-constrained-first ordering: fewest candidate target atoms first.
+    ordered = sorted(
+        source.atoms,
+        key=lambda a: (len(grouped.get((a.relation, a.arity), ())), a),
+    )
+    candidates: list[tuple[Atom, tuple[Atom, ...]]] = []
+    for source_atom in ordered:
+        options = tuple(grouped.get((source_atom.relation, source_atom.arity), ()))
+        if not options:
+            return False
+        candidates.append((source_atom, options))
+
+    # Iterative backtracking over one frame per source atom: ``choice[d]`` is
+    # the next target-atom option to try at depth d, ``assigned[d]`` the
+    # variables depth d added to the partial mapping (undone on backtrack).
+    mapping: dict[Variable, Variable] = {}
+    depth = 0
+    choice = [0] * len(candidates)
+    assigned: list[tuple[Variable, ...]] = [()] * len(candidates)
+    while True:
+        if depth == len(candidates):
+            return True
+        source_atom, options = candidates[depth]
+        extended = False
+        while choice[depth] < len(options):
+            option = options[choice[depth]]
+            choice[depth] += 1
+            new_variables = _try_extend(mapping, source_atom, option)
+            if new_variables is not None:
+                assigned[depth] = new_variables
+                extended = True
+                break
+        if extended:
+            depth += 1
+            if depth < len(candidates):
+                choice[depth] = 0
+            continue
+        if depth == 0:
+            return False
+        depth -= 1
+        for variable in assigned[depth]:
+            del mapping[variable]
+
+
+def _try_extend(
+    mapping: dict[Variable, Variable], source_atom: Atom, target_atom: Atom
+) -> tuple[Variable, ...] | None:
+    """Extend ``mapping`` so ``source_atom`` maps onto ``target_atom``.
+
+    Returns the variables newly bound (for undo on backtrack), or None —
+    with ``mapping`` unchanged — when the atoms conflict with the mapping.
+    """
+    new_variables: list[Variable] = []
+    for source_variable, target_variable in zip(
+        source_atom.arguments, target_atom.arguments
+    ):
+        bound = mapping.get(source_variable)
+        if bound is None:
+            mapping[source_variable] = target_variable
+            new_variables.append(source_variable)
+        elif bound != target_variable:
+            for variable in new_variables:
+                del mapping[variable]
+            return None
+    return tuple(new_variables)
+
+
+def implies(stronger: ConjunctiveQuery, weaker: ConjunctiveQuery) -> bool:
+    """Does ``stronger`` imply ``weaker`` (as Boolean queries)?
+
+    Chandra–Merlin: q1 ⊨ q2 iff there is a homomorphism from q2 to q1.
+    """
+    return homomorphism_exists(weaker, stronger)
+
+
+def are_equivalent(first: ConjunctiveQuery, second: ConjunctiveQuery) -> bool:
+    """Homomorphic equivalence: each query implies the other."""
+    return implies(first, second) and implies(second, first)
+
+
+def core(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """The homomorphism core of a constant-free conjunction.
+
+    Duplicate atoms are removed, then atoms are deleted one at a time as
+    long as the full conjunction still maps homomorphically into the
+    reduced one (which makes the two equivalent: the reduced query is a
+    sub-conjunction, so it is implied for free).  The fixpoint is the
+    minimal equivalent sub-conjunction — the core, up to isomorphism.
+    """
+    if query.disequalities:
+        raise UnsafeQueryError(
+            "homomorphism minimization is defined for queries without disequalities"
+        )
+    atoms: list[Atom] = list(dict.fromkeys(query.atoms))
+    changed = True
+    while changed and len(atoms) > 1:
+        changed = False
+        full = ConjunctiveQuery(tuple(atoms))
+        for index in range(len(atoms)):
+            reduced = ConjunctiveQuery(tuple(atoms[:index] + atoms[index + 1 :]))
+            if homomorphism_exists(full, reduced):
+                atoms = list(reduced.atoms)
+                changed = True
+                break
+    return ConjunctiveQuery(tuple(atoms))
+
+
+def minimize_disjuncts(
+    query: UnionOfConjunctiveQueries,
+) -> tuple[ConjunctiveQuery, ...]:
+    """Cores of the disjuncts, with redundant disjuncts removed.
+
+    A disjunct that implies another contributes nothing to the union
+    (its models are already counted), so it is dropped; of a class of
+    pairwise-equivalent disjuncts only the first survives.  The result is a
+    union equivalent to ``query`` in which no disjunct implies another.
+    """
+    cores = [core(disjunct) for disjunct in query.disjuncts]
+    kept: list[ConjunctiveQuery] = []
+    for index, candidate in enumerate(cores):
+        redundant = False
+        for other_index, other in enumerate(cores):
+            if other_index == index or not implies(candidate, other):
+                continue
+            # candidate ⊨ other: drop it, unless the two are equivalent and
+            # the other one comes later (then the other is dropped instead).
+            if not (other_index > index and implies(other, candidate)):
+                redundant = True
+                break
+        if not redundant:
+            kept.append(candidate)
+    return tuple(kept)
+
+
+def conjoin(disjuncts: Sequence[ConjunctiveQuery]) -> ConjunctiveQuery:
+    """The conjunction of several CQs with variables renamed apart.
+
+    Every variable of every disjunct is renamed to a fresh ``v<i>``, so the
+    result never aliases variables across (or within) disjuncts no matter
+    how the originals were named.
+    """
+    atoms: list[Atom] = []
+    counter = 0
+    for disjunct in disjuncts:
+        renaming: dict[Variable, Variable] = {}
+        for variable in disjunct.variables():
+            renaming[variable] = Variable(f"v{counter}")
+            counter += 1
+        atoms.extend(disjunct.rename_variables(renaming).atoms)
+    return ConjunctiveQuery(tuple(atoms))
+
+
+def inclusion_exclusion_terms(
+    disjuncts: Sequence[ConjunctiveQuery],
+) -> tuple[tuple[int, ConjunctiveQuery], ...]:
+    """The signed inclusion–exclusion terms over ``disjuncts``, minimized.
+
+    ``P(∨ q_i) = Σ_S (-1)^{|S|+1} P(∧_{i∈S} q_i)`` over non-empty subsets S.
+    Every conjunction is replaced by its homomorphism core, terms are
+    grouped by homomorphic equivalence, and the signed coefficients of each
+    class are summed (the Möbius-style cancellation): classes whose
+    coefficient nets out to zero are dropped entirely, so they are never
+    even attempted by plan construction.  Term order follows first
+    appearance in subset-enumeration order, which is deterministic.
+    """
+    if len(disjuncts) > MAX_INCLUSION_EXCLUSION_DISJUNCTS:
+        raise UnsafeQueryError(
+            f"inclusion–exclusion over {len(disjuncts)} disjuncts exceeds the "
+            f"supported bound of {MAX_INCLUSION_EXCLUSION_DISJUNCTS}"
+        )
+    representatives: list[ConjunctiveQuery] = []
+    coefficients: list[int] = []
+    for mask in range(1, 1 << len(disjuncts)):
+        chosen = [disjuncts[i] for i in range(len(disjuncts)) if mask >> i & 1]
+        term = core(conjoin(chosen))
+        sign = -1 if bin(mask).count("1") % 2 == 0 else 1
+        for index, representative in enumerate(representatives):
+            if are_equivalent(representative, term):
+                coefficients[index] += sign
+                break
+        else:
+            representatives.append(term)
+            coefficients.append(sign)
+    return tuple(
+        (coefficient, representative)
+        for coefficient, representative in zip(coefficients, representatives)
+        if coefficient != 0
+    )

@@ -1,22 +1,42 @@
-"""Lifted inference (safe plans) for hierarchical self-join-free queries.
+"""Recursive lifted-inference reference (safe plans).
 
 The query-based tractability route of [18, 19, 36], used in Section 9 of the
-paper as the point of comparison with the instance-based route: hierarchical
-self-join-free CQs (the safe ones) and inversion-free UCQs admit probability
-computation directly on the TID instance, without materializing a lineage,
-by recursively applying independence rules:
+paper as the point of comparison with the instance-based route.  This module
+is the *differential reference* for the compiled lifted tier
+(:mod:`repro.probability.lifted`), in the same spirit as
+:mod:`repro.booleans.reference`: a direct recursive transcription of the
+independence rules, kept deliberately close to the textbook presentation and
+cross-checked term by term against the iterative plan executor by the
+oracle and the differential tests.
 
-* *independent project*: if a root variable x occurs in every atom, group the
-  facts by the value of x; the groups touch disjoint facts, so
-  ``P(q) = 1 - prod_a (1 - P(q[x := a]))``;
+The rules, applied to each minimized inclusion–exclusion conjunction:
+
+* *independent project*: if a root variable x occurs in every atom, the
+  fact sets touched by distinct values of x are disjoint, so
+  ``P(q) = 1 - prod_a (1 - P(q[x := a]))`` where ``a`` ranges over the
+  values occurring in x's columns (the per-relation hash indexes — never
+  the whole active domain);
 * *independent join*: if the query splits into sub-queries sharing no
-  relation symbol (and no variable), ``P(q1 ∧ q2) = P(q1) * P(q2)``;
-* *ground atom*: the probability of a fully instantiated atom is its
-  TID probability (0 if the fact is absent).
+  unbound variable and no relation symbol, ``P(q1 ∧ q2) = P(q1) * P(q2)``;
+* *ground atom*: the probability of a fully instantiated atom is its TID
+  probability (0 if the fact is absent), looked up in one valuation
+  mapping built per evaluation.
 
-For unions, we apply inclusion–exclusion over the disjuncts (exponential in
-the — fixed — number of disjuncts only), which is exact for any UCQ whose
-conjunctions of disjuncts remain safe; inversion-free UCQs satisfy this.
+Both tiers share the minimization front end
+(:mod:`repro.probability.lifted.minimize`): disjuncts are replaced by their
+homomorphism cores, redundant disjuncts are dropped, and every
+inclusion–exclusion conjunction is cored with equivalent terms cancelled
+Möbius-style — so ``R(x) ∨ R(y)`` evaluates (its conjunction collapses to
+``R(x)``) instead of raising on an unminimized self-join.
+
+Scope: the projection rule is conservative (it requires pairwise-distinct
+relation symbols in the projected component), so some safe queries outside
+the hierarchical self-join-free fragment — e.g. inversion-free unions whose
+minimized conjunctions retain self-joins — are rejected.  Rejection is
+always an explicit :class:`~repro.errors.UnsafeQueryError`, never a wrong
+value, and the verdict is shared with the compiled tier: ``is_liftable``
+(re-exported here) is decided by plan construction and agrees with both
+evaluators by construction.
 """
 
 from __future__ import annotations
@@ -24,68 +44,100 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Any, Mapping
 
-from repro.data.instance import Fact
+from repro.data.instance import Fact, Instance
 from repro.data.tid import ProbabilisticInstance
-from repro.errors import ProbabilityError, QueryError
+from repro.errors import UnsafeQueryError
+from repro.probability.lifted.minimize import (
+    inclusion_exclusion_terms,
+    minimize_disjuncts,
+)
+from repro.probability.lifted.plan import is_liftable
 from repro.queries.atoms import Atom, Variable
 from repro.queries.cq import ConjunctiveQuery
-from repro.queries.properties import is_hierarchical
 from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq
 
-
-class UnsafeQueryError(ProbabilityError):
-    """Raised when the lifted-inference rules do not apply (the query is unsafe)."""
+__all__ = ["UnsafeQueryError", "is_liftable", "safe_plan_probability"]
 
 
 def safe_plan_probability(
     query: UnionOfConjunctiveQueries | ConjunctiveQuery,
     probabilistic_instance: ProbabilisticInstance,
 ) -> Fraction:
-    """Exact probability by lifted inference.
+    """Exact probability by recursive lifted inference.
 
-    Raises :class:`UnsafeQueryError` when a disjunct (or conjunction of
-    disjuncts arising in inclusion–exclusion) is not hierarchical / has
-    self-joins that block the independence rules.
+    Raises :class:`UnsafeQueryError` exactly when ``is_liftable`` is False:
+    some minimized inclusion–exclusion conjunction is not hierarchical or
+    needs a projection across a self-join.
     """
     query = as_ucq(query)
     if query.has_disequalities():
         raise UnsafeQueryError("lifted inference implemented for UCQs without disequalities")
-    disjuncts = list(query.disjuncts)
-    # Inclusion-exclusion over disjuncts: P(OR q_i) = sum over non-empty S of
-    # (-1)^{|S|+1} P(AND of q_i in S), where the conjunction of CQs is the CQ
-    # with variables renamed apart and atom sets concatenated.
+    disjuncts = minimize_disjuncts(query)
+    terms = inclusion_exclusion_terms(disjuncts)
+    # One membership/probability structure per evaluation, shared by every
+    # recursive call (the seed rebuilt a set of all facts per ground step).
+    valuation = probabilistic_instance.valuation()
+    instance = probabilistic_instance.instance
+    # Validate every term structurally before evaluating anything: safety
+    # must not depend on the instance (an empty projection column would
+    # otherwise skip — and silently accept — an unsafe subquery).
+    for _, conjunction in terms:
+        _validate([(a, frozenset()) for a in conjunction.atoms])
     total = Fraction(0)
-    for mask in range(1, 1 << len(disjuncts)):
-        chosen = [disjuncts[i] for i in range(len(disjuncts)) if mask >> i & 1]
-        conjunction = _conjoin(chosen)
-        sign = -1 if bin(mask).count("1") % 2 == 0 else 1
-        total += sign * _cq_probability(conjunction, probabilistic_instance)
+    for coefficient, conjunction in terms:
+        atoms = [(a, {}) for a in conjunction.atoms]
+        total += coefficient * _evaluate(atoms, instance, valuation)
     return total
-
-
-def _conjoin(disjuncts: list[ConjunctiveQuery]) -> ConjunctiveQuery:
-    """The conjunction of several CQs with variables renamed apart."""
-    atoms: list[Atom] = []
-    for index, disjunct in enumerate(disjuncts):
-        renaming = {v: Variable(f"{v.name}__{index}") for v in disjunct.variables()}
-        renamed = disjunct.rename_variables(renaming)
-        atoms.extend(renamed.atoms)
-    return ConjunctiveQuery(tuple(atoms))
-
-
-def _cq_probability(
-    query: ConjunctiveQuery, probabilistic_instance: ProbabilisticInstance
-) -> Fraction:
-    """Probability of a (Boolean) CQ by the independent project / join rules."""
-    atoms = [(a, {}) for a in query.atoms]
-    return _evaluate(atoms, probabilistic_instance)
 
 
 _Binding = Mapping[Variable, Any]
 
 
+def _validate(atoms: list[tuple[Atom, frozenset[Variable]]]) -> None:
+    """Recursive structural safety check: the value-free mirror of
+    :func:`_evaluate` (and an independent transcription of the plan
+    builder's decomposition).  Decomposition depends only on *which*
+    variables are bound, never on values, so this raises
+    :class:`UnsafeQueryError` exactly when evaluation would on some
+    instance — making the verdict instance-independent."""
+    if not atoms:
+        return
+    ground = [(a, bound) for a, bound in atoms if all(v in bound for v in a.variables())]
+    rest = [(a, bound) for a, bound in atoms if not all(v in bound for v in a.variables())]
+    if not rest:
+        return
+    if ground:
+        ground_relations = {a.relation for a, _ in ground}
+        if any(a.relation in ground_relations for a, _ in rest):
+            raise UnsafeQueryError(
+                "ground atom shares a relation with an open atom: "
+                "the factors are not independent"
+            )
+    components = _components(rest)
+    if len(components) > 1 or ground:
+        for component in components:
+            _validate(component)
+        return
+    unbound_per_atom = [
+        frozenset(v for v in a.variables() if v not in bound) for a, bound in rest
+    ]
+    shared = frozenset.intersection(*unbound_per_atom)
+    if not shared:
+        raise UnsafeQueryError(
+            "no root variable: the query is not hierarchical (unsafe for lifted inference)"
+        )
+    if not _distinct_relations(rest):
+        raise UnsafeQueryError(
+            "self-join across the root variable: lifted inference does not apply"
+        )
+    root = min(shared, key=lambda v: v.name)
+    _validate([(a, bound | {root}) for a, bound in rest])
+
+
 def _evaluate(
-    atoms: list[tuple[Atom, _Binding]], probabilistic_instance: ProbabilisticInstance
+    atoms: list[tuple[Atom, _Binding]],
+    instance: Instance,
+    valuation: dict[Fact, Fraction],
 ) -> Fraction:
     """Recursive lifted evaluation of a conjunction of partially bound atoms."""
     if not atoms:
@@ -101,20 +153,19 @@ def _evaluate(
         ground_facts: set[Fact] = set()
         for a, binding in ground:
             ground_facts.add(Fact(a.relation, tuple(binding[v] for v in a.arguments)))
-        instance_facts = set(probabilistic_instance.instance.facts)
-        for fact in ground_facts:
-            if fact in instance_facts:
-                probability *= probabilistic_instance.probability_of(fact)
-            else:
+        for ground_fact in ground_facts:
+            fact_probability = valuation.get(ground_fact)
+            if fact_probability is None:
                 return Fraction(0)
-        return probability * _evaluate(remaining, probabilistic_instance)
+            probability *= fact_probability
+        return probability * _evaluate(remaining, instance, valuation)
 
     # Independent join: split into connected components sharing no unbound variable.
     components = _components(atoms)
     if len(components) > 1:
         probability = Fraction(1)
         for component in components:
-            probability *= _evaluate(component, probabilistic_instance)
+            probability *= _evaluate(component, instance, valuation)
         return probability
 
     # Independent project on a root variable: an unbound variable occurring in
@@ -129,13 +180,43 @@ def _evaluate(
         )
     if not _distinct_relations(atoms):
         raise UnsafeQueryError("self-join across the root variable: lifted inference does not apply")
-    root = sorted(shared, key=lambda v: v.name)[0]
-    domain = probabilistic_instance.instance.domain
+    root = min(shared, key=lambda v: v.name)
     probability_none = Fraction(1)
-    for value in domain:
+    for value in _root_values(atoms, root, instance):
         bound = [(a, {**binding, root: value}) for a, binding in atoms]
-        probability_none *= 1 - _evaluate(bound, probabilistic_instance)
+        probability_none *= 1 - _evaluate(bound, instance, valuation)
     return 1 - probability_none
+
+
+def _root_values(
+    atoms: list[tuple[Atom, _Binding]], root: Variable, instance: Instance
+) -> list[Any]:
+    """Candidate root values: per atom, the values occurring in the root's
+    positions among the facts matching the atom's bound positions (via the
+    instance's hash indexes), intersected across atoms.  The seed swept the
+    whole active domain here — O(domain) recursive calls each returning 0."""
+    candidates: set[Any] | None = None
+    for a, binding in atoms:
+        positions = [i for i, v in enumerate(a.arguments) if v == root]
+        bound = {i: binding[v] for i, v in enumerate(a.arguments) if v in binding}
+        facts = (
+            instance.facts_matching(a.relation, bound)
+            if bound
+            else instance.facts_of(a.relation)
+        )
+        values = {
+            f.arguments[positions[0]]
+            for f in facts
+            if all(f.arguments[p] == f.arguments[positions[0]] for p in positions[1:])
+        }
+        candidates = values if candidates is None else candidates & values
+        if not candidates:
+            return []
+    return sorted(candidates or set(), key=_value_key)
+
+
+def _value_key(value: Any) -> tuple[str, str]:
+    return (type(value).__name__, repr(value))
 
 
 def _components(atoms: list[tuple[Atom, _Binding]]) -> list[list[tuple[Atom, _Binding]]]:
@@ -174,18 +255,3 @@ def _components(atoms: list[tuple[Atom, _Binding]]) -> list[list[tuple[Atom, _Bi
 def _distinct_relations(atoms: list[tuple[Atom, _Binding]]) -> bool:
     names = [a.relation for a, _ in atoms]
     return len(names) == len(set(names))
-
-
-def is_liftable(query: UnionOfConjunctiveQueries | ConjunctiveQuery) -> bool:
-    """A quick syntactic sufficient condition: every disjunct (and conjunction of
-    disjuncts) is hierarchical and self-join-free after renaming apart."""
-    query = as_ucq(query)
-    if query.has_disequalities():
-        return False
-    try:
-        for disjunct in query.disjuncts:
-            if not disjunct.is_self_join_free():
-                return False
-        return is_hierarchical(query)
-    except QueryError:
-        return False

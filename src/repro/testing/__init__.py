@@ -34,6 +34,9 @@ from repro.testing.workloads import (
     random_cq,
     random_dyadic_probabilities,
     random_query,
+    random_safe_cq,
+    random_safe_query,
+    random_safe_workload,
     random_workload,
     workload_pairs,
 )
@@ -50,6 +53,9 @@ __all__ = [
     "random_cq",
     "random_dyadic_probabilities",
     "random_query",
+    "random_safe_cq",
+    "random_safe_query",
+    "random_safe_workload",
     "random_workload",
     "workload_pairs",
 ]

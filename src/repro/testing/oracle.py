@@ -14,10 +14,13 @@ differentially testable.  :class:`ProbabilityOracle` evaluates one
   lifted-inference routes when they run); the compiled routes share the
   lineage-compilation pipeline, so their agreement additionally guards the
   engine's caching, not just the algorithms;
-* **safe plans** — when the query is syntactically liftable, the lifted
-  inference route must agree exactly too; when lifted inference bails out at
-  runtime (:class:`~repro.probability.safe_plans.UnsafeQueryError`) the route
-  is recorded as skipped, which is not a failure;
+* **safe plans** — when ``is_liftable`` holds, both lifted routes (the
+  compiled plan executor and the recursive reference) must agree exactly
+  with the others — an :class:`~repro.errors.UnsafeQueryError` there is a
+  *disagreement with the verdict*, never a skip; when the query is not
+  liftable, both routes must raise :class:`UnsafeQueryError` (a wrong
+  success is also a verdict disagreement) and the routes are recorded as
+  skipped;
 * **guaranteed intervals** — the dissociation bounds must contain the exact
   value (an unconditional theorem), and the seeded Karp–Luby estimate must
   fall within its Hoeffding interval around the exact value (a probabilistic
@@ -138,7 +141,10 @@ class ProbabilityOracle:
         ``auto`` routes.  Add ``"automaton"`` (or ``"automaton_columnar"``)
         for the (slower) tree-automaton dynamic program.
     include_safe_plan:
-        Also run lifted inference on syntactically liftable queries.
+        Also check the lifted tier: on liftable queries both lifted routes
+        (compiled plan and recursive reference) must agree exactly; on
+        non-liftable queries both must raise — so every case exercises the
+        ``is_liftable`` iff-contract in one direction or the other.
     karp_luby_samples / karp_luby_delta:
         Effort and confidence for the Karp–Luby check; the tolerance is the
         Hoeffding radius for that effort, scaled by the (exact) union bound
@@ -195,15 +201,30 @@ class ProbabilityOracle:
             engine = self.engine if method in self._ENGINE_METHODS else None
             report.exact_values[method] = probability(query, tid, method=method, engine=engine)
         if self.include_safe_plan:
-            if is_liftable(query):
-                try:
-                    report.exact_values["safe_plan"] = probability(
-                        query, tid, method="safe_plan"
-                    )
-                except UnsafeQueryError:
-                    skipped.append("safe_plan")
-            else:
-                skipped.append("safe_plan")
+            liftable = is_liftable(query)
+            for method in ("safe_plan", "safe_plan_reference"):
+                if liftable:
+                    # The verdict contract: is_liftable promised success, so
+                    # an UnsafeQueryError here IS a disagreement, not a skip.
+                    try:
+                        report.exact_values[method] = probability(query, tid, method=method)
+                    except UnsafeQueryError as error:
+                        raise OracleDisagreement(
+                            f"oracle case {name!r}: is_liftable is True but "
+                            f"{method} raised UnsafeQueryError: {error}",
+                            report=report,
+                        ) from error
+                else:
+                    try:
+                        probability(query, tid, method=method)
+                    except UnsafeQueryError:
+                        skipped.append(method)
+                    else:
+                        raise OracleDisagreement(
+                            f"oracle case {name!r}: is_liftable is False but "
+                            f"{method} evaluated the query without raising",
+                            report=report,
+                        )
         lineage = self.engine.lineage(query, tid.instance)
         report.bounds = dissociation_bounds(lineage, tid)
         if self.karp_luby_samples > 0:

@@ -160,6 +160,93 @@ def random_workload(
     return cases
 
 
+def random_safe_cq(
+    generator: random.Random,
+    max_atoms: int = 3,
+    max_variables: int = 3,
+    relation_prefix: str = "L",
+) -> ConjunctiveQuery:
+    """A random *guaranteed-liftable* self-join-free hierarchical CQ.
+
+    Each atom's variable set is a prefix of the chain ``x1, ..., xk`` and
+    relation symbols never repeat, so variable occurrence sets are nested
+    (hierarchical) and every projection step finds a root — the query admits
+    a lifted plan by construction.
+    """
+    variables = [Variable(f"x{i}") for i in range(1, max_variables + 1)]
+    atom_count = generator.randint(1, max_atoms)
+    atoms = []
+    for index in range(atom_count):
+        depth = generator.randint(1, max_variables)
+        arguments = tuple(variables[:depth])
+        atoms.append(Atom(f"{relation_prefix}{index}_{depth}", arguments))
+    return ConjunctiveQuery(tuple(atoms))
+
+
+def random_safe_query(
+    generator: random.Random,
+    max_atoms: int = 3,
+    max_variables: int = 3,
+    union_probability: float = 0.4,
+) -> UnionOfConjunctiveQueries:
+    """A random guaranteed-liftable UCQ.
+
+    One safe CQ, or (with ``union_probability``) a union of two: either a
+    homomorphically-redundant renamed copy of the first disjunct (exercising
+    minimization — the union must still be liftable after coring) or a
+    second safe CQ over disjoint relation symbols (exercising genuine
+    inclusion–exclusion with independent terms).
+    """
+    first = random_safe_cq(generator, max_atoms, max_variables, relation_prefix="L")
+    if generator.random() >= union_probability:
+        return as_ucq(first)
+    if generator.random() < 0.5:
+        renaming = {v: Variable(f"{v.name}_r") for v in first.variables()}
+        return ucq([first, first.rename_variables(renaming)])
+    second = random_safe_cq(generator, max_atoms, max_variables, relation_prefix="M")
+    return ucq([first, second])
+
+
+def random_safe_workload(
+    count: int,
+    seed: int = 0,
+    max_facts: int = 8,
+    max_atoms: int = 3,
+    max_variables: int = 3,
+) -> list[WorkloadCase]:
+    """``count`` seeded cases whose queries are liftable by construction.
+
+    Instances are random facts over the query's own relations (each
+    ``L{i}_{d}`` filled with tuples over a small domain), with random dyadic
+    probabilities; every case's query satisfies ``is_liftable``, which the
+    lifted tests assert as a sanity check on the generator itself.
+    """
+    from repro.data.instance import Fact
+
+    master = random.Random(seed)
+    cases: list[WorkloadCase] = []
+    for index in range(count):
+        case_seed = master.randrange(10**9)
+        generator = random.Random(case_seed)
+        query = random_safe_query(generator, max_atoms, max_variables)
+        relations = sorted(
+            {(a.relation, a.arity) for disjunct in query.disjuncts for a in disjunct.atoms}
+        )
+        domain = list(range(generator.randint(2, 3)))
+        facts: list[Fact] = []
+        for relation, arity in relations:
+            tuples = {
+                tuple(generator.choice(domain) for _ in range(arity))
+                for _ in range(generator.randint(1, 3))
+            }
+            facts.extend(Fact(relation, arguments) for arguments in tuples)
+        generator.shuffle(facts)
+        instance = Instance(facts[:max_facts])
+        tid = random_dyadic_probabilities(instance, generator)
+        cases.append(WorkloadCase(name="safe", query=query, tid=tid, seed=case_seed))
+    return cases
+
+
 def workload_pairs(
     cases: Iterable[WorkloadCase],
 ) -> list[tuple[UnionOfConjunctiveQueries, ProbabilisticInstance]]:

@@ -1,0 +1,330 @@
+"""Tests for the compiled lifted-inference tier and the dichotomy router.
+
+Covers UCQ minimization (cores, redundant disjuncts, Möbius cancellation),
+plan construction and the is_liftable iff-contract, the iterative executor
+against brute force and the recursive reference, and the engine's routing:
+``method="auto"`` picking the lifted plan on safe queries (including past
+the circuit fact limit) and a circuit route on unsafe ones.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.data.instance import Fact, Instance, fact
+from repro.data.tid import ProbabilisticInstance
+from repro.engine import CompilationEngine, ParallelEngine, RouteCostModel
+from repro.errors import UnsafeQueryError
+from repro.probability.brute_force import brute_force_probability
+from repro.probability.evaluation import probability
+from repro.probability.lifted import (
+    GroundNode,
+    InclusionExclusionNode,
+    JoinNode,
+    ProjectNode,
+    are_equivalent,
+    core,
+    homomorphism_exists,
+    implies,
+    inclusion_exclusion_terms,
+    is_liftable,
+    lifted_plan,
+    lifted_probability,
+    minimize_disjuncts,
+    try_lifted_plan,
+)
+from repro.probability.safe_plans import safe_plan_probability
+from repro.queries import hierarchical_example, parse_cq, parse_ucq, unsafe_rst
+from repro.testing import ProbabilityOracle, random_safe_workload, random_workload
+
+
+# -- minimization -------------------------------------------------------------
+
+
+def test_homomorphism_exists_basic():
+    # R(x),S(x,y) maps into R(a),S(a,b) shapes and vice versa.
+    assert homomorphism_exists(parse_cq("R(x)"), parse_cq("R(x), R(y)"))
+    assert homomorphism_exists(parse_cq("R(x), R(y)"), parse_cq("R(x)"))
+    # S(x,y) maps into S(x,x) (merge both variables onto x)...
+    assert homomorphism_exists(parse_cq("S(x, y)"), parse_cq("S(x, x)"))
+    # ...but S(x,x) has no image inside S(x,y) (no repeated-argument atom).
+    assert not homomorphism_exists(parse_cq("S(x, x)"), parse_cq("S(x, y)"))
+    assert not homomorphism_exists(parse_cq("R(x)"), parse_cq("T(x)"))
+
+
+def test_implies_and_equivalence():
+    assert implies(parse_cq("R(x), S(x, y)"), parse_cq("R(x)"))
+    assert not implies(parse_cq("R(x)"), parse_cq("R(x), S(x, y)"))
+    assert are_equivalent(parse_cq("R(x), R(y)"), parse_cq("R(x)"))
+    assert not are_equivalent(parse_cq("R(x)"), parse_cq("S(x, y)"))
+
+
+def test_core_drops_redundant_atoms():
+    cored = core(parse_cq("R(x), R(y)"))
+    assert len(cored.atoms) == 1
+    assert cored.atoms[0].relation == "R"
+    # S(x,y), S(y,z) has no proper core (the two atoms are not collapsible).
+    assert len(core(parse_cq("S(x, y), S(y, z)")).atoms) == 2
+    # S(x,y), S(x,z) collapses: map z to y.
+    assert len(core(parse_cq("S(x, y), S(x, z)")).atoms) == 1
+
+
+def test_minimize_disjuncts_drops_implied():
+    disjuncts = minimize_disjuncts(parse_ucq("R(x) | R(y)"))
+    assert len(disjuncts) == 1
+    # The stronger disjunct R(x),S(x,y) implies R(x): only R(x) survives.
+    disjuncts = minimize_disjuncts(parse_ucq("R(x), S(x, y) | R(x)"))
+    assert len(disjuncts) == 1
+    assert disjuncts[0].atoms == parse_cq("R(x)").atoms
+
+
+def test_inclusion_exclusion_cancellation():
+    # R(x) | T(y): three terms (R, T, R∧T with coefficient -1).
+    terms = inclusion_exclusion_terms(minimize_disjuncts(parse_ucq("R(x) | T(y)")))
+    coefficients = sorted(coefficient for coefficient, _ in terms)
+    assert coefficients == [-1, 1, 1]
+    # R(x) | R(y) minimizes to one disjunct: a single +1 term.
+    terms = inclusion_exclusion_terms(minimize_disjuncts(parse_ucq("R(x) | R(y)")))
+    assert len(terms) == 1
+    assert terms[0][0] == 1
+
+
+# -- plans --------------------------------------------------------------------
+
+
+def test_plan_shape_hierarchical():
+    plan = lifted_plan(hierarchical_example())
+    assert isinstance(plan.root, InclusionExclusionNode)
+    assert plan.term_count == 1
+    coefficient, node = plan.root.terms[0]
+    assert coefficient == 1
+    assert isinstance(node, ProjectNode)  # project on x
+    assert plan.node_count() >= 3
+
+
+def test_plan_shape_ground_after_binding():
+    plan = lifted_plan(parse_cq("R(x)"))
+    (_, node), = plan.root.terms
+    assert isinstance(node, ProjectNode)
+    assert isinstance(node.child, GroundNode)
+
+
+def test_plan_join_of_independent_components():
+    plan = lifted_plan(parse_cq("R(x), T(y)"))
+    (_, node), = plan.root.terms
+    assert isinstance(node, JoinNode)
+    assert len(node.children) == 2
+
+
+def test_unsafe_queries_have_no_plan():
+    assert try_lifted_plan(unsafe_rst()) is None
+    with pytest.raises(UnsafeQueryError):
+        lifted_plan(unsafe_rst())
+
+
+# -- the is_liftable iff-contract --------------------------------------------
+
+
+def test_redundant_disjunct_regression_family():
+    """The PR 8 bugfix family: homomorphically-redundant UCQs are legal and
+    both the verdict and both evaluators agree on them."""
+    instance = Instance(
+        [fact("R", "a"), fact("R", "b"), fact("S", "a", "b"), fact("S", "b", "b")]
+    )
+    tid = ProbabilisticInstance.uniform(instance, Fraction(1, 2))
+    for text in (
+        "R(x), R(y)",
+        "R(x) | R(y)",
+        "R(x), S(x, y) | R(u), S(u, v)",
+        "R(x) | R(x), S(x, y)",
+        "S(x, y), S(x, z)",
+    ):
+        query = parse_ucq(text) if "|" in text else parse_cq(text)
+        assert is_liftable(query), text
+        expected = brute_force_probability(query, tid)
+        assert lifted_probability(query, tid) == expected, text
+        assert safe_plan_probability(query, tid) == expected, text
+
+
+def test_verdict_agrees_with_evaluation_on_random_workload():
+    """is_liftable(q) is True iff both lifted evaluators succeed — the
+    acceptance criterion of ISSUE 8, swept over the random workload."""
+    for case in random_workload(40, seed=11):
+        liftable = is_liftable(case.query)
+        for evaluate in (lifted_probability, safe_plan_probability):
+            if liftable:
+                value = evaluate(case.query, case.tid)
+                assert value == brute_force_probability(case.query, case.tid), str(case)
+            else:
+                with pytest.raises(UnsafeQueryError):
+                    evaluate(case.query, case.tid)
+
+
+def test_verdict_is_instance_independent():
+    """Regression: the seed's recursive evaluator discovered unsafety only
+    during recursion, so an empty candidate column could silently skip an
+    unsafe subquery.  Both evaluators must raise even on instances whose
+    data never reaches the unsafe branch."""
+    query = parse_cq("R(x), S(x, y), T(x, z), U(x, y, z)")
+    assert not is_liftable(query)
+    sparse = Instance(
+        [fact("R", "a"), fact("S", "a", "b")], signature=query.signature()
+    )
+    tid = ProbabilisticInstance.uniform(sparse, Fraction(1, 2))
+    with pytest.raises(UnsafeQueryError):
+        lifted_probability(query, tid)
+    with pytest.raises(UnsafeQueryError):
+        safe_plan_probability(query, tid)
+
+
+def test_oracle_over_safe_workload():
+    """Every safe-workload query runs through every exact route plus both
+    lifted routes; the generator's liftability guarantee is asserted too."""
+    cases = random_safe_workload(20, seed=5)
+    assert all(is_liftable(case.query) for case in cases)
+    oracle = ProbabilityOracle(karp_luby_samples=0)
+    reports = oracle.check_many(cases)
+    assert all("safe_plan" in r.exact_values for r in reports)
+    assert all("safe_plan_reference" in r.exact_values for r in reports)
+
+
+# -- engine routing -----------------------------------------------------------
+
+
+def _small_tid():
+    facts = [fact("R", "a"), fact("R", "b"), fact("S", "a", "x"), fact("S", "b", "y")]
+    return ProbabilisticInstance.uniform(Instance(facts), Fraction(1, 2))
+
+
+def _unsafe_tid():
+    instance = Instance(
+        [fact("R", "a"), fact("S", "a", "b"), fact("T", "b")],
+        signature=unsafe_rst().signature(),
+    )
+    return ProbabilisticInstance.uniform(instance, Fraction(1, 3))
+
+
+def test_auto_routes_safe_query_through_lifted_plan():
+    engine = CompilationEngine()
+    tid = _small_tid()
+    query = hierarchical_example()
+    decision = engine.choose_route(query, tid)
+    assert decision.liftable
+    assert decision.method == "safe_plan"
+    value = engine.probability(query, tid, "auto")
+    assert value == brute_force_probability(query, tid)
+    assert engine.route_mix() == {"safe_plan": 1}
+    # The cached entry does not re-route.
+    engine.probability(query, tid, "auto")
+    assert engine.route_mix() == {"safe_plan": 1}
+
+
+def test_auto_routes_unsafe_query_to_circuit():
+    engine = CompilationEngine()
+    tid = _unsafe_tid()
+    decision = engine.choose_route(unsafe_rst(), tid)
+    assert not decision.liftable
+    assert decision.method in ("obdd", "columnar", "dnnf", "automaton")
+    value = engine.probability(unsafe_rst(), tid, "auto")
+    assert value == brute_force_probability(unsafe_rst(), tid)
+    assert engine.route_mix() == {decision.method: 1}
+
+
+def test_circuit_routes_gated_past_fact_limit():
+    engine = CompilationEngine(circuit_fact_limit=2)
+    tid = _small_tid()
+    decision = engine.choose_route(hierarchical_example(), tid)
+    assert decision.method == "safe_plan"
+    assert set(decision.infeasible) == {"obdd", "columnar", "dnnf", "automaton"}
+    assert [route for route, _ in decision.estimates] == ["safe_plan"]
+
+
+def test_cached_artifact_unlocks_gated_circuit_route():
+    engine = CompilationEngine(circuit_fact_limit=2)
+    tid = _unsafe_tid()
+    # Unsafe query on a too-big instance: nothing feasible, best-effort OBDD.
+    decision = engine.choose_route(unsafe_rst(), tid)
+    assert decision.method == "obdd"
+    assert decision.estimates == ()
+    # Once the OBDD is compiled and cached, the route becomes feasible.
+    engine.compile(unsafe_rst(), tid.instance)
+    decision = engine.choose_route(unsafe_rst(), tid)
+    assert "obdd" not in decision.infeasible
+    assert any(route == "obdd" for route, _ in decision.estimates)
+
+
+def test_engine_safe_plan_method_and_plan_cache():
+    engine = CompilationEngine()
+    tid = _small_tid()
+    query = hierarchical_example()
+    value = engine.probability(query, tid, "safe_plan")
+    assert value == brute_force_probability(query, tid)
+    assert engine.stats["lifted_plan"].misses == 1
+    engine.probability(parse_cq("R(x), S(x, y)"), tid, "safe_plan")
+    # Same UCQ content -> probability-cache hit, no second plan build.
+    assert engine.stats["lifted_plan"].misses == 1
+    with pytest.raises(UnsafeQueryError):
+        engine.probability(unsafe_rst(), tid, "safe_plan")
+    # The unsafe verdict is cached as None.
+    assert engine.lifted_plan(unsafe_rst()) is None
+    assert engine.stats["lifted_plan"].hits >= 1
+
+
+def test_engine_clear_resets_router_state():
+    engine = CompilationEngine()
+    engine.probability(hierarchical_example(), _small_tid(), "auto")
+    assert engine.route_mix()
+    engine.clear()
+    assert engine.route_mix() == {}
+    assert engine.stats["lifted_plan"].total == 0
+
+
+def test_route_cost_model_learns():
+    model = RouteCostModel()
+    before = model.predict("safe_plan", 1000)
+    model.observe("safe_plan", 1000, 10.0)
+    after = model.predict("safe_plan", 1000)
+    assert after > before
+    assert model.rate("never_seen") is None
+    snapshot = model.snapshot()
+    assert "safe_plan" in snapshot and "obdd" in snapshot
+
+
+def test_parallel_report_carries_route_mix():
+    with ParallelEngine(workers=1) as parallel:
+        report = parallel.map_probability(
+            [
+                (hierarchical_example(), _small_tid()),
+                (unsafe_rst(), _unsafe_tid()),
+            ]
+        )
+        mix = report.route_mix
+        assert mix.get("safe_plan") == 1
+        assert sum(mix.values()) == 2
+
+
+def test_one_shot_auto_prefers_lifted_plan():
+    tid = _small_tid()
+    value = probability(hierarchical_example(), tid, method="auto")
+    assert value == brute_force_probability(hierarchical_example(), tid)
+    # Unsafe queries still flow through the circuit path.
+    value = probability(unsafe_rst(), _unsafe_tid(), method="auto")
+    assert value == brute_force_probability(unsafe_rst(), _unsafe_tid())
+
+
+def test_lifted_scales_past_circuit_limit():
+    """A mid-size version of BENCH_lifted's gate inside tier-1: the router
+    picks the lifted plan unaided above the circuit fact limit and the value
+    matches the closed form."""
+    k, m = 40, 30
+    facts = [Fact("R", (f"a{i}",)) for i in range(k)]
+    facts.extend(Fact("S", (f"a{i}", f"b{j}")) for i in range(k) for j in range(m))
+    tid = ProbabilisticInstance.uniform(Instance(facts), Fraction(1, 2))
+    engine = CompilationEngine(circuit_fact_limit=100)
+    decision = engine.choose_route(hierarchical_example(), tid)
+    assert decision.method == "safe_plan"
+    assert set(decision.infeasible) == {"obdd", "columnar", "dnnf", "automaton"}
+    p = Fraction(1, 2)
+    expected = 1 - (1 - p * (1 - (1 - p) ** m)) ** k
+    assert engine.probability(hierarchical_example(), tid, "auto") == expected
+    assert engine.route_mix() == {"safe_plan": 1}

@@ -61,7 +61,29 @@ def test_is_liftable():
     assert is_liftable(parse_ucq("R(x) | T(y)"))
     assert not is_liftable(unsafe_rst())
     assert not is_liftable(threshold_two_query())
-    assert not is_liftable(parse_cq("R(x), R(y)"))
+    # The PR 8 bug fix: R(x), R(y) cores to R(x) under minimization, so the
+    # (legal, safe) query is liftable — the seed wrongly rejected it as an
+    # unsafe self-join.
+    assert is_liftable(parse_cq("R(x), R(y)"))
+    assert is_liftable(parse_ucq("R(x) | R(y)"))
+
+
+def test_redundant_self_join_cores_to_single_atom():
+    query = parse_cq("R(x), R(y)")
+    instance = Instance([fact("R", "a"), fact("R", "b"), fact("R", "c")])
+    tid = ProbabilisticInstance.uniform(instance, Fraction(1, 2))
+    expected = brute_force_probability(query, tid)
+    assert safe_plan_probability(query, tid) == expected
+    assert expected == 1 - Fraction(1, 8)
+
+
+def test_redundant_union_disjuncts_minimized():
+    query = parse_ucq("R(x) | R(y)")
+    instance = Instance([fact("R", "a"), fact("R", "b")])
+    tid = ProbabilisticInstance(
+        instance, {fact("R", "a"): Fraction(1, 2), fact("R", "b"): Fraction(1, 3)}
+    )
+    assert safe_plan_probability(query, tid) == brute_force_probability(query, tid)
 
 
 def test_query_false_on_empty_relation():
