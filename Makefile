@@ -7,7 +7,7 @@ PYTHON ?= python
 PYTHONPATH_PREFIX = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 TIER1_WALL_CLOCK ?= 300
 
-.PHONY: test tier1 test-slow test-differential analyze typecheck bench-engine bench-parallel bench-compile bench-structure bench-vector bench-lifted bench
+.PHONY: test tier1 test-slow test-differential test-chaos analyze typecheck bench-engine bench-parallel bench-compile bench-structure bench-vector bench-lifted bench-resilience bench
 
 # Static invariant checker (see README "Static invariants"): AST/call-graph
 # rules gating the kernel contracts. Fails on any finding.
@@ -32,6 +32,11 @@ test-slow:
 test-differential:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -q --runslow tests/test_differential.py tests/test_structure_oracle.py
 
+# Fault-injection suite: seeded worker kills, stragglers, allocation failures,
+# and shared-memory sabotage against the parallel engine (marker: chaos).
+test-chaos:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -q -m chaos tests/test_faults.py
+
 bench-engine:
 	$(PYTHONPATH_PREFIX) $(PYTHON) benchmarks/bench_engine.py
 
@@ -49,6 +54,9 @@ bench-vector:
 
 bench-lifted:
 	$(PYTHONPATH_PREFIX) $(PYTHON) benchmarks/bench_lifted.py
+
+bench-resilience:
+	$(PYTHONPATH_PREFIX) $(PYTHON) benchmarks/bench_resilience.py
 
 bench:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -q benchmarks

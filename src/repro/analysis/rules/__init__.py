@@ -7,6 +7,7 @@ the module docstrings and README's "Static invariants" section).
 
 from repro.analysis.rules.rec001 import NoRecursionRule
 from repro.analysis.rules.exact001 import ExactnessPurityRule
+from repro.analysis.rules.except001 import NarrowExceptionsRule
 from repro.analysis.rules.pickle001 import ForkSafetyRule
 from repro.analysis.rules.det001 import DeterministicKeysRule
 from repro.analysis.rules.slots001 import SlottedNodesRule
@@ -14,6 +15,7 @@ from repro.analysis.rules.slots001 import SlottedNodesRule
 __all__ = [
     "NoRecursionRule",
     "ExactnessPurityRule",
+    "NarrowExceptionsRule",
     "ForkSafetyRule",
     "DeterministicKeysRule",
     "SlottedNodesRule",

@@ -1,0 +1,81 @@
+"""EXCEPT001 — no blanket exception handlers in the engine modules.
+
+Bug class: the resilience work (PR 8) made the engine's error *types* load-
+bearing — the failover chain retries on :class:`~repro.errors.BudgetExceeded`
+but re-raises :class:`~repro.errors.DeadlineExceeded`, and the crash-aware
+pool retries worker-reported ``MemoryError`` / ``SegmentError`` while any
+other error aborts the run.  A ``try: ... except Exception: pass`` anywhere
+on those paths silently converts a typed, recoverable failure into a wrong
+answer or a hang (the exact bug ``multiprocessing.Pool.map`` has: a dead
+worker just never returns).  Broad handlers are occasionally *correct* — a
+worker loop must survive any task failure to report it — but each one must
+say why, as a justified inline suppression the analyzer can audit.
+
+The rule flags every handler that catches ``Exception`` or ``BaseException``
+(directly, in a tuple, or as a bare ``except:``) inside the configured
+modules.  Handlers under a ``# repro-analysis: allow(EXCEPT001): <why>``
+comment are filtered by the ordinary suppression machinery — the point of
+the rule is that the justification becomes mandatory.
+
+Options (``[tool.repro-analysis.rules.EXCEPT001]``):
+
+* ``modules`` — fnmatch patterns of the modules held to this bar (defaults
+  to the engine package and the resilience primitives).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.config import matches_any
+from repro.analysis.registry import AnalysisContext, register
+from repro.analysis.report import Finding
+
+DEFAULT_MODULES = ("repro.engine*", "repro.resilience")
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+@register
+class NarrowExceptionsRule:
+    id = "EXCEPT001"
+    title = "engine modules must catch typed errors"
+    description = (
+        "A blanket 'except Exception' on an engine path swallows the typed "
+        "failures the failover and crash-recovery logic dispatches on; every "
+        "deliberate one needs a justified suppression."
+    )
+
+    def check(self, context: AnalysisContext) -> Iterator[Finding]:
+        options = context.options_for(self.id)
+        patterns = tuple(options.get("modules", DEFAULT_MODULES))
+        for module in context.production_modules():
+            if not matches_any(module.name, patterns):
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                broad = _broad_catch(node.type)
+                if broad is None:
+                    continue
+                yield context.finding(
+                    self.id,
+                    module,
+                    node,
+                    f"handler catches {broad}, hiding the typed errors the "
+                    "engine dispatches on (BudgetExceeded, DeadlineExceeded, "
+                    "SegmentError, ...); catch the concrete types, or justify "
+                    "with '# repro-analysis: allow(EXCEPT001): <why>'",
+                )
+
+
+def _broad_catch(annotation: ast.expr | None) -> str | None:
+    """The broad name this handler catches, or None when it is typed."""
+    if annotation is None:
+        return "everything (bare except)"
+    names = annotation.elts if isinstance(annotation, ast.Tuple) else [annotation]
+    for expr in names:
+        if isinstance(expr, ast.Name) and expr.id in _BROAD_NAMES:
+            return expr.id
+    return None

@@ -52,11 +52,16 @@ from array import array
 from fractions import Fraction
 from typing import Any, Hashable, Mapping, Sequence
 
+from repro import resilience as _resilience
 from repro.booleans.obdd import FALSE_NODE, OBDD, TRUE_NODE, SweepResult
 from repro.errors import CompilationError, LineageError
 
 _ITEM = "q"  # signed 64-bit entries, matching numpy int64
 _ITEMSIZE = 8
+
+# Scalar-pass iterations between wall-clock checkpoints under an active
+# budget (the vectorized passes checkpoint once per level instead).
+_CHECKPOINT_STRIDE = 4096
 
 
 def array_backend():
@@ -304,7 +309,14 @@ class ColumnarOBDD:
         zero: Fraction | float = Fraction(0) if exact else 0.0
         values: list[Fraction | float] = [zero, one] + [zero] * len(var)
         prob_of_level: dict[int, Fraction | float] = {}
+        budget = _resilience.ACTIVE
+        countdown = _CHECKPOINT_STRIDE
         for index in range(len(var)):
+            if budget is not None:
+                countdown -= 1
+                if countdown == 0:
+                    countdown = _CHECKPOINT_STRIDE
+                    budget.checkpoint()
             level = var[index]
             p = prob_of_level.get(level)
             if p is None:
@@ -318,10 +330,13 @@ class ColumnarOBDD:
     ) -> float:
         """One fused gather per level: ``v[nodes] = p*v[hi] + (1-p)*v[lo]``."""
         np = numpy_module
+        budget = _resilience.ACTIVE
         values = np.empty(len(self.var) + 2, dtype=np.float64)
         values[FALSE_NODE] = 0.0
         values[TRUE_NODE] = 1.0
         for level, start, stop in self._level_slices():
+            if budget is not None:
+                budget.checkpoint()
             p = self._level_probability(probabilities, level, exact=False)
             values[start + 2 : stop + 2] = p * values[self.hi[start:stop]] + (1.0 - p) * values[
                 self.lo[start:stop]
@@ -333,7 +348,14 @@ class ColumnarOBDD:
         var, lo, hi = self.var, self.lo, self.hi
         counts: list[int] = [0, 1] + [0] * len(var)
         landing: list[int] = [n_vars, n_vars] + [int(level) for level in var]
+        budget = _resilience.ACTIVE
+        countdown = _CHECKPOINT_STRIDE
         for index in range(len(var)):
+            if budget is not None:
+                countdown -= 1
+                if countdown == 0:
+                    countdown = _CHECKPOINT_STRIDE
+                    budget.checkpoint()
             level = var[index]
             low, high = lo[index], hi[index]
             counts[index + 2] = (counts[low] << (landing[low] - level - 1)) + (
@@ -431,7 +453,10 @@ class ColumnarOBDD:
         values[FALSE_NODE] = 0.0
         values[TRUE_NODE] = 1.0
         lo, hi = self.lo, self.hi
+        budget = _resilience.ACTIVE
         for row, (_, start, stop) in enumerate(slices):
+            if budget is not None:
+                budget.checkpoint()
             p = weight_rows[row]
             values[start + 2 : stop + 2] = (
                 p * values[hi[start:stop]] + (1.0 - p) * values[lo[start:stop]]

@@ -33,7 +33,13 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Callable, Hashable, Iterable, Mapping, Sequence
 
+from repro import resilience as _resilience
 from repro.errors import CompilationError, LineageError
+
+# How many sweep iterations pass between wall-clock checkpoints when a
+# resource budget is active; one Deadline consultation per stride keeps the
+# checkpoint overhead under the bench_resilience gate.
+_CHECKPOINT_STRIDE = 4096
 
 FALSE_NODE = 0
 TRUE_NODE = 1
@@ -104,6 +110,13 @@ class OBDD:
         key = (level, low, high)
         node = self._unique.get(key)
         if node is None:
+            # The single allocation choke point: every construction path
+            # (build_from_clauses, apply, restrict) creates nodes only here,
+            # so charging the ambient budget per unique-table insert caps
+            # them all.  Re-derived (hash-consed) nodes are free.
+            budget = _resilience.ACTIVE
+            if budget is not None:
+                budget.charge_nodes(1)
             self._nodes.append(key)
             node = len(self._nodes) - 1
             self._unique[key] = node
@@ -396,6 +409,14 @@ class OBDD:
         # descending is a reverse topological order of the reachable DAG.
         reachable.sort(key=lambda current: nodes[current][0], reverse=True)
 
+        # Wall-clock checkpoints for the fused sweep: consult the ambient
+        # deadline once up front and then every _CHECKPOINT_STRIDE nodes, so
+        # a sweep over millions of nodes stays interruptible.
+        budget = _resilience.ACTIVE
+        if budget is not None:
+            budget.checkpoint()
+        countdown = _CHECKPOINT_STRIDE
+
         prob_of_level: dict[int, Fraction | float] = {}
 
         def level_probability(level: int) -> Fraction | float:
@@ -421,6 +442,11 @@ class OBDD:
         min_source: dict[int, int] | None = {} if want_width else None
 
         for current in reachable:
+            if budget is not None:
+                countdown -= 1
+                if countdown == 0:
+                    countdown = _CHECKPOINT_STRIDE
+                    budget.checkpoint()
             level, low, high = nodes[current]
             if want_probability:
                 p = level_probability(level)

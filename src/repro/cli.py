@@ -26,6 +26,13 @@ invocations within one process (e.g. from tests) benefit from the cache.
 Run ``python -m repro.cli --help`` (or the ``repro`` console script) for
 details; every subcommand prints to stdout and returns a conventional exit
 code, so the CLI is scriptable.
+
+Exit codes distinguish the typed failures a wrapper script wants to branch
+on: 0 success, 1 any other library error, 2 usage errors (argparse owns
+it), 3 the query is unsafe (:class:`~repro.errors.UnsafeQueryError` under a
+lifted method), 4 the ``--timeout`` deadline passed
+(:class:`~repro.errors.DeadlineExceeded`), 5 a ``--budget-*`` cap was
+exhausted on every route (:class:`~repro.errors.BudgetExceeded`).
 """
 
 from __future__ import annotations
@@ -51,7 +58,18 @@ from repro.data.io import (
     tid_to_dict,
 )
 from repro.data.tid import ProbabilisticInstance
-from repro.errors import ReproError
+from repro.errors import (
+    BudgetExceeded,
+    DeadlineExceeded,
+    ReproError,
+    UnsafeQueryError,
+)
+
+# Scriptable exit codes (argparse itself exits with 2 on usage errors).
+EXIT_FAILURE = 1
+EXIT_UNSAFE = 3
+EXIT_DEADLINE = 4
+EXIT_BUDGET = 5
 
 
 def _load(path: str) -> ProbabilisticInstance:
@@ -122,10 +140,11 @@ def _command_lineage(arguments: argparse.Namespace) -> int:
 
 
 def _command_probability(arguments: argparse.Namespace) -> int:
-    from repro.engine import default_engine
+    from repro.engine import CompilationEngine, ProbabilityBounds, default_engine
     from repro.probability.approximation import approximate_probability
     from repro.probability.evaluation import probability
     from repro.queries.parser import parse_ucq
+    from repro.resilience import ResourceBudget
 
     tid = _load(arguments.instance)
     query = parse_ucq(arguments.query)
@@ -135,7 +154,23 @@ def _command_probability(arguments: argparse.Namespace) -> int:
         )
         print(f"estimate: {result.estimate:.6f} ({result.method}, {result.samples} samples)")
         return 0
-    engine = default_engine()
+    budget = None
+    if (
+        arguments.timeout is not None
+        or arguments.budget_nodes is not None
+        or arguments.budget_rows is not None
+    ):
+        budget = ResourceBudget(
+            node_limit=arguments.budget_nodes,
+            row_limit=arguments.budget_rows,
+            timeout=arguments.timeout,
+        )
+    if arguments.degrade:
+        # Degradation is an engine-construction decision (the process-wide
+        # default engine stays strict), so opting in gets a private session.
+        engine = CompilationEngine(degradation="karp_luby")
+    else:
+        engine = default_engine()
     if arguments.explain:
         decision = engine.choose_route(query, tid)
         print(f"route: {decision.method} ({decision.reason})")
@@ -144,8 +179,19 @@ def _command_probability(arguments: argparse.Namespace) -> int:
             print(f"estimate[{route}]: {seconds:.6f}s")
         if decision.infeasible:
             print(f"infeasible: {', '.join(decision.infeasible)}")
-    value = probability(query, tid, method=arguments.method, engine=engine)
-    if arguments.method in ("obdd_float", "columnar_float"):
+    value = probability(query, tid, method=arguments.method, engine=engine, budget=budget)
+    if arguments.explain and engine.last_decision is not None:
+        walked = engine.last_decision
+        for attempt in walked.attempts:
+            outcome = "ok" if attempt.succeeded else attempt.error
+            print(f"attempt[{attempt.route}]: {outcome} ({attempt.seconds:.6f}s)")
+    if isinstance(value, ProbabilityBounds):
+        print(
+            f"probability in [{float(value.lower):.6f}, {float(value.upper):.6f}]"
+            f" (degraded: {value.method}, estimate {value.estimate:.6f},"
+            f" {value.samples} samples)"
+        )
+    elif arguments.method in ("obdd_float", "columnar_float"):
         print(f"probability: {value:.6f} (float fast path)")
     else:
         print(f"probability: {value} (= {float(value):.6f})")
@@ -250,6 +296,33 @@ def build_parser() -> argparse.ArgumentParser:
     prob.add_argument("--approximate", action="store_true", help="use Karp-Luby sampling")
     prob.add_argument("--epsilon", type=float, default=0.05)
     prob.add_argument("--delta", type=float, default=0.05)
+    prob.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline for the whole evaluation (exit code 4 when exceeded)",
+    )
+    prob.add_argument(
+        "--budget-nodes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap OBDD node allocations per route attempt (exit code 5 when every route blows it)",
+    )
+    prob.add_argument(
+        "--budget-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap lifted-executor row enumerations per route attempt",
+    )
+    prob.add_argument(
+        "--degrade",
+        action="store_true",
+        help="when every exact route fails under --budget-*/--timeout, return labelled"
+        " Karp-Luby bounds instead of exiting with an error (method=auto only)",
+    )
     prob.set_defaults(handler=_command_probability)
 
     batch = subparsers.add_parser(
@@ -294,9 +367,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     arguments = parser.parse_args(argv)
     try:
         return arguments.handler(arguments)
+    except UnsafeQueryError as error:
+        print(f"error: unsafe query: {error}", file=sys.stderr)
+        return EXIT_UNSAFE
+    except DeadlineExceeded as error:
+        print(f"error: deadline exceeded: {error}", file=sys.stderr)
+        return EXIT_DEADLINE
+    except BudgetExceeded as error:
+        print(f"error: budget exhausted: {error}", file=sys.stderr)
+        return EXIT_BUDGET
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        return EXIT_FAILURE
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised through main() in tests

@@ -70,6 +70,20 @@ Compiled artifacts cross the process boundary as flat columnar buffers in
 (create/attach/close/unlink, plus a prefix sweep of ``/dev/shm`` that
 reclaims segments orphaned by crashed workers), and only the tiny
 :class:`~repro.engine.shm.SegmentHandle` sidecars are pickled.
+
+Resilience
+----------
+:mod:`repro.engine.resilience` adds deadline/budget-aware execution:
+a :class:`~repro.resilience.ResourceBudget` (node/row caps plus a
+wall-clock :class:`~repro.resilience.Deadline`) threads through
+``probability(..., budget=...)`` into the kernels' cooperative
+checkpoints; ``method="auto"`` fails over along
+:data:`~repro.engine.resilience.FAILOVER_ORDER` on blowouts, recording
+failures as cost-model penalties; an engine constructed with
+``degradation="karp_luby"`` returns labelled
+:class:`~repro.engine.resilience.ProbabilityBounds` when every exact
+route fails.  :class:`ParallelEngine` detects crashed workers, respawns
+them, and retries only the affected shards.
 """
 
 from repro.engine.parallel import (
@@ -78,10 +92,19 @@ from repro.engine.parallel import (
     available_workers,
     shard_workload,
 )
+from repro.engine.resilience import (
+    DEGRADED_ROUTE,
+    FAILOVER_ORDER,
+    Deadline,
+    ProbabilityBounds,
+    ResourceBudget,
+    degraded_probability_bounds,
+)
 from repro.engine.router import (
     CIRCUIT_ROUTES,
     DEFAULT_COST_PRIORS,
     ROUTE_PREFERENCE,
+    RouteAttempt,
     RouteCostModel,
     RouteDecision,
 )
@@ -98,9 +121,15 @@ __all__ = [
     "CacheStats",
     "CompilationEngine",
     "DEFAULT_COST_PRIORS",
+    "DEGRADED_ROUTE",
+    "Deadline",
+    "FAILOVER_ORDER",
     "ParallelEngine",
     "ParallelReport",
+    "ProbabilityBounds",
     "ROUTE_PREFERENCE",
+    "ResourceBudget",
+    "RouteAttempt",
     "RouteCostModel",
     "RouteDecision",
     "SegmentHandle",
@@ -108,6 +137,7 @@ __all__ = [
     "attach_segment",
     "available_workers",
     "default_engine",
+    "degraded_probability_bounds",
     "merge_cache_stats",
     "publish_segment",
     "shard_workload",

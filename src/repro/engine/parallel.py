@@ -25,6 +25,20 @@ Two execution regimes:
   run created (including orphans left by crashed workers, swept by the
   plane prefix).
 
+The pool is hand-rolled (:class:`_WorkerPool`), not ``multiprocessing.Pool``,
+because ``Pool.map`` simply never returns when a worker dies mid-task.  Each
+worker gets its own duplex pipe, the parent waits on the pipes *and* the
+process sentinels, and a dead worker is detected immediately: its
+shared-memory leftovers are swept (keeping segments already merged into
+completed outcomes), a replacement is spawned, and only the affected shard
+is re-submitted — bounded per-shard retries with exponential backoff, then
+a typed :class:`~repro.errors.WorkerCrashError`.  Worker-reported
+``MemoryError`` / :class:`~repro.errors.SegmentError` failures are retried
+the same way (a segment failure additionally triggers the caller's recovery
+hook, e.g. republishing the reweight artifact); any other worker error is
+re-raised in the parent.  Outcomes are keyed by shard index and merged
+exactly once, so a worker that answered and *then* died cannot double-count.
+
 The data plane is columnar.  Compiled artifacts cross the process boundary
 as :class:`repro.booleans.columnar.ColumnarOBDD` columns inside
 ``multiprocessing.shared_memory`` segments (:mod:`repro.engine.shm`): a
@@ -54,10 +68,12 @@ import gc
 import itertools
 import multiprocessing
 import os
+import time
+from collections import deque
 from dataclasses import dataclass
 from fractions import Fraction
-from multiprocessing.pool import Pool
-from typing import Any, Callable, Mapping, Sequence
+from multiprocessing.connection import Connection, wait as connection_wait
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.booleans.columnar import ColumnarOBDD
 from repro.data.instance import Instance
@@ -74,7 +90,7 @@ from repro.engine.shm import (
     attach_segment,
     publish_segment,
 )
-from repro.errors import CompilationError
+from repro.errors import CompilationError, SegmentError, WorkerCrashError
 from repro.provenance.compile_obdd import CompiledOBDD
 
 ProbabilityItem = tuple[Query, ProbabilisticInstance]
@@ -291,6 +307,264 @@ def _run_reweight_shard(payload: tuple[Shard, tuple[SegmentHandle, bool]]) -> Sh
     return results, _stats_snapshot(engine), _routes_snapshot(engine)
 
 
+# -- the crash-aware pool ------------------------------------------------------
+
+
+def _worker_loop(
+    connection: Connection,
+    engine_options: dict[str, Any],
+    plane_prefix: str | None,
+    freeze_gc: bool,
+    fault_plan: Any = None,
+) -> None:
+    """Entry point of one pool worker process.
+
+    Requests arrive as ``((epoch, shard_index), runner, payload)`` and are
+    answered with ``(task_key, ok, outcome_or_error)``; ``None`` shuts the
+    worker down.  Task failures are *reported*, never allowed to kill the
+    loop — the parent owns the retry / re-raise decision.  ``fault_plan``
+    (tests only) installs the deterministic injectors of
+    :mod:`repro.testing.faults` around each task.
+    """
+    faults = None
+    if fault_plan is not None:
+        from repro.testing.faults import WorkerFaults
+
+        faults = WorkerFaults(fault_plan)
+    _init_worker(engine_options, plane_prefix, freeze_gc)
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError):  # pragma: no cover - parent went away
+            break
+        if message is None:
+            break
+        task_key, runner, payload = message
+        try:
+            if faults is not None:
+                faults.on_task_start()
+            outcome = runner(payload)
+            if faults is not None:
+                faults.before_result()
+            reply = (task_key, True, outcome)
+        # repro-analysis: allow(EXCEPT001): the worker loop must survive any task failure and report it; the parent classifies the error and owns the retry/re-raise decision
+        except Exception as error:
+            reply = (task_key, False, error)
+        try:
+            connection.send(reply)
+        # repro-analysis: allow(EXCEPT001): an unpicklable outcome or error must still produce a reply, or the parent would wait on this task forever
+        except Exception:
+            if reply[1]:
+                fallback = f"unpicklable shard outcome ({type(reply[2]).__name__})"
+            else:
+                fallback = f"{type(reply[2]).__name__}: {reply[2]}"
+            connection.send((task_key, False, fallback))
+    connection.close()
+
+
+def _segment_names(outcomes: Iterable[ShardOutcome]) -> set[str]:
+    """Segment names referenced by completed outcomes (must survive sweeps)."""
+    names: set[str] = set()
+    for results, _, _ in outcomes:
+        for _, value in results:
+            if isinstance(value, SegmentHandle) and value.name is not None:
+                names.add(value.name)
+    return names
+
+
+class _PoolWorker:
+    """One live worker process plus the parent's end of its pipe."""
+
+    __slots__ = ("process", "connection")
+
+    def __init__(self, process: Any, connection: Connection) -> None:
+        self.process = process
+        self.connection = connection
+
+
+class _WorkerPool:
+    """A crash-aware replacement for ``multiprocessing.Pool`` (see the
+    module docstring): per-worker pipes, sentinel-watched dispatch,
+    exactly-once merge by shard index, bounded shard retries, respawn."""
+
+    def __init__(
+        self,
+        context: Any,
+        worker_count: int,
+        worker_args: tuple,
+        max_shard_retries: int,
+        retry_backoff: float,
+        plane: SegmentPlane | None,
+    ) -> None:
+        self._context = context
+        self._worker_count = worker_count
+        self._worker_args = worker_args
+        self._max_shard_retries = max_shard_retries
+        self._retry_backoff = retry_backoff
+        self._plane = plane
+        self._workers: list[_PoolWorker] = []
+        self._epoch = 0
+
+    def _spawn(self) -> _PoolWorker:
+        parent_end, child_end = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_worker_loop,
+            args=(child_end, *self._worker_args),
+            daemon=True,
+        )
+        process.start()
+        child_end.close()
+        return _PoolWorker(process, parent_end)
+
+    def _ensure_workers(self) -> None:
+        self._workers = [w for w in self._workers if w.process.is_alive()]
+        while len(self._workers) < self._worker_count:
+            self._workers.append(self._spawn())
+
+    def run(
+        self,
+        shards: list[Shard],
+        runner: ShardRunner,
+        extra: Any,
+        recover: Callable[[], Any] | None = None,
+    ) -> dict[int, ShardOutcome]:
+        """Execute every shard, retrying around crashes; outcomes by index.
+
+        Task keys carry the run's epoch, so replies from a run that was
+        abandoned mid-flight (an error propagated to the caller while
+        workers were still busy) are recognized and discarded instead of
+        being merged into the wrong run.
+        """
+        self._ensure_workers()
+        self._epoch += 1
+        epoch = self._epoch
+        pending: deque[int] = deque(range(len(shards)))
+        retries = {index: 0 for index in range(len(shards))}
+        outcomes: dict[int, ShardOutcome] = {}
+        busy: dict[_PoolWorker, int] = {}
+        current_extra = extra
+
+        def requeue(shard_index: int, cause: BaseException | str) -> None:
+            retries[shard_index] += 1
+            attempt = retries[shard_index]
+            if attempt > self._max_shard_retries:
+                raise WorkerCrashError(
+                    f"shard {shard_index} failed {attempt} times"
+                    f" ({self._max_shard_retries} retries allowed);"
+                    f" last cause: {cause}"
+                ) from (cause if isinstance(cause, BaseException) else None)
+            if self._retry_backoff > 0.0:
+                time.sleep(min(self._retry_backoff * (1 << (attempt - 1)), 1.0))
+            pending.appendleft(shard_index)
+
+        def absorb(worker: _PoolWorker, message: tuple) -> None:
+            nonlocal current_extra
+            (message_epoch, shard_index), ok, payload = message
+            busy.pop(worker, None)
+            if message_epoch != epoch or shard_index in outcomes:
+                return  # stale or duplicate reply: merged exactly once
+            if ok:
+                outcomes[shard_index] = payload
+                return
+            if isinstance(payload, (MemoryError, SegmentError)):
+                # Retryable: transient allocation pressure, or a segment
+                # that a crashed publisher / racing sweep invalidated.
+                if isinstance(payload, SegmentError) and recover is not None:
+                    current_extra = recover()
+                requeue(shard_index, payload)
+                return
+            if isinstance(payload, BaseException):
+                raise payload
+            raise WorkerCrashError(f"worker failed with unpicklable error: {payload}")
+
+        def bury(worker: _PoolWorker) -> None:
+            # Salvage first: results the worker sent before dying still count.
+            try:
+                while worker.connection.poll():
+                    absorb(worker, worker.connection.recv())
+            except (EOFError, OSError):
+                pass
+            shard_index = busy.pop(worker, None)
+            self._workers.remove(worker)
+            worker.process.join()
+            pid = worker.process.pid
+            try:
+                worker.connection.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            if self._plane is not None and pid is not None:
+                # Reclaim the dead worker's segments — except those already
+                # merged into completed outcomes, which the parent will adopt.
+                self._plane.sweep_worker_orphans(pid, _segment_names(outcomes.values()))
+            self._workers.append(self._spawn())
+            if shard_index is not None and shard_index not in outcomes:
+                requeue(
+                    shard_index,
+                    f"worker pid {pid} died (exit code {worker.process.exitcode})",
+                )
+
+        while len(outcomes) < len(shards):
+            for worker in self._workers:
+                if worker not in busy and pending:
+                    shard_index = pending.popleft()
+                    try:
+                        worker.connection.send(
+                            (
+                                (epoch, shard_index),
+                                runner,
+                                (shards[shard_index], current_extra),
+                            )
+                        )
+                    except (BrokenPipeError, OSError):
+                        # The death surfaces through the sentinel below.
+                        pending.appendleft(shard_index)
+                        continue
+                    busy[worker] = shard_index
+            by_connection = {w.connection: w for w in self._workers}
+            by_sentinel = {w.process.sentinel: w for w in self._workers}
+            dead: list[_PoolWorker] = []
+            for item in connection_wait(list(by_connection) + list(by_sentinel)):
+                worker = by_connection.get(item)
+                if worker is not None:
+                    try:
+                        message = worker.connection.recv()
+                    except (EOFError, OSError):
+                        if worker not in dead:
+                            dead.append(worker)
+                        continue
+                    absorb(worker, message)
+                    continue
+                worker = by_sentinel.get(item)  # type: ignore[arg-type]
+                if worker is not None and worker not in dead:
+                    dead.append(worker)
+            for worker in dead:
+                bury(worker)
+        return outcomes
+
+    def close(self) -> None:
+        """Shut every worker down: polite request, then escalating force."""
+        workers, self._workers = self._workers, []
+        for worker in workers:
+            try:
+                worker.connection.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = time.monotonic() + 2.0
+        for worker in workers:
+            worker.process.join(max(0.0, deadline - time.monotonic()))
+        for worker in workers:
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(1.0)
+            if worker.process.is_alive():  # pragma: no cover - terminate sufficed
+                worker.process.kill()
+                worker.process.join(1.0)
+            try:
+                worker.connection.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+
 class ParallelEngine:
     """Shard ``(query, instance)`` workloads across engine-owning workers.
 
@@ -312,6 +586,19 @@ class ParallelEngine:
     freeze_worker_gc:
         Freeze and disable the cyclic garbage collector in pool workers
         (default True); the calling process is never touched.
+    max_shard_retries:
+        How many times one shard may be re-submitted after a worker crash
+        or a retryable worker failure (``MemoryError`` /
+        :class:`~repro.errors.SegmentError`) before the run raises
+        :class:`~repro.errors.WorkerCrashError`.
+    retry_backoff:
+        Base seconds of the exponential backoff between a shard's retries
+        (``backoff * 2**(attempt-1)``, capped at 1s); 0 disables it.
+    fault_plan:
+        Deterministic fault-injection plan (tests only; see
+        :mod:`repro.testing.faults`), shipped to every worker and consulted
+        by the parent's reweight publishing.  ``None`` — the default — adds
+        no hooks anywhere.
     """
 
     def __init__(
@@ -321,9 +608,16 @@ class ParallelEngine:
         start_method: str | None = None,
         use_shared_memory: bool = True,
         freeze_worker_gc: bool = True,
+        max_shard_retries: int = 2,
+        retry_backoff: float = 0.05,
+        fault_plan: Any = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise CompilationError("workers must be at least 1")
+        if max_shard_retries < 0:
+            raise CompilationError("max_shard_retries must be at least 0")
+        if retry_backoff < 0.0:
+            raise CompilationError("retry_backoff must not be negative")
         self.workers = workers if workers is not None else available_workers()
         self.engine_options = dict(engine_options or {})
         if start_method is None:
@@ -332,8 +626,11 @@ class ParallelEngine:
         self.start_method = start_method
         self.use_shared_memory = use_shared_memory
         self.freeze_worker_gc = freeze_worker_gc
+        self.max_shard_retries = max_shard_retries
+        self.retry_backoff = retry_backoff
+        self.fault_plan = fault_plan
         self.last_report: ParallelReport | None = None
-        self._pool: Pool | None = None
+        self._pool: _WorkerPool | None = None
         self._plane: SegmentPlane | None = None
         self._inline_engine: CompilationEngine | None = None
 
@@ -352,17 +649,26 @@ class ParallelEngine:
         invalid at that point; take a :meth:`ColumnarOBDD.copy` first if one
         must outlive the engine.  The engine itself stays usable: pools,
         plane, and inline engine are rebuilt lazily on the next call.
+
+        Exception-safe by construction (``try``/``finally`` chain): even
+        when tearing the pool down fails — e.g. the context manager body
+        raised mid-batch and workers are wedged — the segment plane is
+        still closed (so no ``/dev/shm`` leak) and the inline engine's
+        caches are still cleared.
         """
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
+        try:
+            if self._pool is not None:
+                self._pool.close()
+        finally:
             self._pool = None
-        if self._plane is not None:
-            self._plane.close()
-            self._plane = None
-        if self._inline_engine is not None:
-            self._inline_engine.clear()
-            self._inline_engine = None
+            try:
+                if self._plane is not None:
+                    self._plane.close()
+            finally:
+                self._plane = None
+                if self._inline_engine is not None:
+                    self._inline_engine.clear()
+                    self._inline_engine = None
 
     def __enter__(self) -> "ParallelEngine":
         return self
@@ -385,10 +691,12 @@ class ParallelEngine:
         extra: Any,
         group_key: Callable[[tuple], str] | None = None,
         extra_inline: Any = None,
+        recover: Callable[[], Any] | None = None,
     ) -> ParallelReport:
         """Shard ``items`` and execute; ``extra_inline`` (when not None)
         replaces ``extra`` in the inline regime — the compile path uses it to
-        force the object transport where no process boundary exists."""
+        force the object transport where no process boundary exists.
+        ``recover`` rebuilds ``extra`` after a retryable segment failure."""
         if not items:
             report = ParallelReport(
                 values=(),
@@ -404,7 +712,7 @@ class ParallelEngine:
             chosen = extra if extra_inline is None else extra_inline
             report = self._run_inline(shards, runner, chosen)
         else:
-            report = self._run_pool(shards, runner, extra)
+            report = self._run_pool(shards, runner, extra, recover)
         self.last_report = report
         return report
 
@@ -423,18 +731,30 @@ class ParallelEngine:
         return self._merge(shards, outcomes)
 
     def _run_pool(
-        self, shards: list[Shard], runner: ShardRunner, extra: Any
+        self,
+        shards: list[Shard],
+        runner: ShardRunner,
+        extra: Any,
+        recover: Callable[[], Any] | None = None,
     ) -> ParallelReport:
         if self._pool is None:
             context = multiprocessing.get_context(self.start_method)
-            plane_prefix = self.segment_plane().prefix if self.use_shared_memory else None
-            self._pool = context.Pool(
-                processes=self.workers,
-                initializer=_init_worker,
-                initargs=(self.engine_options, plane_prefix, self.freeze_worker_gc),
+            plane = self.segment_plane() if self.use_shared_memory else None
+            self._pool = _WorkerPool(
+                context,
+                self.workers,
+                (
+                    self.engine_options,
+                    plane.prefix if plane is not None else None,
+                    self.freeze_worker_gc,
+                    self.fault_plan,
+                ),
+                max_shard_retries=self.max_shard_retries,
+                retry_backoff=self.retry_backoff,
+                plane=plane,
             )
-        outcomes = self._pool.map(runner, [(shard, extra) for shard in shards])
-        return self._merge(shards, outcomes)
+        outcomes = self._pool.run(shards, runner, extra, recover)
+        return self._merge(shards, [outcomes[index] for index in range(len(shards))])
 
     def _merge(
         self, shards: list[Shard], outcomes: list[ShardOutcome]
@@ -596,15 +916,27 @@ class ParallelEngine:
                 worker_routes=(_routes_snapshot(self._inline_engine),),
             )
             return values
-        handle = self.segment_plane().publish(columnar)
+        handle = self._publish_reweight_artifact(columnar)
         report = self._run(
             items,
             _run_reweight_shard,
             (handle, exact),
             group_key=_reweight_group_key,
             extra_inline=(handle, exact),
+            # A worker that cannot attach (absent/corrupt segment) reports a
+            # retryable SegmentError; republishing under a fresh name is the
+            # recovery — retried shards then attach to the new segment.
+            recover=lambda: (self._publish_reweight_artifact(columnar), exact),
         )
         return list(report.values)
+
+    def _publish_reweight_artifact(self, columnar: ColumnarOBDD) -> SegmentHandle:
+        handle = self.segment_plane().publish(columnar)
+        if self.fault_plan is not None:
+            from repro.testing.faults import apply_parent_segment_faults
+
+            apply_parent_segment_faults(self.fault_plan, handle)
+        return handle
 
 
 _REWEIGHT_COUNTER = itertools.count()

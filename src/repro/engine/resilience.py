@@ -1,0 +1,135 @@
+"""Deadline/budget-aware execution and graceful degradation for the engine.
+
+This is the engine-level half of the resilience subsystem.  The kernel-facing
+primitives — :class:`~repro.resilience.Deadline`,
+:class:`~repro.resilience.ResourceBudget`, the ambient activation — live in
+the leaf module :mod:`repro.resilience` (so the OBDD/columnar/lifted kernels
+can import them without importing this package) and are re-exported here;
+this module adds what only the engine needs:
+
+* :data:`FAILOVER_ORDER` — the ordered feasibility chain ``method="auto"``
+  falls through when a route blows its budget or fails for a route-specific
+  reason (``safe_plan → columnar → obdd → dnnf → automaton``);
+* :class:`ProbabilityBounds` — the *labelled* result of the opt-in
+  ``karp_luby`` degradation tier.  The exactness contract: an exact method
+  either returns an exact :class:`~fractions.Fraction` or raises a typed
+  error; when every exact route is exhausted and the engine was constructed
+  with ``degradation="karp_luby"``, the caller receives this explicit
+  bounds object — guaranteed dissociation interval plus a seeded Karp–Luby
+  point estimate — never a bare float masquerading as exact;
+* :func:`degraded_probability_bounds` — the one-call degradation evaluator
+  behind that tier.
+
+Failure accounting lives in :class:`repro.engine.router.RouteCostModel`:
+each failed attempt is recorded as a *penalty* (a separate multiplier on
+the route's prediction), not as a fake observation, so blowouts steer the
+router away from a route without poisoning the EWMA rate that successful
+runs continue to sharpen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.data.tid import ProbabilisticInstance
+from repro.errors import (
+    BudgetExceeded,
+    DeadlineExceeded,
+    ExecutionAborted,
+    SegmentError,
+    WorkerCrashError,
+)
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.ucq import UnionOfConjunctiveQueries
+from repro.resilience import (
+    CHECK_INTERVAL,
+    Deadline,
+    ResourceBudget,
+    activate,
+    active_budget,
+)
+
+#: The ordered feasibility chain of ``method="auto"``: when the chosen route
+#: fails (budget blowout or route-specific error), the engine advances to
+#: the next feasible route in this order; the opt-in ``karp_luby``
+#: degradation tier sits after the last exact route.
+FAILOVER_ORDER: tuple[str, ...] = ("safe_plan", "columnar", "obdd", "dnnf", "automaton")
+
+#: The name under which the degradation tier is recorded in the route mix
+#: and on :class:`~repro.engine.router.RouteDecision`.
+DEGRADED_ROUTE = "karp_luby"
+
+
+@dataclass(frozen=True, slots=True)
+class ProbabilityBounds:
+    """A labelled approximate answer: guaranteed interval plus point estimate.
+
+    ``lower``/``upper`` are the exact dissociation bounds (theorems — the
+    true probability always lies inside); ``estimate`` is the seeded
+    Karp–Luby point estimate with its sampling effort.  Returned *only* by
+    the opt-in degradation tier, so a caller can never mistake it for an
+    exact :class:`~fractions.Fraction`.
+    """
+
+    lower: Fraction
+    upper: Fraction
+    estimate: float
+    samples: int
+    method: str = DEGRADED_ROUTE
+
+    def contains(self, value: Fraction | float) -> bool:
+        """Whether ``value`` lies in the guaranteed interval."""
+        if isinstance(value, float):
+            return float(self.lower) - 1e-12 <= value <= float(self.upper) + 1e-12
+        return self.lower <= value <= self.upper
+
+    @property
+    def gap(self) -> Fraction:
+        return self.upper - self.lower
+
+    def __float__(self) -> float:
+        return float(self.estimate)
+
+
+def degraded_probability_bounds(
+    query: UnionOfConjunctiveQueries | ConjunctiveQuery,
+    tid: ProbabilisticInstance,
+    samples: int = 2000,
+    seed: int = 0,
+) -> ProbabilityBounds:
+    """The ``karp_luby`` degradation tier: bounds, never a silent approximation.
+
+    One DNF lineage (polynomial in the instance even when the compiled
+    circuits explode) feeds both the guaranteed dissociation interval and
+    the Karp–Luby estimator; the estimate is clamped into the interval so
+    the three numbers are always mutually consistent.
+    """
+    from repro.probability.approximation import karp_luby_with_bounds
+
+    estimate, bounds = karp_luby_with_bounds(query, tid, samples=samples, seed=seed)
+    point = min(max(estimate.estimate, float(bounds.lower)), float(bounds.upper))
+    return ProbabilityBounds(
+        lower=bounds.lower,
+        upper=bounds.upper,
+        estimate=point,
+        samples=estimate.samples,
+    )
+
+
+__all__ = [
+    "CHECK_INTERVAL",
+    "DEGRADED_ROUTE",
+    "FAILOVER_ORDER",
+    "BudgetExceeded",
+    "Deadline",
+    "DeadlineExceeded",
+    "ExecutionAborted",
+    "ProbabilityBounds",
+    "ResourceBudget",
+    "SegmentError",
+    "WorkerCrashError",
+    "activate",
+    "active_budget",
+    "degraded_probability_bounds",
+]

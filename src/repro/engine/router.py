@@ -49,6 +49,24 @@ DEFAULT_COST_PRIORS: dict[str, float] = {
 
 
 @dataclass(frozen=True, slots=True)
+class RouteAttempt:
+    """One try in a ``method="auto"`` failover chain.
+
+    ``error`` is empty on success, else a one-line description of the
+    typed failure (budget blowout, deadline, route-specific error) that
+    pushed the engine to the next route.
+    """
+
+    route: str
+    error: str
+    seconds: float
+
+    @property
+    def succeeded(self) -> bool:
+        return not self.error
+
+
+@dataclass(frozen=True, slots=True)
 class RouteDecision:
     """One ``method="auto"`` routing decision, with its evidence.
 
@@ -56,6 +74,11 @@ class RouteDecision:
     route (in preference order); ``infeasible`` names the routes gated out
     by the circuit fact limit.  ``method`` is always one of the estimate
     routes when any route is feasible, else the best-effort fallback.
+
+    After an evaluation, ``attempts`` records the failover chain actually
+    walked (the engine re-publishes the decision with them filled in);
+    ``degraded`` marks answers served by the opt-in ``karp_luby``
+    degradation tier after every exact route failed.
     """
 
     method: str
@@ -64,6 +87,8 @@ class RouteDecision:
     estimates: tuple[tuple[str, float], ...]
     infeasible: tuple[str, ...]
     reason: str
+    attempts: tuple[RouteAttempt, ...] = ()
+    degraded: bool = False
 
 
 class RouteCostModel:
@@ -73,7 +98,19 @@ class RouteCostModel:
     ``predict`` extrapolates to an instance size.  Rates start at the
     static priors, so the router is usable from the first call and simply
     gets sharper as the session measures its own workload.
+
+    Failed attempts (budget blowouts, route-specific errors) are recorded
+    by :meth:`record_failure` as a *penalty* — a separate multiplier of
+    ``2**failures`` (capped) on the route's prediction — never as a fake
+    timing observation, so blowouts steer the router away from a route
+    without poisoning the EWMA rate that successful runs keep sharpening.
+    Each subsequent success halves the penalty back down.
     """
+
+    #: Cap on the failure-penalty exponent: at most a ``2**6 = 64``-fold
+    #: prediction inflation, so a recovered route can win again after a
+    #: handful of successes elsewhere rather than being exiled forever.
+    MAX_FAILURE_PENALTY_EXPONENT = 6
 
     def __init__(
         self,
@@ -84,6 +121,7 @@ class RouteCostModel:
             DEFAULT_COST_PRIORS if priors is None else priors
         )
         self._smoothing = smoothing
+        self._failures: dict[str, int] = {}
 
     def observe(self, route: str, facts: int, seconds: float) -> None:
         """Fold one measured evaluation into the route's rate."""
@@ -97,11 +135,37 @@ class RouteCostModel:
             self._rates[route] = (
                 previous + self._smoothing * (rate - previous)
             )
+        failures = self._failures.get(route, 0)
+        if failures:
+            # A success is evidence the route recovered: decay the penalty.
+            if failures > 1:
+                self._failures[route] = failures // 2
+            else:
+                del self._failures[route]
+
+    def record_failure(self, route: str) -> None:
+        """Record one failed attempt (blowout or error) on a route."""
+        self._failures[route] = self._failures.get(route, 0) + 1
+
+    def failure_count(self, route: str) -> int:
+        """Current (decayed) failure count for a route."""
+        return self._failures.get(route, 0)
+
+    def failure_counts(self) -> dict[str, int]:
+        """A copy of every route's current failure count."""
+        return dict(self._failures)
 
     def predict(self, route: str, facts: int) -> float:
-        """Predicted evaluation cost in seconds at ``facts`` facts."""
+        """Predicted evaluation cost in seconds at ``facts`` facts.
+
+        Routes with recorded failures are penalized by ``2**failures``
+        (exponent capped) on top of the measured rate.
+        """
         rate = self._rates.get(route, max(DEFAULT_COST_PRIORS.values()))
-        return rate * max(facts, 1)
+        exponent = min(
+            self._failures.get(route, 0), self.MAX_FAILURE_PENALTY_EXPONENT
+        )
+        return rate * max(facts, 1) * (1 << exponent)
 
     def rate(self, route: str) -> float | None:
         """The current rate for a route (None when never seen)."""

@@ -10,7 +10,7 @@ is provided for the common single-session case.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from fractions import Fraction
 from time import perf_counter
 from typing import Iterable, Sequence
@@ -20,13 +20,29 @@ from repro.booleans.dnnf import DNNF
 from repro.data.gaifman import gaifman_graph
 from repro.data.instance import Fact, Instance
 from repro.data.tid import ProbabilisticInstance
+from repro.engine.resilience import (
+    DEGRADED_ROUTE,
+    FAILOVER_ORDER,
+    ProbabilityBounds,
+    ResourceBudget,
+    activate,
+    active_budget,
+    degraded_probability_bounds,
+)
 from repro.engine.router import (
     CIRCUIT_ROUTES,
     ROUTE_PREFERENCE,
+    RouteAttempt,
     RouteCostModel,
     RouteDecision,
 )
-from repro.errors import CompilationError, ProbabilityError, UnsafeQueryError
+from repro.errors import (
+    CompilationError,
+    DeadlineExceeded,
+    ProbabilityError,
+    ReproError,
+    UnsafeQueryError,
+)
 from repro.probability.lifted import LiftedPlan, execute_plan, try_lifted_plan
 from repro.provenance.compile_obdd import CompiledOBDD, compile_lineage_to_obdd
 from repro.provenance.lineage import MonotoneDNFLineage, lineage_of
@@ -145,6 +161,15 @@ class CompilationEngine:
         (:meth:`choose_route`) treats the circuit-building routes as
         infeasible for ``method="auto"`` unless their artifact is already
         cached; the lifted plan route has no such limit.
+    degradation:
+        ``None`` (the default) keeps the engine strictly exact: when every
+        route in the ``method="auto"`` failover chain fails, the last typed
+        error is raised.  ``"karp_luby"`` opts into graceful degradation:
+        the engine then returns a labelled
+        :class:`~repro.engine.resilience.ProbabilityBounds` (guaranteed
+        dissociation interval plus a seeded point estimate) instead of
+        raising — never a bare float masquerading as exact, and never
+        entered into the exact probability cache.
     """
 
     def __init__(
@@ -153,6 +178,7 @@ class CompilationEngine:
         max_queries_per_instance: int = 1024,
         max_probability_entries: int = 65536,
         circuit_fact_limit: int = 20000,
+        degradation: str | None = None,
     ) -> None:
         if max_instances < 1:
             raise CompilationError("max_instances must be at least 1")
@@ -162,10 +188,19 @@ class CompilationEngine:
             raise CompilationError("max_probability_entries must be at least 1")
         if circuit_fact_limit < 1:
             raise CompilationError("circuit_fact_limit must be at least 1")
+        if degradation not in (None, DEGRADED_ROUTE):
+            raise CompilationError(
+                f"unknown degradation tier {degradation!r}; use None or {DEGRADED_ROUTE!r}"
+            )
         self._max_instances = max_instances
         self._max_queries_per_instance = max_queries_per_instance
         self._max_probability_entries = max_probability_entries
         self.circuit_fact_limit = circuit_fact_limit
+        self.degradation = degradation
+        #: The most recent ``method="auto"`` decision, re-published after the
+        #: evaluation with the failover ``attempts`` chain filled in (what
+        #: the CLI's ``--explain`` reports).
+        self.last_decision: RouteDecision | None = None
         self._artifacts: OrderedDict[str, _InstanceArtifacts] = OrderedDict()
         self._probabilities: OrderedDict[tuple, Fraction] = OrderedDict()
         # Safe plans are instance-independent, so the plan cache is keyed by
@@ -206,6 +241,7 @@ class CompilationEngine:
         self._probabilities.clear()
         self._lifted_plans.clear()
         self.route_counts.clear()
+        self.last_decision = None
         for stats in self.stats.values():
             stats.hits = stats.misses = 0
 
@@ -465,8 +501,12 @@ class CompilationEngine:
     # -- probability evaluation -----------------------------------------------
 
     def probability(
-        self, query: Query, tid: ProbabilisticInstance, method: str = "auto"
-    ) -> Fraction | float:
+        self,
+        query: Query,
+        tid: ProbabilisticInstance,
+        method: str = "auto",
+        budget: ResourceBudget | None = None,
+    ) -> Fraction | float | ProbabilityBounds:
         """The (cached) probability of the query on a TID instance.
 
         Methods mirror :func:`repro.probability.evaluation.probability`:
@@ -482,6 +522,16 @@ class CompilationEngine:
         encoding (:meth:`tree_encoding_of`); the remaining methods
         (``brute_force``, ``safe_plan_reference``) have no reusable
         artifacts and are delegated, with only their final value cached.
+
+        ``budget`` activates a :class:`~repro.resilience.ResourceBudget`
+        around the evaluation: the kernels then checkpoint against its node
+        and row caps and its wall-clock deadline, raising
+        :class:`~repro.errors.BudgetExceeded` /
+        :class:`~repro.errors.DeadlineExceeded` (``method="auto"`` fails
+        over between routes on the former).  A cache hit answers without
+        consulting the budget.  Degraded answers
+        (:class:`~repro.engine.resilience.ProbabilityBounds`) are never
+        cached: the next call gets a fresh chance at an exact route.
         """
         key = (as_ucq(query), tid.fingerprint, method)
         cached = self._probabilities.get(key)
@@ -489,7 +539,13 @@ class CompilationEngine:
         if cached is not None:
             self._probabilities.move_to_end(key)
             return cached
-        value = self._evaluate_probability(as_ucq(query), tid, method)
+        if budget is not None:
+            with activate(budget):
+                value = self._evaluate_probability(as_ucq(query), tid, method)
+        else:
+            value = self._evaluate_probability(as_ucq(query), tid, method)
+        if isinstance(value, ProbabilityBounds):
+            return value
         self._probabilities[key] = value
         while len(self._probabilities) > self._max_probability_entries:
             self._probabilities.popitem(last=False)
@@ -500,26 +556,26 @@ class CompilationEngine:
         queries: Sequence[Query],
         tid: ProbabilisticInstance,
         method: str = "auto",
-    ) -> list[Fraction | float]:
-        """Probabilities of a batch of queries on one TID instance."""
-        return [self.probability(q, tid, method) for q in queries]
+        budget: ResourceBudget | None = None,
+    ) -> list[Fraction | float | ProbabilityBounds]:
+        """Probabilities of a batch of queries on one TID instance.
+
+        A shared ``budget`` spans the whole batch: its node/row caps bound
+        each attempt (the failover chain resets the usage counters between
+        routes) while its deadline is global to the batch.
+        """
+        return [self.probability(q, tid, method, budget=budget) for q in queries]
 
     def _evaluate_probability(
         self, query: UnionOfConjunctiveQueries, tid: ProbabilisticInstance, method: str
-    ) -> Fraction | float:
+    ) -> Fraction | float | ProbabilityBounds:
         from repro.probability.evaluation import (
             _probability_of_read_once,
             probability as one_shot_probability,
         )
 
         if method == "auto":
-            decision = self.choose_route(query, tid)
-            route = decision.method
-            self.route_counts[route] = self.route_counts.get(route, 0) + 1
-            started = perf_counter()
-            value = self._evaluate_route(route, query, tid)
-            self.route_costs.observe(route, len(tid.instance), perf_counter() - started)
-            return value
+            return self._evaluate_auto(query, tid)
         if method == "read_once":
             lineage = self.lineage(query, tid.instance)
             if lineage.is_read_once_shaped():
@@ -563,6 +619,86 @@ class CompilationEngine:
         # brute_force / safe_plan_reference: no cross-call artifacts to reuse.
         return one_shot_probability(query, tid, method=method)
 
+    def _evaluate_auto(
+        self, query: UnionOfConjunctiveQueries, tid: ProbabilisticInstance
+    ) -> Fraction | ProbabilityBounds:
+        """``method="auto"``: the routed evaluation with route failover.
+
+        The router's pick runs first; on a budget blowout or a
+        route-specific failure the engine advances through the remaining
+        feasible routes in :data:`~repro.engine.resilience.FAILOVER_ORDER`,
+        resetting the active budget's usage counters between attempts
+        (caps are per-attempt) and recording each failure as a cost-model
+        penalty.  A :class:`~repro.errors.DeadlineExceeded` is terminal:
+        no remaining route can finish inside an already-elapsed wall-clock
+        deadline, so it re-raises instead of failing over.  When every
+        exact route fails, the opt-in ``karp_luby`` degradation tier
+        returns labelled bounds; without it, the last typed error is
+        re-raised.  The walked chain is re-published on
+        :attr:`last_decision` as :class:`~repro.engine.router.RouteAttempt`
+        records.
+        """
+        decision = self.choose_route(query, tid)
+        feasible = {route for route, _ in decision.estimates}
+        chain = [decision.method] + [
+            route
+            for route in FAILOVER_ORDER
+            if route in feasible and route != decision.method
+        ]
+        budget = active_budget()
+        facts = len(tid.instance)
+        attempts: list[RouteAttempt] = []
+        last_error: BaseException | None = None
+        for route in chain:
+            started = perf_counter()
+            try:
+                if budget is not None:
+                    # Never start a route after the deadline has passed; the
+                    # kernels' own checkpoints only fire once work is underway.
+                    budget.checkpoint()
+                value = self._evaluate_route(route, query, tid)
+            except DeadlineExceeded as error:
+                self.route_costs.record_failure(route)
+                attempts.append(
+                    RouteAttempt(route, _describe_failure(error), perf_counter() - started)
+                )
+                self.last_decision = replace(decision, attempts=tuple(attempts))
+                raise
+            except (ReproError, MemoryError) as error:
+                self.route_costs.record_failure(route)
+                attempts.append(
+                    RouteAttempt(route, _describe_failure(error), perf_counter() - started)
+                )
+                last_error = error
+                if budget is not None:
+                    # Caps are per-attempt: the next route starts fresh
+                    # (the deadline, deliberately, keeps running).
+                    budget.reset_usage()
+                continue
+            elapsed = perf_counter() - started
+            self.route_counts[route] = self.route_counts.get(route, 0) + 1
+            self.route_costs.observe(route, facts, elapsed)
+            attempts.append(RouteAttempt(route, "", elapsed))
+            self.last_decision = replace(
+                decision, method=route, attempts=tuple(attempts)
+            )
+            return value
+        if self.degradation == DEGRADED_ROUTE:
+            bounds = degraded_probability_bounds(query, tid)
+            self.route_counts[DEGRADED_ROUTE] = (
+                self.route_counts.get(DEGRADED_ROUTE, 0) + 1
+            )
+            self.last_decision = replace(
+                decision,
+                method=DEGRADED_ROUTE,
+                attempts=tuple(attempts),
+                degraded=True,
+            )
+            return bounds
+        self.last_decision = replace(decision, attempts=tuple(attempts))
+        assert last_error is not None  # the chain is never empty
+        raise last_error
+
     def _evaluate_route(
         self, route: str, query: UnionOfConjunctiveQueries, tid: ProbabilisticInstance
     ) -> Fraction:
@@ -594,6 +730,14 @@ class CompilationEngine:
                 query, tid, encoding=self.tree_encoding_of(tid.instance)
             )
         raise CompilationError(f"unknown route {route!r}")
+
+
+def _describe_failure(error: BaseException) -> str:
+    """One-line attempt label: ``ErrorType: message`` (message truncated)."""
+    message = str(error)
+    if len(message) > 200:
+        message = message[:197] + "..."
+    return f"{type(error).__name__}: {message}" if message else type(error).__name__
 
 
 _DEFAULT_ENGINE: CompilationEngine | None = None

@@ -35,10 +35,10 @@ import secrets
 import weakref
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
-from typing import Any, Hashable, Iterator
+from typing import Any, Hashable, Iterable, Iterator
 
 from repro.booleans.columnar import ColumnarOBDD, columnar_from_buffer
-from repro.errors import CompilationError
+from repro.errors import CompilationError, SegmentError
 
 _DEV_SHM = "/dev/shm"
 
@@ -47,6 +47,7 @@ def _untrack(name: str) -> None:
     """Detach a segment from the resource tracker (ownership is explicit)."""
     try:
         resource_tracker.unregister(f"/{name}", "shared_memory")
+    # repro-analysis: allow(EXCEPT001): the tracker API differs across platforms and Python versions; failing to unregister only risks a spurious unlink at exit, never correctness
     except Exception:  # pragma: no cover - tracker variations across platforms
         pass
 
@@ -89,16 +90,44 @@ def attach_segment(handle: SegmentHandle) -> ColumnarOBDD:
     The returned artifact retains the mapping, so it stays valid while the
     artifact is referenced — but an ``unlink`` (plane close) invalidates it;
     call :meth:`ColumnarOBDD.copy` first to keep a private copy.
+
+    An absent segment (publisher crashed before the write, or the plane
+    already swept it) and a corrupt buffer (rejected by the columnar
+    topology check) both raise the typed
+    :class:`~repro.errors.SegmentError`, which the parallel tier treats as
+    retryable: the parent republishes and re-submits the affected shard.
     """
     if handle.name is None:
         return ColumnarOBDD(handle.order, [], [], [], handle.root)
-    segment = shared_memory.SharedMemory(name=handle.name)
+    try:
+        segment = shared_memory.SharedMemory(name=handle.name)
+    except FileNotFoundError as error:
+        raise SegmentError(
+            f"shared-memory segment {handle.name!r} is absent"
+            " (crashed publisher or swept plane)"
+        ) from error
     _untrack(handle.name)
-    artifact = columnar_from_buffer(
-        {"node_count": handle.node_count, "root": handle.root, "order": handle.order},
-        segment.buf,
-        retain=segment,
-    )
+    if segment.size < handle.nbytes:
+        segment.close()
+        raise SegmentError(
+            f"shared-memory segment {handle.name!r} is truncated:"
+            f" {segment.size} bytes < {handle.nbytes} expected"
+        )
+    try:
+        artifact = columnar_from_buffer(
+            {"node_count": handle.node_count, "root": handle.root, "order": handle.order},
+            segment.buf,
+            retain=segment,
+        )
+    except CompilationError as error:
+        # The failed validation may have exported views into the mapping (the
+        # exception traceback keeps them alive), so a plain close can raise
+        # BufferError; the tolerant close leaves the mapping for process exit.
+        _close_ignoring_exports(segment)
+        raise SegmentError(
+            f"shared-memory segment {handle.name!r} holds a corrupt columnar"
+            f" buffer: {error}"
+        ) from error
     if artifact._retain is None:
         # Fallback backend: the columns were copied out, the mapping is done.
         segment.close()
@@ -165,6 +194,24 @@ class SegmentPlane:
 
     def owned_segments(self) -> tuple[str, ...]:
         return tuple(sorted(self._owned))
+
+    def sweep_worker_orphans(self, worker_pid: int, keep: Iterable[str] = ()) -> list[str]:
+        """Reclaim segments a crashed worker left behind, surgically.
+
+        Only names under this worker's sub-prefix (``{prefix}-w{pid}-``) are
+        touched, so live segments published by other workers survive; names
+        in ``keep`` (handles already merged into completed outcomes) and
+        names the plane owns (adopted earlier) survive too.  Returns the
+        unlinked names.
+        """
+        kept = set(keep) | self._owned
+        swept = []
+        for name in orphan_segments(f"{self.prefix}-w{worker_pid}-"):
+            if name in kept:
+                continue
+            _unlink_quietly(name)
+            swept.append(name)
+        return swept
 
     def close(self) -> None:
         """Close every mapping, unlink every owned segment, sweep orphans."""

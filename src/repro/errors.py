@@ -52,3 +52,41 @@ class UnsafeQueryError(ProbabilityError):
 
 class UnfoldingError(ReproError):
     """The unfolding construction of Section 9 received an unsupported query."""
+
+
+class ExecutionAborted(ReproError):
+    """A cooperative checkpoint stopped an evaluation before it finished.
+
+    The two concrete subclasses are the typed outcomes the resilience layer
+    (:mod:`repro.resilience`) promises: an aborted call never returns a
+    partial or approximate value under an exact method — it raises one of
+    these, and ``method="auto"`` may catch :class:`BudgetExceeded` to fail
+    over to a cheaper route.
+    """
+
+
+class DeadlineExceeded(ExecutionAborted):
+    """The wall-clock deadline of the active :class:`~repro.resilience.Deadline`
+    passed while an evaluation was still running.
+
+    Unlike :class:`BudgetExceeded`, this is terminal for the whole call:
+    no remaining route can finish either, so the router re-raises instead
+    of failing over.
+    """
+
+
+class BudgetExceeded(ExecutionAborted):
+    """A resource cap of the active :class:`~repro.resilience.ResourceBudget`
+    (OBDD node allocations, lifted-executor rows) was exhausted.
+
+    Per-attempt, not per-call: the ``method="auto"`` failover chain resets
+    the usage counters and tries the next feasible route.
+    """
+
+
+class WorkerCrashError(CompilationError):
+    """A parallel worker died and the bounded shard retries were exhausted."""
+
+
+class SegmentError(CompilationError):
+    """A shared-memory segment is absent or holds a corrupt columnar buffer."""

@@ -254,6 +254,28 @@ def dissociation_bounds(
     return DissociationBounds(lower=best_single, upper=1 - complement_product)
 
 
+def karp_luby_with_bounds(
+    query_or_lineage,
+    probabilistic_instance: ProbabilisticInstance,
+    samples: int = 1000,
+    seed: int = 0,
+) -> tuple[ApproximationResult, DissociationBounds]:
+    """The Karp–Luby estimate and the dissociation interval off one lineage.
+
+    The degradation tier of ``method="auto"`` (see
+    :mod:`repro.engine.resilience`) needs both: the interval is the
+    *guarantee* (the true probability always lies inside), the estimate the
+    usable point value.  Building the DNF lineage once and sharing it keeps
+    the degraded path a single lineage enumeration — the lineage is
+    polynomial in the instance even on workloads whose compiled circuits
+    explode.
+    """
+    lineage = _lineage_for(query_or_lineage, probabilistic_instance)
+    estimate = karp_luby_probability(lineage, probabilistic_instance, samples, seed)
+    bounds = dissociation_bounds(lineage, probabilistic_instance)
+    return estimate, bounds
+
+
 def hoeffding_sample_size(epsilon: float, delta: float) -> int:
     """Samples needed for additive error <= epsilon with probability >= 1 - delta."""
     if not 0 < epsilon < 1 or not 0 < delta < 1:

@@ -67,6 +67,7 @@ def probability(
     probabilistic_instance: ProbabilisticInstance,
     method: Method = "auto",
     engine=None,
+    budget=None,
 ) -> Fraction | float:
     """The probability that the TID instance satisfies the UCQ≠ (Definition 3.1).
 
@@ -74,10 +75,21 @@ def probability(
     through the engine's caches (lineages, OBDDs, and probability results are
     memoized across calls by content fingerprint); without one, everything is
     recomputed from scratch.
+
+    Passing a :class:`repro.resilience.ResourceBudget` activates its node/row
+    caps and wall-clock deadline around the evaluation (the kernels
+    checkpoint cooperatively and raise :class:`~repro.errors.BudgetExceeded`
+    / :class:`~repro.errors.DeadlineExceeded`); with an engine,
+    ``method="auto"`` additionally fails over between routes on a blowout.
     """
     query = as_ucq(query)
     if engine is not None:
-        return engine.probability(query, probabilistic_instance, method)
+        return engine.probability(query, probabilistic_instance, method, budget=budget)
+    if budget is not None:
+        from repro.resilience import activate
+
+        with activate(budget):
+            return probability(query, probabilistic_instance, method)
     if method == "auto":
         return _auto_probability(query, probabilistic_instance)
     if method == "brute_force":

@@ -20,6 +20,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Any, Iterator, Mapping
 
+from repro import resilience as _resilience
 from repro.data.instance import Fact, Instance
 from repro.data.tid import ProbabilisticInstance
 from repro.probability.lifted.plan import (
@@ -139,6 +140,7 @@ def _root_candidates(
     across atoms.  Values outside the intersection contribute probability
     zero, so skipping them is exact."""
     candidates: set[Any] | None = None
+    budget = _resilience.ACTIVE
     for spec in node.atom_specs:
         if spec.bound_positions:
             bindings = {
@@ -150,13 +152,20 @@ def _root_candidates(
             facts = instance.facts_of(spec.relation)
         first = spec.root_positions[0]
         values: set[Any] = set()
+        rows = 0
         for ground_fact in facts:
+            rows += 1
             value = ground_fact.arguments[first]
             if all(
                 ground_fact.arguments[position] == value
                 for position in spec.root_positions[1:]
             ):
                 values.add(value)
+        if budget is not None and rows:
+            # One charge per enumerated index scan: the row cap bounds the
+            # total rows the executor touches, and the charge's periodic
+            # deadline tick keeps long plans wall-clock interruptible.
+            budget.charge_rows(rows)
         candidates = values if candidates is None else candidates & values
         if not candidates:
             return []

@@ -31,6 +31,7 @@ from fractions import Fraction
 from itertools import product
 from typing import Callable, Hashable, Iterable, Mapping, Protocol, Sequence
 
+from repro import resilience as _resilience
 from repro.data.instance import Fact, Instance
 from repro.data.tid import ProbabilisticInstance
 from repro.errors import LineageError
@@ -140,10 +141,13 @@ def automaton_probability(
     if probabilistic_instance.instance != encoding.instance:
         raise LineageError("the probabilistic instance does not match the encoding's instance")
     one = Fraction(1)
+    budget = _resilience.ACTIVE
     distributions: dict[int, dict[State, Fraction]] = {}
     for identifier in encoding.post_order():
         node = encoding.nodes[identifier]
         children = node.children
+        if budget is not None:
+            budget.charge_nodes(1)
         # Weighted product over the children (any arity), without recursion;
         # a child's distribution is consumed exactly once (by its parent), so
         # it is freed immediately afterwards.
@@ -155,6 +159,11 @@ def automaton_probability(
                 for state, child_weight in distributions[child].items()
                 if child_weight != 0
             ]
+            if budget is not None:
+                # State combinations are this route's unit of work (they
+                # explode exactly when the automaton state space does), so
+                # they draw from the same node budget as OBDD allocations.
+                budget.charge_nodes(len(combos))
         for child in children:
             del distributions[child]
         current: dict[State, Fraction] = {}

@@ -14,7 +14,11 @@ bounds).  This package turns that redundancy into infrastructure:
   cases over the library's own treelike generator families;
 * :func:`is_valid_decomposition` / :func:`decomposition_errors` check tree
   and path decompositions independently of the production ``validate``
-  methods.
+  methods;
+* :mod:`repro.testing.faults` injects deterministic faults (worker kills,
+  stragglers, allocation failures, segment sabotage) into the parallel
+  engine, so the chaos tests can assert recovery *and* exactness via the
+  oracle.
 
 ``tests/test_differential.py`` and ``tests/test_structure_oracle.py`` drive
 these against every backend; ``examples/differential_testing.py`` shows the
@@ -22,6 +26,14 @@ API.
 """
 
 from repro.testing.decompositions import decomposition_errors, is_valid_decomposition
+from repro.testing.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    WorkerFaults,
+    apply_parent_segment_faults,
+    consume_token,
+)
 from repro.testing.oracle import (
     DEFAULT_EXACT_METHODS,
     OracleDisagreement,
@@ -44,10 +56,16 @@ from repro.testing.workloads import (
 __all__ = [
     "DEFAULT_EXACT_METHODS",
     "DEFAULT_FAMILIES",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
     "OracleDisagreement",
     "OracleReport",
     "ProbabilityOracle",
+    "WorkerFaults",
     "WorkloadCase",
+    "apply_parent_segment_faults",
+    "consume_token",
     "decomposition_errors",
     "is_valid_decomposition",
     "random_cq",

@@ -86,12 +86,13 @@ def test_probability_command_methods_agree(tid_json, capsys):
             == 0
         )
         assert str(expected) in capsys.readouterr().out
-    # The RST query is the canonical unsafe query: lifted inference must refuse it.
+    # The RST query is the canonical unsafe query: lifted inference must refuse
+    # it, and the refusal gets its own scriptable exit code.
     assert (
         main(["probability", str(path), "--query", "R(x), S(x, y), T(y)", "--method", "safe_plan"])
-        == 1
+        == 3
     )
-    assert "error:" in capsys.readouterr().err
+    assert "unsafe query" in capsys.readouterr().err
 
 
 def test_probability_command_approximate(tid_json, capsys):
@@ -135,3 +136,105 @@ def test_cli_error_on_bad_query(tid_json, capsys):
     path, _ = tid_json
     assert main(["probability", str(path), "--query", "not a query !!"]) == 1
     assert "error:" in capsys.readouterr().err
+
+
+# -- resilience flags (budgets, deadlines, degradation) --------------------------
+
+
+@pytest.fixture()
+def dense_tid_json(tmp_path):
+    """A denser treelike instance where every circuit route needs real work
+    (the RST lineage is not read-once shaped, so no route evades the caps)."""
+    from repro.generators import labelled_partial_ktree_instance
+
+    tid = ProbabilisticInstance.uniform(
+        labelled_partial_ktree_instance(8, 2, seed=1), Fraction(1, 2)
+    )
+    path = tmp_path / "ktree.json"
+    save_instance(tid, path)
+    return path, tid
+
+
+def test_probability_timeout_exit_code(dense_tid_json, capsys):
+    # The dense instance is never cached on the process-wide default engine
+    # (cache hits legitimately bypass the budget), so the expired deadline
+    # trips at the first route checkpoint.
+    path, _ = dense_tid_json
+    code = main(
+        ["probability", str(path), "--query", "R(x), S(x, y), T(y)", "--timeout", "1e-9"]
+    )
+    assert code == 4
+    assert "deadline exceeded" in capsys.readouterr().err
+
+
+def test_probability_budget_exit_code(dense_tid_json, capsys):
+    path, _ = dense_tid_json
+    code = main(
+        [
+            "probability",
+            str(path),
+            "--query",
+            "R(x), S(x, y), T(y)",
+            "--budget-nodes",
+            "5",
+        ]
+    )
+    assert code == 5
+    assert "budget exhausted" in capsys.readouterr().err
+
+
+def test_probability_generous_budget_still_exact(tid_json, capsys):
+    path, tid = tid_json
+    expected = probability(unsafe_rst(), tid)
+    code = main(
+        [
+            "probability",
+            str(path),
+            "--query",
+            "R(x), S(x, y), T(y)",
+            "--budget-nodes",
+            "100000",
+            "--timeout",
+            "60",
+        ]
+    )
+    assert code == 0
+    assert str(expected) in capsys.readouterr().out
+
+
+def test_probability_degrade_returns_bounds(dense_tid_json, capsys):
+    path, _ = dense_tid_json
+    code = main(
+        [
+            "probability",
+            str(path),
+            "--query",
+            "R(x), S(x, y), T(y)",
+            "--budget-nodes",
+            "5",
+            "--degrade",
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "probability in [" in output and "degraded: karp_luby" in output
+
+
+def test_probability_explain_reports_failover_attempts(dense_tid_json, capsys):
+    path, _ = dense_tid_json
+    code = main(
+        [
+            "probability",
+            str(path),
+            "--query",
+            "R(x), S(x, y), T(y)",
+            "--budget-nodes",
+            "5",
+            "--degrade",
+            "--explain",
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    # Every exact route was attempted and each failure is labelled.
+    assert "attempt[" in output and "BudgetExceeded" in output
