@@ -7,7 +7,7 @@ PYTHON ?= python
 PYTHONPATH_PREFIX = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 TIER1_WALL_CLOCK ?= 300
 
-.PHONY: test tier1 test-slow test-differential test-chaos analyze typecheck bench-engine bench-parallel bench-compile bench-structure bench-vector bench-lifted bench-resilience bench
+.PHONY: test tier1 test-slow test-differential test-chaos test-chaos-disk analyze typecheck bench-engine bench-parallel bench-compile bench-structure bench-vector bench-lifted bench-resilience bench-store bench
 
 # Static invariant checker (see README "Static invariants"): AST/call-graph
 # rules gating the kernel contracts. Fails on any finding.
@@ -15,10 +15,10 @@ analyze:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.analysis --strict src/repro
 
 # mypy wiring lives in pyproject.toml; strict for the analyzer, the engine,
-# and the lifted tier, permissive elsewhere. Requires mypy on PATH (CI
-# installs it).
+# the artifact store, and the lifted tier, permissive elsewhere. Requires
+# mypy on PATH (CI installs it).
 typecheck:
-	$(PYTHONPATH_PREFIX) $(PYTHON) -m mypy src/repro/analysis src/repro/engine src/repro/probability/lifted
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m mypy src/repro/analysis src/repro/engine src/repro/probability/lifted src/repro/store
 
 test:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -q
@@ -36,6 +36,11 @@ test-differential:
 # and shared-memory sabotage against the parallel engine (marker: chaos).
 test-chaos:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -q -m chaos tests/test_faults.py
+
+# Disk fault-injection suite: torn writes, bit flips, ENOSPC, and lock steals
+# against the persistent artifact store (marker: chaos).
+test-chaos-disk:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -q -m chaos tests/test_store_faults.py
 
 bench-engine:
 	$(PYTHONPATH_PREFIX) $(PYTHON) benchmarks/bench_engine.py
@@ -57,6 +62,9 @@ bench-lifted:
 
 bench-resilience:
 	$(PYTHONPATH_PREFIX) $(PYTHON) benchmarks/bench_resilience.py
+
+bench-store:
+	$(PYTHONPATH_PREFIX) $(PYTHON) benchmarks/bench_store.py
 
 bench:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -q benchmarks

@@ -15,7 +15,10 @@ lineages/OBDDs/probabilities are memoized behind content fingerprints, with
 batched entry points ``compile_many`` and ``probability_many`` (see the
 ``repro.engine`` package docstring for the caching keys and invalidation
 rules).  :class:`ParallelEngine` shards those batched workloads across
-``multiprocessing`` workers, and :mod:`repro.testing` provides the
+``multiprocessing`` workers, :mod:`repro.store` persists compiled artifacts
+to a crash-safe checksummed disk tier shared across processes
+(:class:`ArtifactStore`, accepted by both engines as ``store=``), and
+:mod:`repro.testing` provides the
 differential oracle (:class:`~repro.testing.ProbabilityOracle`) that
 cross-checks every probability backend on seeded random workloads.
 
@@ -89,6 +92,7 @@ from repro.queries import (
     two_incident_paths_query,
 )
 from repro.semirings import query_provenance_polynomial
+from repro.store import ArtifactStore
 from repro.structure import (
     clique_expression,
     pathwidth,
@@ -101,6 +105,7 @@ from repro.unfold import unfold_instance, verify_unfolding
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactStore",
     "BooleanCircuit",
     "CacheStats",
     "CompilationEngine",

@@ -21,6 +21,14 @@ Options (``[tool.repro-analysis.rules.EXCEPT001]``):
 
 * ``modules`` — fnmatch patterns of the modules held to this bar (defaults
   to the engine package and the resilience primitives).
+* ``audit-modules`` / ``audit-names`` — a stricter tier for modules whose
+  *narrow* handlers are themselves load-bearing: in an ``audit-modules``
+  module, every handler catching one of the ``audit-names`` types (default
+  ``OSError``) must carry a justified ``allow(EXCEPT001)`` suppression too.
+  The persistent artifact store is the motivating case — each of its
+  ``OSError`` handlers encodes a deliberate degradation decision (a failed
+  write-behind is counted, a vanished file is a miss), and the audit makes
+  the written justification mandatory rather than idiomatic.
 """
 
 from __future__ import annotations
@@ -33,6 +41,9 @@ from repro.analysis.registry import AnalysisContext, register
 from repro.analysis.report import Finding
 
 DEFAULT_MODULES = ("repro.engine*", "repro.resilience")
+
+#: Default narrow types the audit tier holds to the justification bar.
+DEFAULT_AUDIT_NAMES = ("OSError",)
 
 _BROAD_NAMES = frozenset({"Exception", "BaseException"})
 
@@ -50,23 +61,40 @@ class NarrowExceptionsRule:
     def check(self, context: AnalysisContext) -> Iterator[Finding]:
         options = context.options_for(self.id)
         patterns = tuple(options.get("modules", DEFAULT_MODULES))
+        audit_patterns = tuple(options.get("audit-modules", ()))
+        audit_names = frozenset(options.get("audit-names", DEFAULT_AUDIT_NAMES))
         for module in context.production_modules():
-            if not matches_any(module.name, patterns):
+            flagged = matches_any(module.name, patterns)
+            audited = audit_patterns and matches_any(module.name, audit_patterns)
+            if not flagged and not audited:
                 continue
             for node in ast.walk(module.tree):
                 if not isinstance(node, ast.ExceptHandler):
                     continue
                 broad = _broad_catch(node.type)
-                if broad is None:
+                if flagged and broad is not None:
+                    yield context.finding(
+                        self.id,
+                        module,
+                        node,
+                        f"handler catches {broad}, hiding the typed errors the "
+                        "engine dispatches on (BudgetExceeded, DeadlineExceeded, "
+                        "SegmentError, ...); catch the concrete types, or justify "
+                        "with '# repro-analysis: allow(EXCEPT001): <why>'",
+                    )
+                    continue
+                if not audited or broad is not None:
+                    continue
+                caught = _audited_catch(node.type, audit_names)
+                if caught is None:
                     continue
                 yield context.finding(
                     self.id,
                     module,
                     node,
-                    f"handler catches {broad}, hiding the typed errors the "
-                    "engine dispatches on (BudgetExceeded, DeadlineExceeded, "
-                    "SegmentError, ...); catch the concrete types, or justify "
-                    "with '# repro-analysis: allow(EXCEPT001): <why>'",
+                    f"audited module swallows {caught}: each such handler is a "
+                    "deliberate degradation decision, so it must state its "
+                    "contract with '# repro-analysis: allow(EXCEPT001): <why>'",
                 )
 
 
@@ -77,5 +105,22 @@ def _broad_catch(annotation: ast.expr | None) -> str | None:
     names = annotation.elts if isinstance(annotation, ast.Tuple) else [annotation]
     for expr in names:
         if isinstance(expr, ast.Name) and expr.id in _BROAD_NAMES:
+            return expr.id
+    return None
+
+
+def _audited_catch(annotation: ast.expr | None, audit_names: frozenset) -> str | None:
+    """The audited type name this handler catches, or None.
+
+    Subclasses named directly (``FileNotFoundError``, ``PermissionError``)
+    are deliberately *not* matched: catching the precise subtype already
+    documents which failure is expected, so only the umbrella names listed
+    in ``audit-names`` demand the written justification.
+    """
+    if annotation is None:
+        return None
+    names = annotation.elts if isinstance(annotation, ast.Tuple) else [annotation]
+    for expr in names:
+        if isinstance(expr, ast.Name) and expr.id in audit_names:
             return expr.id
     return None

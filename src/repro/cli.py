@@ -18,10 +18,18 @@ Four subcommands cover the everyday workflow on files produced by
     lineage artifacts are shared across the whole workload.
 ``convert``
     Convert between the JSON and CSV instance formats.
+``store``
+    Maintenance of a persistent artifact store directory
+    (:mod:`repro.store`): ``stats``, ``verify`` (optionally with
+    ``--repair``), ``gc``, and ``quarantine-list``.
 
 The ``lineage`` and ``probability`` subcommands route their compilations
 through the process-wide default engine as well, which makes repeated
 invocations within one process (e.g. from tests) benefit from the cache.
+``--store PATH`` on ``lineage``/``probability``/``batch`` opens a
+persistent artifact store below the engine's caches, so a *second process*
+answering the same workload starts from the compiled artifacts instead of
+recompiling.
 
 Run ``python -m repro.cli --help`` (or the ``repro`` console script) for
 details; every subcommand prints to stdout and returns a conventional exit
@@ -111,12 +119,17 @@ def _command_info(arguments: argparse.Namespace) -> int:
 
 
 def _command_lineage(arguments: argparse.Namespace) -> int:
-    from repro.engine import default_engine
+    from repro.engine import CompilationEngine, default_engine
     from repro.provenance.compile_obdd import compile_query_to_obdd
     from repro.provenance.lineage import lineage_of
     from repro.queries.parser import parse_ucq
 
-    engine = default_engine()
+    if arguments.store is not None:
+        # A persistent store is a per-invocation decision; the process-wide
+        # default engine stays store-less.
+        engine = CompilationEngine(store=arguments.store)
+    else:
+        engine = default_engine()
     tid = _load(arguments.instance)
     query = parse_ucq(arguments.query)
     lineage = lineage_of(query, tid.instance, engine=engine)
@@ -165,10 +178,14 @@ def _command_probability(arguments: argparse.Namespace) -> int:
             row_limit=arguments.budget_rows,
             timeout=arguments.timeout,
         )
-    if arguments.degrade:
-        # Degradation is an engine-construction decision (the process-wide
-        # default engine stays strict), so opting in gets a private session.
-        engine = CompilationEngine(degradation="karp_luby")
+    if arguments.degrade or arguments.store is not None:
+        # Degradation and the persistent store are engine-construction
+        # decisions (the process-wide default engine stays strict and
+        # store-less), so opting in gets a private session.
+        engine = CompilationEngine(
+            degradation="karp_luby" if arguments.degrade else None,
+            store=arguments.store,
+        )
     else:
         engine = default_engine()
     if arguments.explain:
@@ -207,11 +224,11 @@ def _command_batch(arguments: argparse.Namespace) -> int:
     tid = _load(arguments.instance)
     queries = [parse_ucq(text) for text in arguments.query]
     if arguments.workers > 1:
-        with ParallelEngine(workers=arguments.workers) as parallel:
+        with ParallelEngine(workers=arguments.workers, store=arguments.store) as parallel:
             values = parallel.probability_many(queries, tid, method=arguments.method)
             report = parallel.last_report
     else:
-        engine = CompilationEngine()
+        engine = CompilationEngine(store=arguments.store)
         values = engine.probability_many(queries, tid, method=arguments.method)
         report = None
     for text, value in zip(arguments.query, values):
@@ -259,6 +276,100 @@ def _command_show(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _build_repair_hook(instance_paths: Sequence[str]):
+    """The ``store verify --repair`` recompile hook.
+
+    Damaged entries are re-derived from the given source instance files when
+    the entry's metadata names one of their fingerprints (columnar artifacts
+    and tree encodings) or needs no instance at all (lifted plans); anything
+    else returns ``None`` and the sweep deletes the entry with a logged
+    reason.  The repair engine is deliberately store-less: the sweep holds
+    the store's exclusive lock, and re-derivation must not re-enter it.
+    """
+    from repro.engine import CompilationEngine
+    from repro.queries.parser import parse_ucq
+    from repro.store import CODEC_COLUMNAR, CODEC_PICKLE
+
+    engine = CompilationEngine()
+    instances = {}
+    for path in instance_paths:
+        tid = _load(path)
+        instances[tid.instance.fingerprint] = tid.instance
+
+    def recompile(meta: dict) -> "tuple[int, object] | None":
+        kind = meta.get("kind")
+        try:
+            if kind == "columnar":
+                instance = instances.get(meta.get("instance"))
+                if instance is None:
+                    return None
+                query = parse_ucq(str(meta["query"]))
+                artifact = engine.columnar(
+                    query, instance, use_path_decomposition=bool(meta.get("use_path"))
+                )
+                return CODEC_COLUMNAR, artifact
+            if kind == "lifted_plan":
+                query = parse_ucq(str(meta["query"]))
+                return CODEC_PICKLE, engine.lifted_plan(query)
+            if kind == "tree_encoding":
+                instance = instances.get(meta.get("instance"))
+                if instance is None:
+                    return None
+                encoding = engine.tree_encoding_of(instance)
+                return CODEC_PICKLE, (encoding.nodes, encoding.root)
+        except ReproError:
+            return None
+        return None
+
+    return recompile
+
+
+def _command_store(arguments: argparse.Namespace) -> int:
+    from repro.store import ArtifactStore
+
+    store = ArtifactStore(arguments.root)
+    action = arguments.store_command
+    if action == "stats":
+        for name, value in store.stats().as_dict().items():
+            print(f"{name}: {value}")
+        return 0
+    if action == "quarantine-list":
+        records = store.quarantine_list()
+        if not records:
+            print("quarantine is empty")
+            return 0
+        for record in records:
+            print(f"{record.name}  key={record.key or '?'}  reason: {record.reason}")
+        return 0
+    if action == "gc":
+        removed = store.gc(
+            max_bytes=arguments.max_bytes,
+            max_age_seconds=arguments.max_age,
+            clear_quarantine=arguments.clear_quarantine,
+        )
+        print(f"evicted {len(removed)} entries")
+        for key in removed:
+            print(f"  {key}")
+        return 0
+    # verify [--repair [--instance FILE ...]]
+    recompile = _build_repair_hook(arguments.instance or []) if arguments.repair else None
+    report = store.verify(recompile=recompile)
+    print(f"checked: {report.checked}  ok: {report.ok}  damaged: {len(report.damaged)}")
+    for key, reason in report.damaged:
+        print(f"damaged {key}: {reason}")
+    for key in report.quarantined:
+        print(f"quarantined {key}")
+    for key in report.repaired:
+        print(f"repaired {key}")
+    for key, reason in report.deleted:
+        print(f"deleted {key}: {reason}")
+    if arguments.repair:
+        # Repair resolves every damaged entry (rewritten in place or deleted
+        # with its reason above); failure here means damage is still on disk.
+        return 0 if report.clean else EXIT_FAILURE
+    return 0 if not report.damaged else EXIT_FAILURE
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse parser for the ``repro`` command."""
     from repro.probability.evaluation import METHOD_NAMES
@@ -281,6 +392,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["circuit", "obdd", "dnnf"],
         default=None,
         help="also print a Graphviz DOT rendering of the chosen representation",
+    )
+    lineage.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="persistent artifact store directory (created on first use)",
     )
     lineage.set_defaults(handler=_command_lineage)
 
@@ -323,6 +440,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="when every exact route fails under --budget-*/--timeout, return labelled"
         " Karp-Luby bounds instead of exiting with an error (method=auto only)",
     )
+    prob.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="persistent artifact store directory: compiled artifacts survive the process"
+        " and warm-start the next invocation",
+    )
     prob.set_defaults(handler=_command_probability)
 
     batch = subparsers.add_parser(
@@ -346,12 +470,66 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for the batch (>1 shards the workload through ParallelEngine)",
     )
+    batch.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="persistent artifact store directory shared by all workers",
+    )
     batch.set_defaults(handler=_command_batch)
 
     convert = subparsers.add_parser("convert", help="convert between JSON and CSV formats")
     _add_instance_argument(convert)
     convert.add_argument("--output", required=True, help="target file (.json or .csv)")
     convert.set_defaults(handler=_command_convert)
+
+    store = subparsers.add_parser(
+        "store", help="maintain a persistent artifact store directory"
+    )
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+    store_stats = store_commands.add_parser(
+        "stats", help="disk occupancy and traffic counters"
+    )
+    store_stats.add_argument("root", help="store directory")
+    store_verify = store_commands.add_parser(
+        "verify",
+        help="re-verify every entry; damage is quarantined (exit code 1 when found)",
+    )
+    store_verify.add_argument("root", help="store directory")
+    store_verify.add_argument(
+        "--repair",
+        action="store_true",
+        help="re-derive damaged entries from --instance files when possible,"
+        " delete them with a logged reason otherwise",
+    )
+    store_verify.add_argument(
+        "--instance",
+        action="append",
+        default=None,
+        metavar="FILE",
+        help="source instance file for --repair (repeatable; matched by fingerprint)",
+    )
+    store_gc = store_commands.add_parser(
+        "gc", help="evict entries by age and total size (oldest first)"
+    )
+    store_gc.add_argument("root", help="store directory")
+    store_gc.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="evict oldest entries until the store fits in N bytes",
+    )
+    store_gc.add_argument(
+        "--max-age", type=float, default=None, metavar="SECONDS",
+        help="evict entries older than SECONDS",
+    )
+    store_gc.add_argument(
+        "--clear-quarantine", action="store_true",
+        help="also empty the quarantine directory",
+    )
+    store_quarantine = store_commands.add_parser(
+        "quarantine-list", help="list quarantined entries and their reasons"
+    )
+    store_quarantine.add_argument("root", help="store directory")
+    store.set_defaults(handler=_command_store)
 
     show = subparsers.add_parser("show", help="print an instance file to stdout")
     _add_instance_argument(show)

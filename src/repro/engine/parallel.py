@@ -206,10 +206,18 @@ _WORKER_ATTACHMENT_LIMIT = 8
 
 
 def _init_worker(
-    engine_options: dict[str, Any], plane_prefix: str | None, freeze_gc: bool
+    engine_options: dict[str, Any],
+    plane_prefix: str | None,
+    freeze_gc: bool,
+    fault_plan: Any = None,
 ) -> None:
     global _WORKER_ENGINE, _WORKER_PLANE_PREFIX
     _WORKER_ENGINE = CompilationEngine(**engine_options)
+    if fault_plan is not None and _WORKER_ENGINE.store is not None:
+        # The chaos suite's disk faults reach worker-opened stores too; the
+        # store path travels as a plain string in engine_options, so the
+        # plan is attached after construction.
+        _WORKER_ENGINE.store.fault_plan = fault_plan
     _WORKER_PLANE_PREFIX = plane_prefix
     _WORKER_ATTACHMENTS.clear()
     if freeze_gc:
@@ -331,7 +339,7 @@ def _worker_loop(
         from repro.testing.faults import WorkerFaults
 
         faults = WorkerFaults(fault_plan)
-    _init_worker(engine_options, plane_prefix, freeze_gc)
+    _init_worker(engine_options, plane_prefix, freeze_gc, fault_plan)
     while True:
         try:
             message = connection.recv()
@@ -599,6 +607,16 @@ class ParallelEngine:
         :mod:`repro.testing.faults`), shipped to every worker and consulted
         by the parent's reweight publishing.  ``None`` — the default — adds
         no hooks anywhere.
+    store:
+        A persistent artifact store directory shared by every worker: a
+        path (string or ``Path``), or an opened
+        :class:`~repro.store.ArtifactStore` whose directory is reused.
+        Each worker's :class:`CompilationEngine` opens the store itself (a
+        path string is what crosses the process boundary), so compiled
+        artifacts persist across runs *and* across workers; a worker that
+        loads a stored columnar artifact publishes it into shared memory
+        straight from the file mapping — no node-graph deserialization
+        anywhere on the path.
     """
 
     def __init__(
@@ -611,6 +629,7 @@ class ParallelEngine:
         max_shard_retries: int = 2,
         retry_backoff: float = 0.05,
         fault_plan: Any = None,
+        store: Any = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise CompilationError("workers must be at least 1")
@@ -620,6 +639,14 @@ class ParallelEngine:
             raise CompilationError("retry_backoff must not be negative")
         self.workers = workers if workers is not None else available_workers()
         self.engine_options = dict(engine_options or {})
+        if store is not None:
+            # Workers rebuild their engines from pickled options, so the
+            # store crosses the process boundary as its directory path.
+            # (isinstance, not getattr: Path.root is the *filesystem* root.)
+            from repro.store import ArtifactStore
+
+            path = store.root if isinstance(store, ArtifactStore) else store
+            self.engine_options.setdefault("store", str(path))
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
@@ -716,14 +743,21 @@ class ParallelEngine:
         self.last_report = report
         return report
 
+    def _ensure_inline_engine(self) -> CompilationEngine:
+        if self._inline_engine is None:
+            self._inline_engine = CompilationEngine(**self.engine_options)
+            if self.fault_plan is not None and self._inline_engine.store is not None:
+                # Mirror _init_worker: the chaos suite's disk faults reach
+                # the inline (workers == 1) engine's store too.
+                self._inline_engine.store.fault_plan = self.fault_plan
+        return self._inline_engine
+
     def _run_inline(
         self, shards: list[Shard], runner: ShardRunner, extra: Any
     ) -> ParallelReport:
         global _WORKER_ENGINE
-        if self._inline_engine is None:
-            self._inline_engine = CompilationEngine(**self.engine_options)
         previous = _WORKER_ENGINE
-        _WORKER_ENGINE = self._inline_engine
+        _WORKER_ENGINE = self._ensure_inline_engine()
         try:
             outcomes = [runner((shard, extra)) for shard in shards]
         finally:
@@ -903,8 +937,7 @@ class ParallelEngine:
             self._run(items, _run_reweight_shard, None)
             return []
         if self.workers == 1 or not self.use_shared_memory:
-            if self._inline_engine is None:
-                self._inline_engine = CompilationEngine(**self.engine_options)
+            self._ensure_inline_engine()
             values = columnar.probability_many(
                 [probabilities for (probabilities,) in items], exact=exact
             )

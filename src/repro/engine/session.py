@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from fractions import Fraction
+from pathlib import Path
 from time import perf_counter
 from typing import Iterable, Sequence
 
@@ -54,6 +55,13 @@ from repro.provenance.variable_orders import (
 )
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq
+from repro.store import (
+    ArtifactStore,
+    canonical_query_text,
+    columnar_key,
+    encoding_key,
+    plan_key,
+)
 from repro.structure.elimination import EliminationSweep, best_heuristic_sweep
 from repro.structure.graph import Graph
 from repro.structure.path_decomposition import PathDecomposition, path_decomposition
@@ -66,10 +74,17 @@ _ORDER_KINDS = ("default", "path", "tree")
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters for one engine cache."""
+    """Hit/miss counters for one engine cache.
+
+    ``quarantines`` is only ever non-zero on the ``"store"`` cache: it
+    counts persistent-store entries that failed integrity verification and
+    were moved aside during this engine's lookups (each such lookup also
+    counts as a miss — the artifact was recompiled).
+    """
 
     hits: int = 0
     misses: int = 0
+    quarantines: int = 0
 
     @property
     def total(self) -> int:
@@ -88,13 +103,20 @@ class CacheStats:
     def __add__(self, other: "CacheStats") -> "CacheStats":
         if not isinstance(other, CacheStats):
             return NotImplemented
-        return CacheStats(self.hits + other.hits, self.misses + other.misses)
+        return CacheStats(
+            self.hits + other.hits,
+            self.misses + other.misses,
+            self.quarantines + other.quarantines,
+        )
 
     def copy(self) -> "CacheStats":
-        return CacheStats(self.hits, self.misses)
+        return CacheStats(self.hits, self.misses, self.quarantines)
 
     def __str__(self) -> str:
-        return f"{self.hits} hits / {self.misses} misses"
+        text = f"{self.hits} hits / {self.misses} misses"
+        if self.quarantines:
+            text += f" / {self.quarantines} quarantined"
+        return text
 
 
 def merge_cache_stats(
@@ -170,6 +192,17 @@ class CompilationEngine:
         dissociation interval plus a seeded point estimate) instead of
         raising — never a bare float masquerading as exact, and never
         entered into the exact probability cache.
+    store:
+        A persistent tier below the in-memory LRU caches: an opened
+        :class:`~repro.store.ArtifactStore`, or a directory path (string or
+        ``Path``) to open one at.  Compiled columnar artifacts, lifted
+        plans, and tree encodings are then *read through* the store on a
+        memory miss (every lookup counted in ``stats["store"]``) and
+        *written behind* on a fresh build, so they survive process restarts
+        and are shared by every engine pointed at the same directory.  A
+        store entry that fails integrity verification is quarantined and
+        recompiled (counted in ``stats["store"].quarantines``) — the store
+        can never change an answer, only the time to produce it.
     """
 
     def __init__(
@@ -179,6 +212,7 @@ class CompilationEngine:
         max_probability_entries: int = 65536,
         circuit_fact_limit: int = 20000,
         degradation: str | None = None,
+        store: "ArtifactStore | str | Path | None" = None,
     ) -> None:
         if max_instances < 1:
             raise CompilationError("max_instances must be at least 1")
@@ -211,6 +245,10 @@ class CompilationEngine:
         )
         self.route_costs = RouteCostModel()
         self.route_counts: dict[str, int] = {}
+        if isinstance(store, (str, Path)):
+            store = ArtifactStore(store)
+        self.store: ArtifactStore | None = store
+        self._store_quarantines_seen = store.counters.quarantines if store else 0
         self.stats: dict[str, CacheStats] = {
             "structure": CacheStats(),
             "lineage": CacheStats(),
@@ -219,6 +257,7 @@ class CompilationEngine:
             "dnnf": CacheStats(),
             "lifted_plan": CacheStats(),
             "probability": CacheStats(),
+            "store": CacheStats(),
         }
 
     # -- cache plumbing -------------------------------------------------------
@@ -243,7 +282,9 @@ class CompilationEngine:
         self.route_counts.clear()
         self.last_decision = None
         for stats in self.stats.values():
-            stats.hits = stats.misses = 0
+            stats.hits = stats.misses = stats.quarantines = 0
+        if self.store is not None:
+            self._store_quarantines_seen = self.store.counters.quarantines
 
     def cache_info(self) -> dict[str, CacheStats]:
         """The per-cache hit/miss statistics (live objects, not copies)."""
@@ -256,6 +297,58 @@ class CompilationEngine:
         before routing and are visible in the ``probability`` stats).
         """
         return dict(self.route_counts)
+
+    # -- the persistent tier ---------------------------------------------------
+    #
+    # Read-through/write-behind around the same content-fingerprint keys the
+    # in-memory caches use.  Every store lookup is counted in stats["store"];
+    # quarantines the store performed during this engine's traffic are folded
+    # into the same entry, so ``cache_info()`` surfaces disk damage without a
+    # separate reporting channel.  All store traffic is best-effort by
+    # construction: a miss (including a quarantined hit) falls through to
+    # recompilation, a failed write leaves the in-memory artifact in charge.
+
+    def _sync_store_quarantines(self) -> None:
+        assert self.store is not None
+        delta = self.store.counters.quarantines - self._store_quarantines_seen
+        if delta > 0:
+            self.stats["store"].quarantines += delta
+            self._store_quarantines_seen = self.store.counters.quarantines
+
+    def _store_columnar_meta(
+        self, query: Query, instance: Instance, use_path: bool
+    ) -> dict[str, object]:
+        # The query's canonical text round-trips through parse_ucq, which is
+        # what lets ``store verify --repair`` re-derive the artifact from
+        # the entry's metadata plus the source instance alone.
+        return {
+            "kind": "columnar",
+            "query": canonical_query_text(query),
+            "use_path": bool(use_path),
+            "instance": instance.fingerprint,
+        }
+
+    def _store_load_columnar(
+        self, query: Query, instance: Instance, use_path: bool
+    ) -> ColumnarOBDD | None:
+        if self.store is None:
+            return None
+        key = columnar_key(instance.fingerprint, query, use_path)
+        artifact = self.store.get_columnar(key)
+        self.stats["store"].record(artifact is not None)
+        self._sync_store_quarantines()
+        return artifact
+
+    def _store_save_columnar(
+        self, query: Query, instance: Instance, use_path: bool, columnar: ColumnarOBDD
+    ) -> None:
+        if self.store is None:
+            return
+        key = columnar_key(instance.fingerprint, query, use_path)
+        self.store.put_columnar(
+            key, columnar, self._store_columnar_meta(query, instance, use_path)
+        )
+        self._sync_store_quarantines()
 
     # -- structural artifacts -------------------------------------------------
 
@@ -298,8 +391,24 @@ class CompilationEngine:
         fused_tree_encoding`), reusing the cached Gaifman graph."""
         slot = self._slot(instance)
         self.stats["structure"].record(slot.encoding is not None)
+        if slot.encoding is None and self.store is not None:
+            found, value = self.store.get_object(encoding_key(instance.fingerprint))
+            self.stats["store"].record(found)
+            self._sync_store_quarantines()
+            if found:
+                nodes, root = value
+                slot.encoding = TreeEncoding(instance, nodes, root)
         if slot.encoding is None:
             slot.encoding = fused_tree_encoding(instance, sweep=self._sweep_of(instance))
+            if self.store is not None:
+                # Persist only the instance-independent node table: the
+                # loading engine reattaches its own Instance object.
+                self.store.put_object(
+                    encoding_key(instance.fingerprint),
+                    (slot.encoding.nodes, slot.encoding.root),
+                    {"kind": "tree_encoding", "instance": instance.fingerprint},
+                )
+                self._sync_store_quarantines()
         return slot.encoding
 
     def fact_order(self, instance: Instance, kind: str = "default") -> tuple[Fact, ...]:
@@ -345,17 +454,37 @@ class CompilationEngine:
     def compile(
         self, query: Query, instance: Instance, use_path_decomposition: bool = False
     ) -> CompiledOBDD:
-        """The (cached) OBDD compilation of the query's lineage on the instance."""
-        key = (as_ucq(query), bool(use_path_decomposition))
+        """The (cached) OBDD compilation of the query's lineage on the instance.
+
+        With a persistent :attr:`store`, a memory miss first tries the
+        stored columnar form (rehydrated losslessly via
+        :meth:`CompiledOBDD.from_columnar` — no lineage enumeration, no
+        OBDD construction); a fresh build is flattened and written behind.
+        """
+        return self._compile(query, instance, bool(use_path_decomposition), probe_store=True)
+
+    def _compile(
+        self, query: Query, instance: Instance, use_path: bool, probe_store: bool
+    ) -> CompiledOBDD:
+        key = (as_ucq(query), use_path)
         slot = self._slot(instance)
         hit = key in slot.compiled
         self.stats["obdd"].record(hit)
         if hit:
             slot.compiled.move_to_end(key)
         else:
-            lineage = self.lineage(query, instance)
-            order = self.fact_order(instance, "path" if use_path_decomposition else "default")
-            slot.compiled[key] = compile_lineage_to_obdd(lineage, order)
+            stored = (
+                self._store_load_columnar(query, instance, use_path) if probe_store else None
+            )
+            if stored is not None:
+                slot.compiled[key] = CompiledOBDD.from_columnar(stored)
+            else:
+                lineage = self.lineage(query, instance)
+                order = self.fact_order(instance, "path" if use_path else "default")
+                slot.compiled[key] = compile_lineage_to_obdd(lineage, order)
+                self._store_save_columnar(
+                    query, instance, use_path, slot.compiled[key].to_columnar()
+                )
             while len(slot.compiled) > self._max_queries_per_instance:
                 slot.compiled.popitem(last=False)
         return slot.compiled[key]
@@ -386,16 +515,31 @@ class CompilationEngine:
         memory and the vectorized sweeps run on.
         """
         key = (as_ucq(query), bool(use_path_decomposition))
+        use_path = bool(use_path_decomposition)
         slot = self._slot(instance)
         hit = key in slot.columnar
         self.stats["columnar"].record(hit)
         if hit:
             slot.columnar.move_to_end(key)
-            # Keep the source object artifact's LRU slot warm too: a hot
-            # columnar view should not see its compiled source evicted.
-            self.compile(query, instance, use_path_decomposition)
+            if key in slot.compiled:
+                # Keep the source object artifact's LRU slot warm too: a hot
+                # columnar view should not see its compiled source evicted.
+                self.compile(query, instance, use_path_decomposition)
         else:
-            slot.columnar[key] = self.compile(query, instance, use_path_decomposition).to_columnar()
+            artifact: ColumnarOBDD | None = None
+            probed = False
+            if key not in slot.compiled:
+                # Read through the persistent tier first: a store hit is a
+                # verified memory-mapped artifact, served with no lineage
+                # enumeration and no OBDD construction at all.
+                artifact = self._store_load_columnar(query, instance, use_path)
+                probed = True
+            if artifact is None:
+                artifact = self._compile(
+                    query, instance, use_path, probe_store=not probed
+                ).to_columnar()
+                self._store_save_columnar(query, instance, use_path, artifact)
+            slot.columnar[key] = artifact
             while len(slot.columnar) > self._max_queries_per_instance:
                 slot.columnar.popitem(last=False)
         return slot.columnar[key]
@@ -429,7 +573,26 @@ class CompilationEngine:
         if hit:
             self._lifted_plans.move_to_end(key)
         else:
-            self._lifted_plans[key] = try_lifted_plan(key)
+            plan: LiftedPlan | None = None
+            found = False
+            if self.store is not None:
+                # The pickle codec round-trips the None verdict for unsafe
+                # queries too, so minimization never re-runs after a restart.
+                found, value = self.store.get_object(plan_key(key))
+                self.stats["store"].record(found)
+                self._sync_store_quarantines()
+                if found:
+                    plan = value
+            if not found:
+                plan = try_lifted_plan(key)
+                if self.store is not None:
+                    self.store.put_object(
+                        plan_key(key),
+                        plan,
+                        {"kind": "lifted_plan", "query": canonical_query_text(key)},
+                    )
+                    self._sync_store_quarantines()
+            self._lifted_plans[key] = plan
             while len(self._lifted_plans) > self._max_probability_entries:
                 self._lifted_plans.popitem(last=False)
         return self._lifted_plans[key]

@@ -141,14 +141,28 @@ class SegmentPlane:
     ParallelEngine`; workers derive segment names from the plane's prefix
     (:meth:`worker_name`) so the parent can both adopt the handles they
     return and sweep orphans after a crash.
+
+    The effective prefix is ``{base}-{session_id}``: a fresh random session
+    id per plane scopes the crash-orphan sweep to this plane's own segments,
+    so two concurrent engines on one host — even ones constructed with the
+    same base ``prefix`` — cannot reclaim each other's live segments.
     """
 
-    def __init__(self, prefix: str | None = None) -> None:
-        if prefix is None:
-            prefix = f"repro-{os.getpid()}-{secrets.token_hex(4)}"
-        if "/" in prefix:
+    def __init__(self, prefix: str | None = None, session_id: str | None = None) -> None:
+        base = prefix if prefix is not None else f"repro-{os.getpid()}"
+        if session_id is None:
+            session_id = secrets.token_hex(4)
+        if "/" in base or "/" in session_id:
             raise CompilationError("segment prefix must not contain '/'")
-        self.prefix = prefix
+        self.base_prefix = base
+        self.session_id = session_id
+        # Every name this plane creates — and everything its orphan sweep
+        # reclaims — lives under the *session-scoped* prefix.  Two planes
+        # sharing a base prefix (two engines in one process, or two processes
+        # handed the same explicit prefix) therefore can never sweep each
+        # other's live segments: the session id keeps their namespaces
+        # disjoint.
+        self.prefix = f"{base}-{session_id}"
         self._serial = 0
         # name -> open SharedMemory mapping (attached artifacts keep their
         # own reference too; this registry is for close/unlink).

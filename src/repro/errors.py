@@ -90,3 +90,15 @@ class WorkerCrashError(CompilationError):
 
 class SegmentError(CompilationError):
     """A shared-memory segment is absent or holds a corrupt columnar buffer."""
+
+
+class StoreError(ReproError):
+    """The persistent artifact store cannot serve a request.
+
+    Raised only for *operational* failures (an unusable store directory, a
+    lock that cannot be acquired, a corrupt entry encountered by an explicit
+    maintenance command).  Ordinary cache traffic never raises it: a damaged
+    entry on the read path is quarantined and reported as a miss, so the
+    engine transparently recompiles — corruption costs time, never
+    correctness.
+    """

@@ -1,0 +1,57 @@
+"""repro.store — the crash-safe persistent artifact tier.
+
+A :class:`ArtifactStore` is a content-fingerprint-keyed, disk-backed cache
+sitting *below* the :class:`~repro.engine.CompilationEngine` LRU caches: the
+engine reads through it on a memory miss and writes freshly compiled
+artifacts behind, so compiled OBDDs, lifted plans, and tree encodings
+survive process restarts and are shared by every worker pointed at the same
+directory.
+
+Three properties the tests pin:
+
+* **Atomicity** — the temp-write / fsync / rename protocol means a crash at
+  any point leaves either the old state or the new state, never a torn
+  entry under a live name; orphaned temp files are swept at startup.
+* **Integrity** — every load re-verifies the entry (format version, key
+  echo, SHA-256 payload checksum) before trusting a byte; damage is moved
+  to ``quarantine/`` with a reason record and reported as a miss, so
+  corruption can cost recompilation time but never a wrong answer.
+* **Concurrency** — entry traffic shares an advisory file lock that
+  maintenance sweeps take exclusively, with inode-checked steal detection,
+  so concurrent engines on one host can point at one directory safely.
+
+See :mod:`repro.store.store` for the contracts and
+:mod:`repro.store.format` for the on-disk entry layout.
+"""
+
+from repro.store.format import (
+    CODEC_COLUMNAR,
+    CODEC_PICKLE,
+    FORMAT_VERSION,
+    canonical_query_text,
+    columnar_key,
+    encoding_key,
+    plan_key,
+)
+from repro.store.store import (
+    ArtifactStore,
+    QuarantineRecord,
+    StoreCounters,
+    StoreStats,
+    VerifyReport,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "CODEC_COLUMNAR",
+    "CODEC_PICKLE",
+    "FORMAT_VERSION",
+    "QuarantineRecord",
+    "StoreCounters",
+    "StoreStats",
+    "VerifyReport",
+    "canonical_query_text",
+    "columnar_key",
+    "encoding_key",
+    "plan_key",
+]

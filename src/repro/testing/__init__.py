@@ -27,6 +27,7 @@ API.
 
 from repro.testing.decompositions import decomposition_errors, is_valid_decomposition
 from repro.testing.faults import (
+    DISK_FAULT_KINDS,
     FAULT_KINDS,
     FaultInjector,
     FaultPlan,
@@ -56,6 +57,7 @@ from repro.testing.workloads import (
 __all__ = [
     "DEFAULT_EXACT_METHODS",
     "DEFAULT_FAMILIES",
+    "DISK_FAULT_KINDS",
     "FAULT_KINDS",
     "FaultInjector",
     "FaultPlan",

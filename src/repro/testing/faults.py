@@ -27,6 +27,22 @@ Fault kinds (see :data:`FAULT_KINDS`):
 * ``segment_unlink`` — the parent unlinks a just-published reweight segment
   (attachers find nothing; same recovery path).
 
+Disk fault kinds, consumed by :class:`repro.store.ArtifactStore` when built
+with ``fault_plan=...`` (the chaos-disk suite in ``tests/test_store_faults.py``
+proves every one still yields oracle-checked exact answers):
+
+* ``disk_torn_write`` — the store commits a half-written entry under its
+  live name (a crash after the rename was queued but before the data blocks
+  landed); the next load's verification must quarantine it;
+* ``disk_bit_flip`` — one payload byte of the entry is flipped just before
+  a load (silent media corruption); the checksum must catch it;
+* ``disk_enospc`` — the entry write raises ``OSError(ENOSPC)`` (disk
+  full); write-behind persistence is best-effort, so the query must still
+  answer from the in-memory artifact with ``write_failures`` counted;
+* ``lock_steal`` — the store's ``.lock`` file is unlinked right after an
+  acquisition (an external janitor); the inode-checked steal detection
+  must notice and re-acquire.
+
 Wiring: build a :class:`FaultInjector`, ``arm`` faults, and pass
 ``injector.plan`` as ``ParallelEngine(fault_plan=...)``.  The plan is a
 tiny picklable value object; workers instantiate :class:`WorkerFaults`
@@ -53,6 +69,18 @@ FAULT_KINDS: tuple[str, ...] = (
     "alloc_fail",
     "segment_corrupt",
     "segment_unlink",
+    "disk_torn_write",
+    "disk_bit_flip",
+    "disk_enospc",
+    "lock_steal",
+)
+
+#: The subset the persistent artifact store consumes (chaos-disk suite).
+DISK_FAULT_KINDS: tuple[str, ...] = (
+    "disk_torn_write",
+    "disk_bit_flip",
+    "disk_enospc",
+    "lock_steal",
 )
 
 

@@ -457,6 +457,69 @@ class TestEXCEPT001:
         assert findings_for(result, "EXCEPT001") == []
         assert [f.rule for f in result.suppressed] == ["EXCEPT001"]
 
+    AUDIT_CONFIG = AnalysisConfig(
+        package="pkg",
+        rules={
+            "EXCEPT001": {
+                "modules": ("pkg.engine",),
+                "audit-modules": ("pkg.store",),
+                "audit-names": ("OSError",),
+            }
+        },
+    )
+
+    def test_audited_oserror_without_justification_flagged(self, tmp_path):
+        store = """
+            def persist(path, blob):
+                try:
+                    path.write_bytes(blob)
+                except OSError:
+                    return False
+                return True
+        """
+        pkg = write_package(tmp_path, store=store)
+        result = analyze([pkg], config=self.AUDIT_CONFIG, select=["EXCEPT001"])
+        findings = findings_for(result, "EXCEPT001")
+        assert len(findings) == 1
+        assert findings[0].line == line_of(store, "except OSError")
+        assert "OSError" in findings[0].message
+
+    def test_audited_oserror_with_justification_passes(self, tmp_path):
+        store = """
+            def persist(path, blob):
+                try:
+                    path.write_bytes(blob)
+                # repro-analysis: allow(EXCEPT001): write-behind is best-effort by contract
+                except OSError:
+                    return False
+                return True
+        """
+        pkg = write_package(tmp_path, store=store)
+        result = analyze([pkg], config=self.AUDIT_CONFIG, select=["EXCEPT001"])
+        assert findings_for(result, "EXCEPT001") == []
+        assert [f.rule for f in result.suppressed] == ["EXCEPT001"]
+
+    def test_audit_ignores_subtypes_and_unaudited_modules(self, tmp_path):
+        # Catching the precise subtype already documents the expectation;
+        # the same handler outside the audited modules is idiomatic.
+        store = """
+            def read(path):
+                try:
+                    return path.read_bytes()
+                except FileNotFoundError:
+                    return None
+        """
+        engine = """
+            def read(path):
+                try:
+                    return path.read_bytes()
+                except OSError:
+                    return None
+        """
+        pkg = write_package(tmp_path, store=store, engine=engine)
+        result = analyze([pkg], config=self.AUDIT_CONFIG, select=["EXCEPT001"])
+        assert findings_for(result, "EXCEPT001") == []
+
 
 class TestSuppressions:
     SOURCE = """
@@ -613,8 +676,9 @@ class TestSelfGate:
         result = analyze([SRC / "repro"])
         assert not [f for f in result.findings if f.rule == "SUP001"]
         # Bounded-depth walkers in the structural front-end and query
-        # matcher, plus the deliberate broad handlers on the crash-recovery
-        # paths (worker loop survival, platform-variant tracker cleanup).
+        # matcher, the deliberate broad handlers on the crash-recovery
+        # paths (worker loop survival, platform-variant tracker cleanup),
+        # and the artifact store's audited OSError degradation decisions.
         suppressed_modules = {f.module for f in result.suppressed}
         assert suppressed_modules <= {
             "repro.queries.matching",
@@ -623,4 +687,6 @@ class TestSelfGate:
             "repro.structure.minors",
             "repro.engine.parallel",
             "repro.engine.shm",
+            "repro.store.format",
+            "repro.store.store",
         }

@@ -129,6 +129,29 @@ def test_crash_orphans_are_swept_on_close(columnar_artifact):
     assert live_segments(plane.prefix) == []
 
 
+def test_session_id_scopes_the_orphan_sweep(columnar_artifact):
+    """Two planes sharing a base prefix never reclaim each other's segments."""
+    columnar, _ = columnar_artifact
+    base = f"repro-scope-{os.getpid()}"
+    first = SegmentPlane(prefix=base)
+    second = SegmentPlane(prefix=base)
+    assert first.base_prefix == second.base_prefix == base
+    assert first.session_id != second.session_id
+    assert first.prefix != second.prefix
+    try:
+        live_handle = second.publish(columnar)
+        # Closing the first plane sweeps orphans under *its* session-scoped
+        # prefix only; the second plane's live segment must survive.
+        first.close()
+        assert live_segments(second.prefix) == [live_handle.name]
+        attached = attach_segment(live_handle)
+        assert list(attached.var) == list(columnar.var)
+        del attached
+    finally:
+        second.close()
+    assert live_segments(base) == []
+
+
 def test_garbage_collected_plane_reclaims_segments(columnar_artifact):
     columnar, _ = columnar_artifact
     plane = SegmentPlane()

@@ -1,0 +1,550 @@
+"""Tests for the persistent artifact store (repro.store).
+
+Four layers, matching the store's contracts:
+
+* the on-disk entry format — pack/verify round trips, every corruption an
+  :class:`EntryDamage`, canonical query text that re-parses;
+* the store itself — atomic commits, quarantine-on-damage, crash recovery,
+  gc, verify/repair sweeps, lifecycle;
+* the engine wiring — a *fresh* engine (a process restart, as far as the
+  caches are concerned) answers from the store with zero compilations, and
+  a corrupted entry costs a recompile but never exactness;
+* the CLI — ``--store`` across invocations and the ``store`` maintenance
+  subcommand, exit codes included.
+"""
+
+import glob
+import json
+import os
+from fractions import Fraction
+
+import pytest
+
+from repro.cli import main
+from repro.data.io import save_instance
+from repro.data.tid import ProbabilisticInstance
+from repro.engine import CompilationEngine, ParallelEngine
+from repro.errors import StoreError
+from repro.generators import labelled_partial_ktree_instance
+from repro.generators.lines import rst_chain_instance
+from repro.queries import parse_ucq, unsafe_rst
+from repro.store import (
+    CODEC_COLUMNAR,
+    CODEC_PICKLE,
+    ArtifactStore,
+    canonical_query_text,
+    columnar_key,
+    encoding_key,
+    plan_key,
+)
+from repro.store.format import (
+    EntryDamage,
+    best_effort_meta,
+    pack_entry,
+    parse_header,
+    verify_entry,
+)
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+
+
+@pytest.fixture(scope="module")
+def ktree_tid():
+    instance = labelled_partial_ktree_instance(10, 2, seed=5)
+    return ProbabilisticInstance.uniform(instance, Fraction(1, 2))
+
+
+@pytest.fixture(scope="module")
+def artifact(ktree_tid):
+    engine = CompilationEngine()
+    return engine.columnar(unsafe_rst(), ktree_tid.instance)
+
+
+def corrupt_last_byte(path: str) -> None:
+    with open(path, "r+b") as handle:
+        handle.seek(-1, os.SEEK_END)
+        last = handle.read(1)
+        handle.seek(-1, os.SEEK_END)
+        handle.write(bytes((last[0] ^ 0xFF,)))
+
+
+def entry_files(store: ArtifactStore) -> list[str]:
+    return sorted(glob.glob(str(store.root / "objects" / "*" / "*.entry")))
+
+
+def tmp_files(store: ArtifactStore) -> list[str]:
+    return sorted(glob.glob(str(store.root / "objects" / "*" / ".tmp-*")))
+
+
+# -- entry format ---------------------------------------------------------------
+
+
+class TestEntryFormat:
+    def test_pack_verify_round_trip(self):
+        blob = pack_entry(KEY_A, CODEC_PICKLE, {"kind": "x"}, b"payload")
+        header, meta = verify_entry(blob, expected_key=KEY_A)
+        assert header.codec == CODEC_PICKLE
+        assert header.key == KEY_A
+        assert meta == {"kind": "x"}
+        assert blob[header.payload_offset : header.payload_offset + header.payload_len] == (
+            b"payload"
+        )
+
+    def test_payload_is_eight_byte_aligned(self):
+        for meta in ({}, {"kind": "columnar", "query": "R(x)"}):
+            blob = pack_entry(KEY_A, CODEC_PICKLE, meta, b"p")
+            assert parse_header(blob).payload_offset % 8 == 0
+
+    def test_bad_magic_version_key_and_truncation_all_damage(self):
+        blob = bytearray(pack_entry(KEY_A, CODEC_PICKLE, {}, b"payload"))
+        with pytest.raises(EntryDamage, match="magic"):
+            verify_entry(b"XXXXXXXX" + bytes(blob[8:]))
+        versioned = bytearray(blob)
+        versioned[8] = 99
+        with pytest.raises(EntryDamage, match="version"):
+            verify_entry(bytes(versioned))
+        with pytest.raises(EntryDamage, match="key echo"):
+            verify_entry(bytes(blob), expected_key=KEY_B)
+        with pytest.raises(EntryDamage, match="truncated"):
+            verify_entry(bytes(blob[:-3]))
+
+    def test_flipped_payload_byte_fails_checksum(self):
+        blob = bytearray(pack_entry(KEY_A, CODEC_PICKLE, {}, b"payload"))
+        blob[-1] ^= 0x01
+        with pytest.raises(EntryDamage, match="checksum"):
+            verify_entry(bytes(blob))
+
+    def test_best_effort_meta_survives_payload_damage(self):
+        blob = bytearray(
+            pack_entry(KEY_A, CODEC_PICKLE, {"kind": "columnar", "query": "R(x)"}, b"payload")
+        )
+        blob[-1] ^= 0x01
+        assert best_effort_meta(bytes(blob)) == {"kind": "columnar", "query": "R(x)"}
+        assert best_effort_meta(b"garbage") == {}
+
+    def test_canonical_query_text_round_trips(self):
+        for text in ("R(x), S(x, y)", "R(x) | S(x, y), T(y)"):
+            query = parse_ucq(text)
+            canonical = canonical_query_text(query)
+            assert canonical_query_text(parse_ucq(canonical)) == canonical
+
+    def test_keys_are_distinct_and_deterministic(self):
+        query = parse_ucq("R(x), S(x, y)")
+        assert columnar_key("f1", query, False) == columnar_key("f1", query, False)
+        assert columnar_key("f1", query, False) != columnar_key("f1", query, True)
+        assert columnar_key("f1", query, False) != columnar_key("f2", query, False)
+        assert plan_key(query) != columnar_key("f1", query, False)
+        assert encoding_key("f1") != encoding_key("f2")
+
+
+# -- the store ------------------------------------------------------------------
+
+
+class TestArtifactStore:
+    def test_columnar_round_trip(self, tmp_path, artifact, ktree_tid):
+        store = ArtifactStore(tmp_path / "store")
+        assert store.put_columnar(KEY_A, artifact, {"kind": "columnar"})
+        loaded = store.get_columnar(KEY_A)
+        assert loaded is not None
+        assert list(loaded.var) == list(artifact.var)
+        assert list(loaded.lo) == list(artifact.lo)
+        assert list(loaded.hi) == list(artifact.hi)
+        assert loaded.root == artifact.root
+        assert loaded.order == artifact.order
+        valuation = ktree_tid.valuation()
+        assert loaded.probability(valuation) == artifact.probability(valuation)
+        assert store.counters.writes == 1
+        assert store.counters.hits == 1
+
+    def test_object_round_trip_preserves_none(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.put_object(KEY_A, None, {"kind": "lifted_plan"})
+        store.put_object(KEY_B, {"answer": Fraction(3, 7)}, {"kind": "misc"})
+        assert store.get_object(KEY_A) == (True, None)
+        assert store.get_object(KEY_B) == (True, {"answer": Fraction(3, 7)})
+        assert store.get_object("c" * 64) == (False, None)
+
+    def test_put_is_idempotent(self, tmp_path, artifact):
+        store = ArtifactStore(tmp_path / "store")
+        assert store.put_columnar(KEY_A, artifact, {})
+        assert store.put_columnar(KEY_A, artifact, {})
+        assert store.counters.writes == 1
+        assert len(entry_files(store)) == 1
+
+    def test_corrupted_entry_quarantined_and_reported_as_miss(self, tmp_path, artifact):
+        store = ArtifactStore(tmp_path / "store")
+        store.put_columnar(KEY_A, artifact, {"kind": "columnar"})
+        corrupt_last_byte(entry_files(store)[0])
+        assert store.get_columnar(KEY_A) is None
+        assert store.counters.quarantines == 1
+        assert not entry_files(store)
+        records = store.quarantine_list()
+        assert len(records) == 1
+        assert records[0].key == KEY_A
+        assert "checksum" in records[0].reason
+        # The reason record is machine-readable JSON next to the entry.
+        reason_files = list((store.root / "quarantine").glob("*.reason.json"))
+        assert len(reason_files) == 1
+        assert json.loads(reason_files[0].read_text())["key"] == KEY_A
+
+    def test_wrong_codec_is_damage_not_crash(self, tmp_path, artifact):
+        store = ArtifactStore(tmp_path / "store")
+        store.put_object(KEY_A, ("not", "columnar"), {"kind": "lifted_plan"})
+        assert store.get_columnar(KEY_A) is None
+        assert store.counters.quarantines == 1
+
+    def test_recover_sweeps_dead_pid_temp_files(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        shard = store.root / "objects" / "ab"
+        shard.mkdir(parents=True, exist_ok=True)
+        dead = shard / ".tmp-999999-1"
+        dead.write_bytes(b"half a write")
+        live = shard / f".tmp-{os.getpid() + 0}-7"
+        # Our own pid is treated as dead (serials never recur), so fabricate
+        # a live *other* pid with pid 1 (init, always running).
+        other = shard / ".tmp-1-1"
+        other.write_bytes(b"concurrent writer")
+        live.write_bytes(b"stale own write")
+        removed = store.recover()
+        assert dead.name in removed
+        assert live.name in removed
+        assert other.exists()
+        other.unlink()
+
+    def test_startup_runs_recovery(self, tmp_path):
+        root = tmp_path / "store"
+        store = ArtifactStore(root)
+        shard = store.root / "objects" / "cd"
+        shard.mkdir(parents=True, exist_ok=True)
+        (shard / ".tmp-999998-3").write_bytes(b"orphan")
+        reopened = ArtifactStore(root)
+        assert reopened.counters.recovered == 1
+        assert not tmp_files(reopened)
+
+    def test_stats_snapshot(self, tmp_path, artifact):
+        store = ArtifactStore(tmp_path / "store")
+        store.put_columnar(KEY_A, artifact, {})
+        store.put_object(KEY_B, [1, 2, 3], {})
+        snapshot = store.stats()
+        assert snapshot.entries == 2
+        assert snapshot.total_bytes > 0
+        assert snapshot.quarantined == 0
+        assert snapshot.as_dict()["writes"] == 2
+
+    def test_gc_by_age_size_and_quarantine(self, tmp_path, artifact):
+        store = ArtifactStore(tmp_path / "store")
+        store.put_columnar(KEY_A, artifact, {})
+        store.put_object(KEY_B, list(range(100)), {})
+        # Age: nothing is older than an hour.
+        assert store.gc(max_age_seconds=3600.0) == []
+        # Size: a zero-byte budget evicts everything, oldest first.
+        removed = store.gc(max_bytes=0)
+        assert sorted(removed) == sorted([KEY_A, KEY_B])
+        assert not entry_files(store)
+        # Quarantine: damaged entries can be purged too.
+        store.put_object(KEY_A, "x", {})
+        corrupt_last_byte(entry_files(store)[0])
+        assert store.get_object(KEY_A) == (False, None)
+        assert store.stats().quarantined == 1
+        store.gc(clear_quarantine=True)
+        assert store.stats().quarantined == 0
+        assert store.quarantine_list() == []
+
+    def test_verify_clean_and_damaged(self, tmp_path, artifact):
+        store = ArtifactStore(tmp_path / "store")
+        store.put_columnar(KEY_A, artifact, {"kind": "columnar"})
+        report = store.verify()
+        assert report.checked == 1 and report.ok == 1 and report.clean
+        corrupt_last_byte(entry_files(store)[0])
+        report = store.verify()
+        assert report.checked == 1 and report.ok == 0
+        assert [key for key, _ in report.damaged] == [KEY_A]
+        assert report.quarantined == [KEY_A]
+        assert report.clean  # quarantining handled the damage
+
+    def test_verify_repair_rewrites_in_place(self, tmp_path, artifact):
+        store = ArtifactStore(tmp_path / "store")
+        store.put_columnar(KEY_A, artifact, {"kind": "columnar"})
+        corrupt_last_byte(entry_files(store)[0])
+        report = store.verify(recompile=lambda meta: (CODEC_COLUMNAR, artifact))
+        assert report.repaired == [KEY_A]
+        assert store.verify().ok == 1
+        loaded = store.get_columnar(KEY_A)
+        assert loaded is not None and list(loaded.var) == list(artifact.var)
+
+    def test_verify_repair_deletes_underivable(self, tmp_path, artifact):
+        store = ArtifactStore(tmp_path / "store")
+        store.put_columnar(KEY_A, artifact, {"kind": "columnar"})
+        corrupt_last_byte(entry_files(store)[0])
+        report = store.verify(recompile=lambda meta: None)
+        assert [key for key, _ in report.deleted] == [KEY_A]
+        assert report.clean
+        assert not entry_files(store)
+
+    def test_close_marks_store_but_keeps_loaded_artifacts(self, tmp_path, artifact):
+        store = ArtifactStore(tmp_path / "store")
+        store.put_columnar(KEY_A, artifact, {})
+        loaded = store.get_columnar(KEY_A)
+        store.close()
+        with pytest.raises(StoreError):
+            store.get_columnar(KEY_A)
+        # The artifact owns its mapping: still readable after close.
+        assert list(loaded.var) == list(artifact.var)
+
+    def test_context_manager_and_contains(self, tmp_path, artifact):
+        with ArtifactStore(tmp_path / "store") as store:
+            store.put_columnar(KEY_A, artifact, {})
+            assert store.contains(KEY_A)
+            assert not store.contains(KEY_B)
+        with pytest.raises(StoreError):
+            store.contains  # attribute still there...
+            store.recover()  # ...but operations refuse
+
+    def test_no_temp_files_after_traffic(self, tmp_path, artifact):
+        store = ArtifactStore(tmp_path / "store")
+        for serial in range(4):
+            store.put_object(f"{serial:02d}" + "e" * 62, serial, {})
+        assert len(entry_files(store)) == 4
+        assert tmp_files(store) == []
+
+
+# -- engine wiring --------------------------------------------------------------
+
+
+class TestEngineWiring:
+    def test_fresh_engine_answers_from_store_with_zero_compilations(
+        self, tmp_path, ktree_tid
+    ):
+        root = tmp_path / "store"
+        cold = CompilationEngine(store=root)
+        value = cold.probability(unsafe_rst(), ktree_tid, method="columnar")
+        assert cold.stats["store"].misses == 1
+        assert cold.store.counters.writes >= 1
+
+        warm = CompilationEngine(store=root)
+        again = warm.probability(unsafe_rst(), ktree_tid, method="columnar")
+        assert again == value
+        assert warm.stats["store"].hits == 1
+        # The restart answered without touching the compilation pipeline.
+        assert warm.stats["lineage"].misses == 0
+        assert warm.stats["obdd"].misses == 0
+
+    def test_corrupted_entry_recompiles_exactly_and_surfaces_quarantine(
+        self, tmp_path, ktree_tid
+    ):
+        root = tmp_path / "store"
+        cold = CompilationEngine(store=root)
+        value = cold.probability(unsafe_rst(), ktree_tid, method="columnar")
+        store = ArtifactStore(root)
+        corrupt_last_byte(entry_files(store)[0])
+
+        warm = CompilationEngine(store=root)
+        again = warm.probability(unsafe_rst(), ktree_tid, method="columnar")
+        assert again == value  # corruption costs a recompile, never exactness
+        assert warm.stats["store"].misses == 1
+        assert warm.stats["store"].quarantines == 1
+        assert "quarantined" in str(warm.cache_info()["store"])
+        # The recompiled artifact was written behind again.
+        assert CompilationEngine(store=root).probability(
+            unsafe_rst(), ktree_tid, method="columnar"
+        ) == value
+
+    def test_lifted_plan_and_none_verdict_round_trip(self, tmp_path):
+        root = tmp_path / "store"
+        safe = parse_ucq("R(x), S(x, y)")
+        first = CompilationEngine(store=root)
+        assert first.lifted_plan(safe) is not None
+        assert first.lifted_plan(unsafe_rst()) is None
+
+        second = CompilationEngine(store=root)
+        assert second.lifted_plan(safe) is not None
+        assert second.lifted_plan(unsafe_rst()) is None
+        assert second.stats["store"].hits == 2
+        assert second.stats["lifted_plan"].misses == 2  # memory misses, store hits
+
+    def test_tree_encoding_round_trip(self, tmp_path, ktree_tid):
+        root = tmp_path / "store"
+        instance = ktree_tid.instance
+        first = CompilationEngine(store=root)
+        encoding = first.tree_encoding_of(instance)
+        second = CompilationEngine(store=root)
+        loaded = second.tree_encoding_of(instance)
+        assert second.stats["store"].hits == 1
+        assert loaded.instance is instance
+        assert loaded.root == encoding.root
+        assert loaded.nodes == encoding.nodes
+
+    def test_engine_accepts_store_instance_and_path(self, tmp_path, ktree_tid):
+        root = tmp_path / "store"
+        opened = ArtifactStore(root)
+        by_instance = CompilationEngine(store=opened)
+        assert by_instance.store is opened
+        by_path = CompilationEngine(store=str(root))
+        assert by_path.store is not None and by_path.store.root == root
+
+    def test_clear_resets_store_counters_view(self, tmp_path, ktree_tid):
+        engine = CompilationEngine(store=tmp_path / "store")
+        engine.probability(unsafe_rst(), ktree_tid, method="columnar")
+        engine.clear()
+        assert engine.stats["store"].hits == 0
+        assert engine.stats["store"].misses == 0
+        assert engine.stats["store"].quarantines == 0
+
+    def test_parallel_workers_share_one_store(self, tmp_path, ktree_tid):
+        root = tmp_path / "store"
+        queries = [unsafe_rst(), parse_ucq("R(x), S(x, y)"), parse_ucq("R(x)")]
+        serial = CompilationEngine()
+        expected = [
+            serial.probability(query, ktree_tid, method="columnar") for query in queries
+        ]
+        with ParallelEngine(workers=2, store=root) as warmup:
+            values = warmup.probability_many(queries, ktree_tid, method="columnar")
+        assert values == expected
+        assert ArtifactStore(root).stats().entries >= len(queries)
+
+        # A second pool (fresh worker processes) reads everything back.
+        with ParallelEngine(workers=2, store=root) as pool:
+            again = pool.probability_many(queries, ktree_tid, method="columnar")
+            report = pool.last_report
+        assert again == expected
+        merged = report.stats
+        assert merged["store"].hits == len(queries)
+        assert merged["lineage"].misses == 0
+
+    def test_parallel_store_accepts_open_store(self, tmp_path, ktree_tid):
+        opened = ArtifactStore(tmp_path / "store")
+        with ParallelEngine(workers=1, store=opened) as pool:
+            value = pool.probability_many([unsafe_rst()], ktree_tid, method="columnar")[0]
+        assert value == CompilationEngine().probability(
+            unsafe_rst(), ktree_tid, method="columnar"
+        )
+        assert opened.stats().entries >= 1
+
+
+# -- CLI ------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def chain_json(tmp_path):
+    tid = ProbabilisticInstance.uniform(rst_chain_instance(2), Fraction(1, 2))
+    path = tmp_path / "chain.json"
+    save_instance(tid, path)
+    return path, tid
+
+
+class TestCLI:
+    def test_store_warm_start_across_invocations(self, chain_json, tmp_path, capsys):
+        path, tid = chain_json
+        root = str(tmp_path / "store")
+        query = "R(x), S(x, y)"
+        args = [
+            "batch", str(path), "--query", query,
+            "--method", "columnar", "--stats", "--store", root,
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "cache[store]: 0 hits / 1 misses" in first
+        # Second invocation: a fresh engine (the CLI builds one per call)
+        # answers from the store with zero compilations.
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "cache[store]: 1 hits / 0 misses" in second
+        assert "cache[lineage]: 0 hits / 0 misses" in second
+        value_line = first.splitlines()[0]
+        assert second.splitlines()[0] == value_line
+
+    def test_probability_store_corruption_still_exact(self, chain_json, tmp_path, capsys):
+        from repro.probability.evaluation import probability
+
+        path, tid = chain_json
+        root = tmp_path / "store"
+        query = "R(x), S(x, y)"
+        expected = probability(parse_ucq(query), tid, method="columnar")
+        args = [
+            "probability", str(path), "--query", query,
+            "--method", "columnar", "--store", str(root),
+        ]
+        assert main(args) == 0
+        assert str(expected) in capsys.readouterr().out
+        for entry in glob.glob(str(root / "objects" / "*" / "*.entry")):
+            corrupt_last_byte(entry)
+        assert main(args) == 0
+        assert str(expected) in capsys.readouterr().out
+
+    def test_store_stats_and_quarantine_list(self, chain_json, tmp_path, capsys):
+        path, _ = chain_json
+        root = str(tmp_path / "store")
+        main([
+            "probability", str(path), "--query", "R(x)",
+            "--method", "columnar", "--store", root,
+        ])
+        capsys.readouterr()
+        assert main(["store", "stats", root]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 1" in out
+        assert main(["store", "quarantine-list", root]) == 0
+        assert "quarantine is empty" in capsys.readouterr().out
+
+    def test_store_verify_exit_codes_and_repair(self, chain_json, tmp_path, capsys):
+        path, _ = chain_json
+        root = str(tmp_path / "store")
+        probability_args = [
+            "probability", str(path), "--query", "R(x), S(x, y)",
+            "--method", "columnar", "--store", root,
+        ]
+        main(probability_args)
+        capsys.readouterr()
+        assert main(["store", "verify", root]) == 0
+
+        for entry in glob.glob(os.path.join(root, "objects", "*", "*.entry")):
+            corrupt_last_byte(entry)
+        assert main(["store", "verify", root]) == 1  # damage found -> failure code
+        out = capsys.readouterr().out
+        assert "damaged" in out and "quarantined" in out
+        assert main(["store", "quarantine-list", root]) == 0
+        assert "checksum" in capsys.readouterr().out
+
+        # Recompile, corrupt again, repair from the source instance.
+        main(probability_args)
+        for entry in glob.glob(os.path.join(root, "objects", "*", "*.entry")):
+            corrupt_last_byte(entry)
+        capsys.readouterr()
+        assert main(["store", "verify", root, "--repair", "--instance", str(path)]) == 0
+        assert "repaired" in capsys.readouterr().out
+        assert main(["store", "verify", root]) == 0
+
+    def test_store_verify_repair_without_instance_deletes(
+        self, chain_json, tmp_path, capsys
+    ):
+        path, _ = chain_json
+        root = str(tmp_path / "store")
+        main([
+            "probability", str(path), "--query", "R(x)",
+            "--method", "columnar", "--store", root,
+        ])
+        for entry in glob.glob(os.path.join(root, "objects", "*", "*.entry")):
+            corrupt_last_byte(entry)
+        capsys.readouterr()
+        assert main(["store", "verify", root, "--repair"]) == 0
+        assert "deleted" in capsys.readouterr().out
+        assert main(["store", "verify", root]) == 0  # nothing damaged remains
+
+    def test_store_gc_command(self, chain_json, tmp_path, capsys):
+        path, _ = chain_json
+        root = str(tmp_path / "store")
+        main([
+            "probability", str(path), "--query", "R(x)",
+            "--method", "columnar", "--store", root,
+        ])
+        capsys.readouterr()
+        assert main(["store", "gc", root, "--max-bytes", "0"]) == 0
+        assert "evicted 1 entries" in capsys.readouterr().out
+
+    def test_lineage_accepts_store(self, chain_json, tmp_path, capsys):
+        path, _ = chain_json
+        root = str(tmp_path / "store")
+        assert main([
+            "lineage", str(path), "--query", "R(x), S(x, y)", "--store", root,
+        ]) == 0
+        assert "OBDD size" in capsys.readouterr().out
